@@ -1,0 +1,109 @@
+// Command fattree sizes the fat-tree network for a cluster: given a host
+// count and per-GPU bandwidth it reports the switch radix, effective stage
+// count, switch/link/transceiver counts, and the network's maximum power —
+// the §2.4 model as a standalone tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"netpowerprop/internal/device"
+	"netpowerprop/internal/fattree"
+	"netpowerprop/internal/report"
+	"netpowerprop/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fattree:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fattree", flag.ContinueOnError)
+	hosts := fs.Int("hosts", 15360, "host (GPU) count")
+	bw := fs.String("bw", "400G", "bandwidth per host")
+	interp := fs.String("interp", "absolute", "interpolation mode (absolute|perhost)")
+	sweep := fs.Bool("sweep", false, "also print the Table 2 bandwidth sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := units.ParseBandwidth(*bw)
+	if err != nil {
+		return err
+	}
+	mode, err := fattree.ParseInterpMode(*interp)
+	if err != nil {
+		return err
+	}
+	if err := describe(w, *hosts, b, mode); err != nil {
+		return err
+	}
+	if *sweep {
+		fmt.Fprintln(w)
+		tb := report.Table{
+			Title:   fmt.Sprintf("network sizing sweep — %d hosts", *hosts),
+			Headers: []string{"bandwidth", "radix", "stages", "switches", "links", "net max power"},
+		}
+		for _, s := range device.RatedSpeeds() {
+			ports, err := device.SwitchPorts(s)
+			if err != nil {
+				return err
+			}
+			d, err := fattree.Size(*hosts, ports, mode)
+			if err != nil {
+				return err
+			}
+			p, err := networkMaxPower(*hosts, s, d)
+			if err != nil {
+				return err
+			}
+			tb.AddRow(s.String(), fmt.Sprintf("%d", ports), fmt.Sprintf("%.3f", d.Stages),
+				fmt.Sprintf("%.1f", d.Switches), fmt.Sprintf("%.1f", d.InterSwitchLinks), p.String())
+		}
+		return tb.Write(w)
+	}
+	return nil
+}
+
+func describe(w io.Writer, hosts int, b units.Bandwidth, mode fattree.InterpMode) error {
+	ports, err := device.SwitchPorts(b)
+	if err != nil {
+		return err
+	}
+	d, err := fattree.Size(hosts, ports, mode)
+	if err != nil {
+		return err
+	}
+	p, err := networkMaxPower(hosts, b, d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fat-tree sizing — %d hosts at %v (interp %v)\n\n", hosts, b, mode)
+	fmt.Fprintf(w, "switch radix:        %d ports (51.2 Tbps / %v)\n", ports, b)
+	fmt.Fprintf(w, "effective stages:    %.4f\n", d.Stages)
+	fmt.Fprintf(w, "switches:            %.1f\n", d.Switches)
+	fmt.Fprintf(w, "inter-switch links:  %.1f (x2 optical transceivers)\n", d.InterSwitchLinks)
+	fmt.Fprintf(w, "network max power:   %v\n", p)
+	return nil
+}
+
+// networkMaxPower sums switches, NICs, and transceivers at max power.
+func networkMaxPower(hosts int, b units.Bandwidth, d fattree.Design) (units.Power, error) {
+	nic, err := device.NICPower(b)
+	if err != nil {
+		return 0, err
+	}
+	xcvr, err := device.TransceiverPower(b)
+	if err != nil {
+		return 0, err
+	}
+	total := d.Switches*float64(device.SwitchMaxPower) +
+		float64(hosts)*float64(nic) +
+		d.Transceivers()*float64(xcvr)
+	return units.Power(total), nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestDefaultSizing(t *testing.T) {
+	out := runOK(t)
+	for _, want := range []string{"15360 hosts", "128 ports", "473.8", "1.057 MW", "2.0139"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweep(t *testing.T) {
+	out := runOK(t, "-sweep")
+	for _, want := range []string{"100 Gbps", "1.6 Tbps", "sizing sweep", "net max power"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCustomArgs(t *testing.T) {
+	out := runOK(t, "-hosts", "1024", "-bw", "800G", "-interp", "perhost")
+	if !strings.Contains(out, "1024 hosts") || !strings.Contains(out, "800 Gbps") ||
+		!strings.Contains(out, "perhost") {
+		t.Errorf("custom args not reflected:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bw", "bogus"},
+		{"-interp", "bogus"},
+		{"-hosts", "0"},
+		{"-bw", "40T"},
+		{"-nosuchflag"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) expected error", args)
+		}
+	}
+}

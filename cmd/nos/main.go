@@ -1,0 +1,48 @@
+// Command nos is §4.1 made concrete: a network-OS power shell over the
+// modeled 51.2 Tbps switch ASIC. It reads knob commands from stdin (or a
+// script via -c) and reports the power impact of every action — the
+// interface the paper argues vendors should expose.
+//
+//	echo "set port 64 down
+//	apply mode PM3
+//	show power" | nos
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"netpowerprop/internal/asic"
+	"netpowerprop/internal/nos"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("nos", flag.ContinueOnError)
+	script := fs.String("c", "", "run this semicolon-separated command string instead of stdin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := asic.New(asic.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	sh, err := nos.NewShell(a, out)
+	if err != nil {
+		return err
+	}
+	if *script != "" {
+		return sh.Run(strings.NewReader(strings.ReplaceAll(*script, ";", "\n")))
+	}
+	fmt.Fprintln(out, "nos power shell over a 51.2 Tbps switch (128x400G, 4 pipelines, 750 W) — try `help`")
+	return sh.Run(in)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunScript(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-c", "show power; set port 0 down; show ports"}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"power: 750 W", "ok; power now", "ports: 127/128 up"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("script output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	var out strings.Builder
+	err := run(nil, strings.NewReader("apply mode PM2\nshow memory\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "power shell over a 51.2 Tbps switch") {
+		t.Errorf("banner missing:\n%s", s)
+	}
+	if !strings.Contains(s, "mode PM2 applied") {
+		t.Errorf("mode not applied:\n%s", s)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nosuchflag"}, nil, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunErrorsAreInteractive(t *testing.T) {
+	// A bad command inside a session is reported but does not abort.
+	var out strings.Builder
+	err := run([]string{"-c", "frobnicate; show power"}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "error: nos: unknown command") || !strings.Contains(s, "power: 750 W") {
+		t.Errorf("interactive error semantics broken:\n%s", s)
+	}
+}

@@ -1,0 +1,96 @@
+// mlcluster: a what-if analysis for your own ML training cluster. Give it
+// your cluster size, per-GPU bandwidth, and communication ratio; it sizes
+// the network, reports where the power goes, and answers the paper's two
+// questions: how much would proportionality save (§3.2), and which
+// bandwidth would be fastest under your power budget (§3.3)?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"netpowerprop/internal/core"
+	"netpowerprop/internal/report"
+	"netpowerprop/internal/units"
+	"netpowerprop/internal/workload"
+)
+
+func main() {
+	gpus := flag.Int("gpus", 4096, "cluster size in GPUs")
+	bw := flag.String("bw", "400G", "network bandwidth per GPU")
+	ratio := flag.Float64("ratio", 0.15, "communication ratio of your workload")
+	netProp := flag.Float64("netprop", 0.10, "your network's power proportionality")
+	flag.Parse()
+
+	bandwidth, err := units.ParseBandwidth(*bw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := workload.New(units.Seconds(1-*ratio), units.Seconds(*ratio), *gpus, bandwidth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Baseline()
+	cfg.GPUs = *gpus
+	cfg.Bandwidth = bandwidth
+	cfg.Workload = wl
+	cfg.NetworkProportionality = *netProp
+
+	cluster, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("cluster: %d GPUs at %v, comm ratio %s, network proportionality %s\n\n",
+		*gpus, bandwidth, report.Percent(*ratio), report.Percent(*netProp))
+	fmt.Printf("network: %.0f switches, %.0f transceivers, max %v\n",
+		cluster.Design().Switches, cluster.Design().Transceivers(), cluster.NetworkMaxPower())
+	fmt.Printf("average power %v; network share %s at %s efficiency\n\n",
+		cluster.AveragePower(), report.Percent(cluster.NetworkShare()),
+		report.Percent(cluster.NetworkEfficiency()))
+
+	// §3.2: the savings ladder for this cluster.
+	grid, err := core.ComputeSavingsGrid(cfg, []units.Bandwidth{bandwidth},
+		[]float64{0.2, 0.5, 0.85, 1.0}, *netProp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := report.Table{
+		Title:   "power savings from better network proportionality",
+		Headers: []string{"proportionality", "cluster savings", "power saved", "$/year (13c/kWh + cooling)"},
+	}
+	cost := core.DefaultCostModel()
+	for j, p := range grid.Proportionalities {
+		cell := grid.Cell(0, j)
+		s, err := cost.Annualize(cell.SavedPower)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.AddRow(report.Percent(p), report.Percent(cell.Savings),
+			cell.SavedPower.String(), report.Dollars(s.Total()))
+	}
+	if err := tb.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// §3.3: which bandwidth is fastest under this cluster's power budget?
+	curves, err := core.Fig3(cfg, core.Table3Bandwidths(), []float64{*netProp, 0.5, 1.0}, core.AvgBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb2 := report.Table{
+		Title:   "\nfastest bandwidth under your power budget (speedup vs. your cluster)",
+		Headers: []string{"bandwidth", "at today's prop", "at 50%", "at 100%"},
+	}
+	for _, c := range curves {
+		tb2.AddRow(c.Bandwidth.String(),
+			report.Percent(c.Points[0].Speedup),
+			report.Percent(c.Points[1].Speedup),
+			report.Percent(c.Points[2].Speedup))
+	}
+	if err := tb2.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// pipelineparking: §4.4's proposal end-to-end. A 51.2 Tbps switch carries
+// an ML training job's periodic traffic; a circuit switch between ports
+// and pipelines lets a policy park idle pipelines. The example sweeps the
+// pipeline wake latency to expose the §4.4 trade-off: slow wakes force the
+// reactive policy to buffer (and eventually drop), while the scheduled
+// policy exploits the workload's predictability to wake just in time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"netpowerprop/internal/parking"
+	"netpowerprop/internal/report"
+	"netpowerprop/internal/traffic"
+	"netpowerprop/internal/units"
+)
+
+func main() {
+	ratio := flag.Float64("ratio", 0.2, "communication ratio")
+	level := flag.Float64("level", 0.5, "burst utilization of the full ASIC")
+	period := flag.Float64("period", 2, "iteration period (s)")
+	flag.Parse()
+
+	prof, err := traffic.MLPeriodic(*ratio, units.Seconds(*period), *level)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const samples = 1200
+	const step = 0.05
+	times := make([]units.Seconds, samples)
+	demand := make([]float64, samples)
+	for i := range times {
+		times[i] = units.Seconds(i) * step
+		demand[i] = prof(times[i])
+	}
+
+	fmt.Printf("pipeline parking on ML traffic: %s duty cycle at %s load, %gs period\n\n",
+		report.Percent(*ratio), report.Percent(*level), *period)
+
+	tb := report.Table{
+		Title:   "wake-latency sweep",
+		Headers: []string{"wake", "policy", "savings", "mean active", "max backlog", "max delay", "dropped bits"},
+	}
+	for _, wake := range []units.Seconds{1e-3, 10e-3, 100e-3, 500e-3} {
+		cfg := parking.DefaultConfig()
+		cfg.WakeLatency = wake
+		reactive, err := parking.NewReactive(cfg.ASIC.Pipelines, cfg.MinActive, 0.8, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		window := units.Seconds(*period * *ratio)
+		lead := wake + 2*step // cover the wake plus sampling granularity
+		if maxLead := units.Seconds(*period) - window; lead > maxLead {
+			lead = maxLead
+		}
+		sched, err := parking.NewScheduled(units.Seconds(*period), window, lead, cfg.MinActive, cfg.ASIC.Pipelines)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, pol := range []parking.Policy{reactive, sched} {
+			res, err := parking.Simulate(cfg, times, demand, pol)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tb.AddRow(fmt.Sprintf("%gms", float64(wake)*1e3), pol.Name(),
+				report.Percent(res.Savings),
+				fmt.Sprintf("%.2f", res.MeanActive),
+				fmt.Sprintf("%.2g Mb", res.MaxBacklogBits/1e6),
+				fmt.Sprintf("%.2g ms", float64(res.MaxDelay)*1e3),
+				fmt.Sprintf("%.3g", res.DroppedBits))
+		}
+	}
+	if err := tb.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nreading the table: the reactive policy pays a backlog (and, at slow")
+	fmt.Println("wakes, drops) every burst onset; the scheduled policy uses the known")
+	fmt.Println("iteration period to wake pipelines just in time — §4.4's suggestion to")
+	fmt.Println("\"leverage the predictability of ML training workloads\".")
+}

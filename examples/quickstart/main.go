@@ -1,0 +1,54 @@
+// Quickstart: build the paper's baseline ML cluster, inspect its power
+// breakdown, and quantify what better network power proportionality would
+// be worth — the paper's §3 in ~50 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netpowerprop/internal/core"
+	"netpowerprop/internal/report"
+)
+
+func main() {
+	// The baseline pod from the paper (§2.1): 15,360 H100 GPUs, 400 G per
+	// GPU, 10% communication ratio, 10% network power proportionality.
+	cluster, err := core.New(core.Baseline())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== the baseline cluster ==")
+	fmt.Printf("GPUs: %d at %v each\n", cluster.Config().GPUs, cluster.Config().Bandwidth)
+	fmt.Printf("fat tree: %.0f switches, %.0f optical transceivers\n",
+		cluster.Design().Switches, cluster.Design().Transceivers())
+	fmt.Printf("compute max power: %v    network max power: %v\n",
+		cluster.ComputeMaxPower(), cluster.NetworkMaxPower())
+	fmt.Printf("average cluster power: %v (peak %v)\n",
+		cluster.AveragePower(), cluster.PeakPower())
+
+	fmt.Println("\n== the problem (§3.1) ==")
+	fmt.Printf("the network draws %s of the average power\n", report.Percent(cluster.NetworkShare()))
+	fmt.Printf("but runs at %s energy efficiency (compute: %s)\n",
+		report.Percent(cluster.NetworkEfficiency()), report.Percent(cluster.ComputeEfficiency()))
+
+	fmt.Println("\n== what proportionality would buy (§3.2) ==")
+	for _, prop := range []float64{0.20, 0.50, 0.85, 1.00} {
+		improved := cluster.Config()
+		improved.NetworkProportionality = prop
+		better, err := core.New(improved)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saved := cluster.AveragePower() - better.AveragePower()
+		savings, err := core.DefaultCostModel().Annualize(saved)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("at %s proportionality: save %v (%s of the cluster), %s/year\n",
+			report.Percent(prop), saved,
+			report.Percent(float64(saved)/float64(cluster.AveragePower())),
+			report.Dollars(savings.Total()))
+	}
+}

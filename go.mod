@@ -1,0 +1,3 @@
+module netpowerprop
+
+go 1.22

@@ -1,0 +1,253 @@
+// Package chiplet explores §4.5: redesigning the switching ASIC from
+// scratch with power proportionality as the primary objective. A design is
+// a forwarding complex split into N independently gateable processing
+// units ("many small pipelines, chiplets, or similar"): more, smaller
+// units track the load more finely — at the cost of a per-unit
+// disaggregation overhead (die-to-die interconnect, packaging). The
+// package also models co-packaged optics, which move the optical
+// conversion on-package where it can be gated with its unit, versus
+// external transceivers that burn power whenever the port is lit.
+package chiplet
+
+import (
+	"fmt"
+	"math"
+
+	"netpowerprop/internal/device"
+	"netpowerprop/internal/units"
+)
+
+// Optics selects where the optical conversion lives.
+type Optics int
+
+const (
+	// ExternalOptics models today's pluggable transceivers: their power is
+	// always on while the switch is up, regardless of load.
+	ExternalOptics Optics = iota
+	// CoPackagedOptics places the conversion next to each processing unit;
+	// a gated unit gates its optics too (§4.5's trend).
+	CoPackagedOptics
+)
+
+// String names the optics model.
+func (o Optics) String() string {
+	switch o {
+	case ExternalOptics:
+		return "external"
+	case CoPackagedOptics:
+		return "co-packaged"
+	default:
+		return fmt.Sprintf("Optics(%d)", int(o))
+	}
+}
+
+// Design is one point in the §4.5 design space.
+type Design struct {
+	Name string
+	// Units is the number of independently gateable processing units.
+	Units int
+	// CorePower is the forwarding complex's power at N=1 (no
+	// disaggregation overhead).
+	CorePower units.Power
+	// GateableFraction is the share of CorePower that lives inside the
+	// units (the rest is shared control/fixed logic that never gates).
+	GateableFraction float64
+	// UnitOverhead is the per-unit disaggregation tax beyond the first
+	// unit (die-to-die SerDes, packaging).
+	UnitOverhead units.Power
+	// MinActive floors the number of live units (a switch must forward).
+	MinActive int
+	// Optics selects the optics model; OpticsPower is the total optics
+	// power at full capacity.
+	Optics      Optics
+	OpticsPower units.Power
+}
+
+// Validate checks the design parameters.
+func (d Design) Validate() error {
+	if d.Units < 1 {
+		return fmt.Errorf("chiplet: units %d must be positive", d.Units)
+	}
+	if d.CorePower <= 0 {
+		return fmt.Errorf("chiplet: core power %v must be positive", d.CorePower)
+	}
+	if d.GateableFraction < 0 || d.GateableFraction > 1 {
+		return fmt.Errorf("chiplet: gateable fraction %v outside [0,1]", d.GateableFraction)
+	}
+	if d.UnitOverhead < 0 {
+		return fmt.Errorf("chiplet: negative unit overhead %v", d.UnitOverhead)
+	}
+	if d.MinActive < 0 || d.MinActive > d.Units {
+		return fmt.Errorf("chiplet: min active %d outside [0,%d]", d.MinActive, d.Units)
+	}
+	if d.OpticsPower < 0 {
+		return fmt.Errorf("chiplet: negative optics power %v", d.OpticsPower)
+	}
+	switch d.Optics {
+	case ExternalOptics, CoPackagedOptics:
+	default:
+		return fmt.Errorf("chiplet: unknown optics model %v", d.Optics)
+	}
+	return nil
+}
+
+// MaxPower returns the design's power with every unit active.
+func (d Design) MaxPower() units.Power {
+	return units.Power(float64(d.CorePower) +
+		float64(d.Units-1)*float64(d.UnitOverhead) +
+		float64(d.OpticsPower))
+}
+
+// activeUnits returns how many units a load requires.
+func (d Design) activeUnits(load float64) int {
+	n := int(math.Ceil(load * float64(d.Units)))
+	if n < d.MinActive {
+		n = d.MinActive
+	}
+	if n > d.Units {
+		n = d.Units
+	}
+	return n
+}
+
+// PowerAt returns the design's draw at a load in [0,1]: shared logic is
+// always on; ceil(load·N) units are active, each paying its core share,
+// its overhead, and (co-packaged only) its optics share; external optics
+// burn fully at any load.
+func (d Design) PowerAt(load float64) (units.Power, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if load < 0 || load > 1 {
+		return 0, fmt.Errorf("chiplet: load %v outside [0,1]", load)
+	}
+	shared := float64(d.CorePower) * (1 - d.GateableFraction)
+	perUnitCore := float64(d.CorePower) * d.GateableFraction / float64(d.Units)
+	active := d.activeUnits(load)
+	p := shared + float64(active)*perUnitCore
+	// Overhead: the first unit is the reference die; each additional
+	// *active* unit pays the disaggregation tax (a parked chiplet's
+	// interconnect gates with it).
+	if active > 0 {
+		p += float64(active-1) * float64(d.UnitOverhead)
+	}
+	switch d.Optics {
+	case ExternalOptics:
+		p += float64(d.OpticsPower)
+	case CoPackagedOptics:
+		p += float64(d.OpticsPower) * float64(active) / float64(d.Units)
+	}
+	return units.Power(p), nil
+}
+
+// Proportionality returns the design's effective power proportionality
+// (Eq. 1) using the zero-load draw as idle power.
+func (d Design) Proportionality() (float64, error) {
+	idle, err := d.PowerAt(0)
+	if err != nil {
+		return 0, err
+	}
+	max := d.MaxPower()
+	if max <= 0 {
+		return 0, fmt.Errorf("chiplet: non-positive max power")
+	}
+	return float64(max-idle) / float64(max), nil
+}
+
+// EnergyOnProfile integrates the design over a sampled load profile with
+// uniform steps.
+func (d Design) EnergyOnProfile(times []units.Seconds, loads []float64) (units.Energy, error) {
+	if len(times) < 2 || len(loads) != len(times) {
+		return 0, fmt.Errorf("chiplet: need matching times/loads with >= 2 samples")
+	}
+	step := times[1] - times[0]
+	if step <= 0 {
+		return 0, fmt.Errorf("chiplet: non-increasing sample times")
+	}
+	var e units.Energy
+	for _, u := range loads {
+		p, err := d.PowerAt(u)
+		if err != nil {
+			return 0, err
+		}
+		e += units.EnergyOver(p, step)
+	}
+	return e, nil
+}
+
+// Today returns the reference design: a monolithic 4-pipeline ASIC whose
+// pipelines do NOT gate (MinActive = Units), with external transceivers —
+// effectively today's ~10%-proportional switch.
+func Today() Design {
+	return Design{
+		Name:             "today: monolithic, external optics",
+		Units:            4,
+		CorePower:        device.SwitchMaxPower,
+		GateableFraction: 0.65,
+		UnitOverhead:     0,
+		MinActive:        4,
+		Optics:           ExternalOptics,
+		OpticsPower:      160 * units.Watt, // 16 uplinks x 10 W at 400G
+	}
+}
+
+// Gateable returns a §4.4-style design: the same monolithic ASIC but with
+// pipelines that can park (MinActive 1).
+func Gateable() Design {
+	d := Today()
+	d.Name = "gateable pipelines, external optics"
+	d.MinActive = 1
+	return d
+}
+
+// Chiplets returns a §4.5 design with n small units and co-packaged
+// optics, paying a per-unit disaggregation overhead.
+func Chiplets(n int) Design {
+	return Design{
+		Name:             fmt.Sprintf("%d chiplets, co-packaged optics", n),
+		Units:            n,
+		CorePower:        device.SwitchMaxPower,
+		GateableFraction: 0.65,
+		UnitOverhead:     2 * units.Watt,
+		MinActive:        1,
+		Optics:           CoPackagedOptics,
+		OpticsPower:      160 * units.Watt,
+	}
+}
+
+// SweepRow is one design's outcome on a load profile.
+type SweepRow struct {
+	Design          Design
+	MaxPower        units.Power
+	Proportionality float64
+	Energy          units.Energy
+	// SavingsVsToday is the energy saved relative to the Today() design on
+	// the same profile.
+	SavingsVsToday float64
+}
+
+// Sweep evaluates designs on a load profile, reporting each against the
+// Today() reference.
+func Sweep(designs []Design, times []units.Seconds, loads []float64) ([]SweepRow, error) {
+	ref, err := Today().EnergyOnProfile(times, loads)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SweepRow, 0, len(designs))
+	for _, d := range designs {
+		prop, err := d.Proportionality()
+		if err != nil {
+			return nil, err
+		}
+		e, err := d.EnergyOnProfile(times, loads)
+		if err != nil {
+			return nil, err
+		}
+		row := SweepRow{Design: d, MaxPower: d.MaxPower(), Proportionality: prop, Energy: e}
+		if ref > 0 {
+			row.SavingsVsToday = 1 - float64(e)/float64(ref)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

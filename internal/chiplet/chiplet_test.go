@@ -1,0 +1,265 @@
+package chiplet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netpowerprop/internal/traffic"
+	"netpowerprop/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Today().Validate(); err != nil {
+		t.Fatalf("Today invalid: %v", err)
+	}
+	if err := Chiplets(64).Validate(); err != nil {
+		t.Fatalf("Chiplets invalid: %v", err)
+	}
+	cases := []func(*Design){
+		func(d *Design) { d.Units = 0 },
+		func(d *Design) { d.CorePower = 0 },
+		func(d *Design) { d.GateableFraction = 1.5 },
+		func(d *Design) { d.UnitOverhead = -1 },
+		func(d *Design) { d.MinActive = -1 },
+		func(d *Design) { d.MinActive = 99 },
+		func(d *Design) { d.OpticsPower = -1 },
+		func(d *Design) { d.Optics = Optics(9) },
+	}
+	for i, mutate := range cases {
+		d := Chiplets(8)
+		mutate(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: invalid design accepted", i)
+		}
+	}
+}
+
+func TestTodayIsNonProportional(t *testing.T) {
+	d := Today()
+	prop, err := d.Proportionality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MinActive = Units means nothing gates: zero effective
+	// proportionality — today's hardware.
+	if prop != 0 {
+		t.Errorf("today's proportionality = %v, want 0", prop)
+	}
+	idle, _ := d.PowerAt(0)
+	full, _ := d.PowerAt(1)
+	if idle != full {
+		t.Errorf("today's idle %v != max %v", idle, full)
+	}
+}
+
+func TestGateableProportionality(t *testing.T) {
+	d := Gateable()
+	prop, err := d.Proportionality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 of 4 pipeline shares gate: 0.65*0.75 of core; optics stay on.
+	// idle = 750*(1-0.65) + 750*0.65/4 + 160 = 262.5+121.875+160 = 544.375
+	// max = 910; prop = (910-544.375)/910.
+	want := (910.0 - 544.375) / 910.0
+	if math.Abs(prop-want) > 1e-9 {
+		t.Errorf("gateable proportionality = %v, want %v", prop, want)
+	}
+}
+
+func TestChipletsFinerGranularity(t *testing.T) {
+	// At 30% load, a 4-unit design runs 2/4 units (50% of gateable), a
+	// 64-unit design runs 20/64 (31%) — finer tracking, less waste.
+	coarse := Chiplets(4)
+	fine := Chiplets(64)
+	pc, err := coarse.PowerAt(0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := fine.PowerAt(0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf >= pc {
+		t.Errorf("fine design %v should draw less than coarse %v at 30%% load", pf, pc)
+	}
+}
+
+func TestOverheadTaxAtFullLoad(t *testing.T) {
+	// At full load the chiplet design pays for its disaggregation: more
+	// units, more overhead.
+	few := Chiplets(4)
+	many := Chiplets(64)
+	pFew, _ := few.PowerAt(1)
+	pMany, _ := many.PowerAt(1)
+	if pMany <= pFew {
+		t.Errorf("64 units at full load (%v) should cost more than 4 (%v)", pMany, pFew)
+	}
+	if diff := float64(pMany - pFew); math.Abs(diff-60*2) > 1e-9 {
+		t.Errorf("overhead difference = %v W, want 120 W (60 extra units x 2 W)", diff)
+	}
+}
+
+func TestCoPackagedOpticsGate(t *testing.T) {
+	cp := Chiplets(8)
+	ext := cp
+	ext.Optics = ExternalOptics
+	ext.Name = "external"
+	// At low load, co-packaged optics gate with their units.
+	pcp, _ := cp.PowerAt(0.1)
+	pext, _ := ext.PowerAt(0.1)
+	if pcp >= pext {
+		t.Errorf("co-packaged %v should beat external %v at low load", pcp, pext)
+	}
+	// At full load they cost the same (all optics on).
+	pcp, _ = cp.PowerAt(1)
+	pext, _ = ext.PowerAt(1)
+	if pcp != pext {
+		t.Errorf("co-packaged %v != external %v at full load", pcp, pext)
+	}
+}
+
+func TestPowerAtValidation(t *testing.T) {
+	d := Chiplets(8)
+	if _, err := d.PowerAt(-0.1); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := d.PowerAt(1.1); err == nil {
+		t.Error("load > 1 accepted")
+	}
+	bad := d
+	bad.Units = 0
+	if _, err := bad.PowerAt(0.5); err == nil {
+		t.Error("invalid design accepted")
+	}
+}
+
+func TestMinActiveFloor(t *testing.T) {
+	d := Chiplets(8)
+	d.MinActive = 2
+	p0, _ := d.PowerAt(0)
+	p1, _ := d.PowerAt(0.125) // exactly 1 unit of load
+	if p0 != p1 {
+		t.Errorf("floor of 2 units: PowerAt(0)=%v should equal PowerAt(1/8)=%v", p0, p1)
+	}
+}
+
+func mlProfile(t *testing.T, n int) ([]units.Seconds, []float64) {
+	t.Helper()
+	prof, err := traffic.MLPeriodic(0.1, 10, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]units.Seconds, n)
+	loads := make([]float64, n)
+	for i := range times {
+		times[i] = units.Seconds(i) * 0.5
+		loads[i] = prof(times[i])
+	}
+	return times, loads
+}
+
+func TestSweepOrdering(t *testing.T) {
+	times, loads := mlProfile(t, 200)
+	rows, err := Sweep([]Design{Today(), Gateable(), Chiplets(4), Chiplets(16), Chiplets(64)}, times, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Today saves nothing against itself.
+	if rows[0].SavingsVsToday != 0 {
+		t.Errorf("today vs today = %v", rows[0].SavingsVsToday)
+	}
+	// Each step of the redesign ladder helps on this 90%-idle load:
+	// gateable > today, chiplets+CPO > gateable, finer > coarser.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SavingsVsToday <= rows[i-1].SavingsVsToday {
+			t.Errorf("%s (%.3f) should beat %s (%.3f)",
+				rows[i].Design.Name, rows[i].SavingsVsToday,
+				rows[i-1].Design.Name, rows[i-1].SavingsVsToday)
+		}
+	}
+	// The fine-grained CPO design approaches compute-class proportionality.
+	if rows[4].Proportionality < 0.70 {
+		t.Errorf("64-chiplet proportionality = %v, want > 0.70", rows[4].Proportionality)
+	}
+}
+
+func TestEnergyOnProfileValidation(t *testing.T) {
+	d := Chiplets(8)
+	times, loads := mlProfile(t, 10)
+	if _, err := d.EnergyOnProfile(times[:1], loads[:1]); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := d.EnergyOnProfile(times, loads[:5]); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	bad := append([]float64{}, loads...)
+	bad[0] = 2
+	if _, err := d.EnergyOnProfile(times, bad); err == nil {
+		t.Error("load > 1 accepted")
+	}
+	rev := append([]units.Seconds{}, times...)
+	rev[1] = rev[0]
+	if _, err := d.EnergyOnProfile(rev, loads); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+}
+
+func TestOpticsString(t *testing.T) {
+	if ExternalOptics.String() != "external" || CoPackagedOptics.String() != "co-packaged" {
+		t.Error("optics names broken")
+	}
+	if Optics(7).String() != "Optics(7)" {
+		t.Error("unknown optics formatting broken")
+	}
+}
+
+// Property: power is monotone non-decreasing in load and bounded by
+// [PowerAt(0), MaxPower].
+func TestPowerMonotoneBounded(t *testing.T) {
+	f := func(nRaw uint8, aRaw, bRaw float64) bool {
+		d := Chiplets(1 + int(nRaw)%128)
+		a := math.Abs(math.Mod(aRaw, 1.0))
+		b := math.Abs(math.Mod(bRaw, 1.0))
+		if a > b {
+			a, b = b, a
+		}
+		pa, err1 := d.PowerAt(a)
+		pb, err2 := d.PowerAt(b)
+		p0, err3 := d.PowerAt(0)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return pa <= pb+1e-9 && pa >= p0-1e-9 && pb <= d.MaxPower()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: effective proportionality improves (weakly) with unit count
+// for overhead-free designs.
+func TestProportionalityImprovesWithUnits(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		na := 1 + int(aRaw)%64
+		nb := 1 + int(bRaw)%64
+		if na > nb {
+			na, nb = nb, na
+		}
+		da, db := Chiplets(na), Chiplets(nb)
+		da.UnitOverhead, db.UnitOverhead = 0, 0
+		pa, err1 := da.Proportionality()
+		pb, err2 := db.Proportionality()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return pb >= pa-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

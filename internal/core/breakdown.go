@@ -1,0 +1,148 @@
+package core
+
+import (
+	"netpowerprop/internal/device"
+	"netpowerprop/internal/units"
+)
+
+// Breakdown is one bar of Fig. 2a: a phase's total power split into the
+// power of busy device classes plus a lumped "Idle" share for the devices
+// idling in that phase (the figure's grey segment).
+type Breakdown struct {
+	Phase Phase
+	// Active holds the power of each class while busy in this phase.
+	// Classes idle in this phase contribute to Idle instead.
+	Active map[device.Class]units.Power
+	// IdleByClass splits the idle power by class (not shown in the paper's
+	// figure but useful for analysis).
+	IdleByClass map[device.Class]units.Power
+	// Idle is the summed idle power.
+	Idle units.Power
+	// Total is Active + Idle.
+	Total units.Power
+}
+
+// Fraction returns a class's active share of the bar's total.
+func (b Breakdown) Fraction(class device.Class) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Active[class]) / float64(b.Total)
+}
+
+// IdleFraction returns the idle share of the bar's total.
+func (b Breakdown) IdleFraction() float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Idle) / float64(b.Total)
+}
+
+// breakdownAt computes a single phase bar.
+func (c *Cluster) breakdownAt(p Phase) Breakdown {
+	b := Breakdown{
+		Phase:       p,
+		Active:      make(map[device.Class]units.Power),
+		IdleByClass: make(map[device.Class]units.Power),
+	}
+	for _, cl := range device.Classes() {
+		pw := c.PhasePower(cl, p)
+		b.Total += pw
+		if classBusy(cl, p) {
+			b.Active[cl] = pw
+		} else {
+			b.IdleByClass[cl] = pw
+			b.Idle += pw
+		}
+	}
+	return b
+}
+
+// breakdownAverage computes the Average bar as the time-weighted mix over
+// the iteration's segments, so that a class contributes to Active for the
+// time it is busy — including any overlapped segment — and to Idle for the
+// rest (matching Fig. 2a's middle bar).
+func (c *Cluster) breakdownAverage() Breakdown {
+	total := float64(c.sched.Total())
+	b := Breakdown{
+		Phase:       PhaseAverage,
+		Active:      make(map[device.Class]units.Power),
+		IdleByClass: make(map[device.Class]units.Power),
+	}
+	if total == 0 {
+		return b
+	}
+	segments := []struct {
+		weight               float64
+		computeBusy, netBusy bool
+	}{
+		{float64(c.sched.ComputeOnly) / total, true, false},
+		{float64(c.sched.Overlapped) / total, true, true},
+		{float64(c.sched.CommOnly) / total, false, true},
+	}
+	for _, cl := range device.Classes() {
+		var active, idle float64
+		for _, seg := range segments {
+			busy := seg.netBusy
+			if cl == device.ClassGPU {
+				busy = seg.computeBusy
+			}
+			p := seg.weight * float64(c.classPowerIn(cl, seg.computeBusy, seg.netBusy))
+			if busy {
+				active += p
+			} else {
+				idle += p
+			}
+		}
+		if active > 0 {
+			b.Active[cl] = units.Power(active)
+		}
+		if idle > 0 {
+			b.IdleByClass[cl] = units.Power(idle)
+		}
+		b.Idle += units.Power(idle)
+		b.Total += units.Power(active + idle)
+	}
+	return b
+}
+
+// Fig2a returns the three bars of the paper's Fig. 2a: Computation,
+// Average, and Communication, in the paper's display order.
+func (c *Cluster) Fig2a() []Breakdown {
+	return []Breakdown{
+		c.breakdownAt(PhaseComputation),
+		c.breakdownAverage(),
+		c.breakdownAt(PhaseCommunication),
+	}
+}
+
+// Fig2b mirrors the paper's Fig. 2b: absolute compute and network power in
+// each phase plus each group's energy efficiency over the iteration.
+type Fig2b struct {
+	// ComputePower and NetworkPower index by phase.
+	ComputePower map[Phase]units.Power
+	NetworkPower map[Phase]units.Power
+	// ComputeEfficiency and NetworkEfficiency are the per-group energy
+	// efficiencies (paper: ~97% and ~11% on the baseline).
+	ComputeEfficiency float64
+	NetworkEfficiency float64
+}
+
+// Fig2bData computes Fig. 2b for the cluster.
+func (c *Cluster) Fig2bData() Fig2b {
+	out := Fig2b{
+		ComputePower:      make(map[Phase]units.Power, 3),
+		NetworkPower:      make(map[Phase]units.Power, 3),
+		ComputeEfficiency: c.ComputeEfficiency(),
+		NetworkEfficiency: c.NetworkEfficiency(),
+	}
+	for _, p := range []Phase{PhaseComputation, PhaseAverage, PhaseCommunication} {
+		out.ComputePower[p] = c.PhasePower(device.ClassGPU, p)
+		var net units.Power
+		for _, cl := range networkClasses {
+			net += c.PhasePower(cl, p)
+		}
+		out.NetworkPower[p] = net
+	}
+	return out
+}

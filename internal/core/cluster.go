@@ -1,0 +1,332 @@
+// Package core implements the paper's primary contribution: the
+// cluster-level what-if model that combines the workload model (§2.2),
+// the power model (§2.3), and the fat-tree network model (§2.4) to
+// quantify the impact of network power proportionality on an ML training
+// cluster's power draw, energy efficiency, and performance (§3).
+package core
+
+import (
+	"fmt"
+
+	"netpowerprop/internal/device"
+	"netpowerprop/internal/fattree"
+	"netpowerprop/internal/power"
+	"netpowerprop/internal/units"
+	"netpowerprop/internal/workload"
+)
+
+// Config describes one what-if scenario: a cluster size, a per-GPU network
+// bandwidth, the workload to run, and the power proportionality of compute
+// and network hardware.
+type Config struct {
+	// GPUs is the cluster size in GPUs (the paper's "hosts": one 400 G-class
+	// interface per GPU, 8 GPUs per server).
+	GPUs int
+	// Bandwidth is the network bandwidth per GPU.
+	Bandwidth units.Bandwidth
+	// Workload is the training workload; phase durations scale with GPUs
+	// and Bandwidth per §2.2.
+	Workload workload.Workload
+	// ComputeProportionality is the power proportionality of the
+	// GPU+server units (paper: 85%).
+	ComputeProportionality float64
+	// NetworkProportionality applies to switches, NICs, and transceivers
+	// (paper baseline: 10%).
+	NetworkProportionality float64
+	// Interp selects the fat-tree interpolation mode (DESIGN.md).
+	Interp fattree.InterpMode
+	// FixedCommRatio, when positive, pins the communication ratio instead
+	// of deriving communication time from the fixed workload (§3.3's
+	// second scenario).
+	FixedCommRatio float64
+	// Overlap hides this fraction of the communication phase behind
+	// computation (§3.4's relaxation of the no-overlap assumption; 0 is
+	// the paper's default sequential model).
+	Overlap float64
+}
+
+// Baseline returns the paper's baseline scenario (§2.1): one production pod
+// of 15,360 H100 GPUs with 400 G per GPU, a 10% communication ratio, 85%
+// compute and 10% network power proportionality.
+func Baseline() Config {
+	return Config{
+		GPUs:                   15360,
+		Bandwidth:              400 * units.Gbps,
+		Workload:               workload.Baseline(),
+		ComputeProportionality: device.ComputeProportionality,
+		NetworkProportionality: device.NetworkProportionality,
+		Interp:                 fattree.InterpAbsolute,
+	}
+}
+
+// Cluster is a fully sized scenario: the network design and per-class
+// aggregate power models derived from a Config.
+type Cluster struct {
+	cfg    Config
+	design fattree.Design
+	iter   workload.Iteration
+	sched  workload.Schedule
+	models map[device.Class]power.Model
+}
+
+// New sizes the network and builds the per-class power models for a Config.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.GPUs < 1 {
+		return nil, fmt.Errorf("core: GPU count %d must be positive", cfg.GPUs)
+	}
+	if cfg.Bandwidth <= 0 {
+		return nil, fmt.Errorf("core: bandwidth %v must be positive", cfg.Bandwidth)
+	}
+	ports, err := device.SwitchPorts(cfg.Bandwidth)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	design, err := fattree.Size(cfg.GPUs, ports, cfg.Interp)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var iter workload.Iteration
+	if cfg.FixedCommRatio > 0 {
+		iter, err = cfg.Workload.WithFixedRatio(cfg.GPUs, cfg.FixedCommRatio)
+	} else {
+		iter, err = cfg.Workload.On(cfg.GPUs, cfg.Bandwidth)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	sched, err := iter.WithOverlap(cfg.Overlap)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	nicPower, err := device.NICPower(cfg.Bandwidth)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	xcvrPower, err := device.TransceiverPower(cfg.Bandwidth)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	models := make(map[device.Class]power.Model, 4)
+	gpuModel, err := power.NewModel(
+		units.Power(float64(device.GPUUnitMaxPower)*float64(cfg.GPUs)),
+		cfg.ComputeProportionality)
+	if err != nil {
+		return nil, fmt.Errorf("core: compute model: %w", err)
+	}
+	models[device.ClassGPU] = gpuModel
+	for class, max := range map[device.Class]units.Power{
+		device.ClassSwitch:      units.Power(design.Switches * float64(device.SwitchMaxPower)),
+		device.ClassNIC:         units.Power(float64(cfg.GPUs) * float64(nicPower)),
+		device.ClassTransceiver: units.Power(design.Transceivers() * float64(xcvrPower)),
+	} {
+		m, err := power.NewModel(max, cfg.NetworkProportionality)
+		if err != nil {
+			return nil, fmt.Errorf("core: network model (%v): %w", class, err)
+		}
+		models[class] = m
+	}
+	return &Cluster{cfg: cfg, design: design, iter: iter, sched: sched, models: models}, nil
+}
+
+// Config returns the scenario this cluster was built from.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Design returns the fat-tree sizing outcome.
+func (c *Cluster) Design() fattree.Design { return c.design }
+
+// Iteration returns the workload iteration on this cluster.
+func (c *Cluster) Iteration() workload.Iteration { return c.iter }
+
+// Schedule returns the iteration laid out with the configured overlap.
+func (c *Cluster) Schedule() workload.Schedule { return c.sched }
+
+// Model returns the aggregate power model of a device class.
+func (c *Cluster) Model(class device.Class) power.Model { return c.models[class] }
+
+// networkClasses are the classes the paper groups as "the network".
+var networkClasses = []device.Class{device.ClassSwitch, device.ClassNIC, device.ClassTransceiver}
+
+// NetworkMaxPower returns the aggregate max power of switches + NICs +
+// transceivers.
+func (c *Cluster) NetworkMaxPower() units.Power {
+	var p units.Power
+	for _, cl := range networkClasses {
+		p += c.models[cl].Max
+	}
+	return p
+}
+
+// ComputeMaxPower returns the aggregate max power of the GPU+server units.
+func (c *Cluster) ComputeMaxPower() units.Power { return c.models[device.ClassGPU].Max }
+
+// Phase identifies one side of the iteration.
+type Phase int
+
+// The two phases of §2.2, plus the time-weighted average pseudo-phase used
+// in Fig. 2a's middle bar.
+const (
+	PhaseComputation Phase = iota
+	PhaseCommunication
+	PhaseAverage
+)
+
+// String names the phase as in Fig. 2a.
+func (p Phase) String() string {
+	switch p {
+	case PhaseComputation:
+		return "Computation"
+	case PhaseCommunication:
+		return "Communication"
+	case PhaseAverage:
+		return "Average"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// classBusy reports whether a device class is busy during a phase under the
+// no-overlap assumption.
+func classBusy(class device.Class, p Phase) bool {
+	if class == device.ClassGPU {
+		return p == PhaseComputation
+	}
+	return p == PhaseCommunication
+}
+
+// classPowerIn returns a class's power in a segment where compute and/or
+// network hardware is busy.
+func (c *Cluster) classPowerIn(class device.Class, computeBusy, netBusy bool) units.Power {
+	m := c.models[class]
+	busy := netBusy
+	if class == device.ClassGPU {
+		busy = computeBusy
+	}
+	if busy {
+		return m.Max
+	}
+	return m.Idle()
+}
+
+// PhasePower returns the power draw of one device class during a phase:
+// PhaseComputation is the compute-only segment, PhaseCommunication the
+// communication-only segment, and PhaseAverage the time-weighted mean over
+// the whole iteration (including any overlapped segment).
+func (c *Cluster) PhasePower(class device.Class, p Phase) units.Power {
+	switch p {
+	case PhaseComputation:
+		return c.classPowerIn(class, true, false)
+	case PhaseCommunication:
+		return c.classPowerIn(class, false, true)
+	case PhaseAverage:
+		total := float64(c.sched.Total())
+		if total == 0 {
+			return 0
+		}
+		acc := float64(c.classPowerIn(class, true, false)) * float64(c.sched.ComputeOnly)
+		acc += float64(c.classPowerIn(class, true, true)) * float64(c.sched.Overlapped)
+		acc += float64(c.classPowerIn(class, false, true)) * float64(c.sched.CommOnly)
+		return units.Power(acc / total)
+	default:
+		return 0
+	}
+}
+
+// TotalPower returns the cluster power during a phase (all classes).
+func (c *Cluster) TotalPower(p Phase) units.Power {
+	var sum units.Power
+	for _, cl := range device.Classes() {
+		sum += c.PhasePower(cl, p)
+	}
+	return sum
+}
+
+// segmentTotal sums all classes' power in a segment.
+func (c *Cluster) segmentTotal(computeBusy, netBusy bool) units.Power {
+	var sum units.Power
+	for _, cl := range device.Classes() {
+		sum += c.classPowerIn(cl, computeBusy, netBusy)
+	}
+	return sum
+}
+
+// AveragePower is the time-weighted mean cluster power over one iteration —
+// the quantity Table 3's savings are computed on.
+func (c *Cluster) AveragePower() units.Power { return c.TotalPower(PhaseAverage) }
+
+// PeakPower is the maximum instantaneous cluster power across the
+// iteration's segments — the quantity a datacenter must provision for
+// (§3.3). With overlap, the everything-busy segment dominates.
+func (c *Cluster) PeakPower() units.Power {
+	var peak units.Power
+	for _, seg := range []struct {
+		dur                  units.Seconds
+		computeBusy, netBusy bool
+	}{
+		{c.sched.ComputeOnly, true, false},
+		{c.sched.Overlapped, true, true},
+		{c.sched.CommOnly, false, true},
+	} {
+		if seg.dur <= 0 {
+			continue
+		}
+		if p := c.segmentTotal(seg.computeBusy, seg.netBusy); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// NetworkAveragePower returns the network's time-weighted mean power.
+func (c *Cluster) NetworkAveragePower() units.Power {
+	var sum units.Power
+	for _, cl := range networkClasses {
+		sum += c.PhasePower(cl, PhaseAverage)
+	}
+	return sum
+}
+
+// NetworkShare returns the network's fraction of the average cluster power
+// (the paper's headline 12%).
+func (c *Cluster) NetworkShare() float64 {
+	total := c.AveragePower()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.NetworkAveragePower()) / float64(total)
+}
+
+// NetworkEfficiency returns the network's energy efficiency over one
+// iteration: busy-time energy over total energy (the paper's 11%).
+func (c *Cluster) NetworkEfficiency() float64 {
+	return c.classGroupEfficiency(networkClasses, c.sched.NetworkPhases())
+}
+
+// ComputeEfficiency returns the compute hardware's energy efficiency.
+func (c *Cluster) ComputeEfficiency() float64 {
+	return c.classGroupEfficiency([]device.Class{device.ClassGPU}, c.sched.ComputePhases())
+}
+
+func (c *Cluster) classGroupEfficiency(classes []device.Class, phases []power.Phase) float64 {
+	var useful, total float64
+	for _, cl := range classes {
+		m := c.models[cl]
+		for _, ph := range phases {
+			p := m.Idle()
+			if ph.Busy {
+				p = m.Max
+				useful += float64(p) * float64(ph.Duration)
+			}
+			total += float64(p) * float64(ph.Duration)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return useful / total
+}
+
+// EnergyPerIteration returns the cluster energy consumed over one iteration.
+func (c *Cluster) EnergyPerIteration() units.Energy {
+	return units.EnergyOver(c.AveragePower(), c.sched.Total())
+}

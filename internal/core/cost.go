@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"netpowerprop/internal/units"
+)
+
+// CostModel converts saved power into annual operating-cost savings, the
+// way §3.2 does: saved network power at the average US commercial
+// electricity price, plus the induced cooling savings.
+type CostModel struct {
+	// PricePerKWh is the electricity price in dollars per kWh
+	// (paper: $0.13, US commercial average [11]).
+	PricePerKWh float64
+	// CoolingOverhead is the cooling power as a fraction of IT power
+	// (paper: 0.30, from [35]).
+	CoolingOverhead float64
+}
+
+// DefaultCostModel returns the paper's §3.2 assumptions.
+func DefaultCostModel() CostModel {
+	return CostModel{PricePerKWh: 0.13, CoolingOverhead: 0.30}
+}
+
+// HoursPerYear is the 365-day year used for annualized savings.
+const HoursPerYear = 365 * 24
+
+// Savings is an annualized cost-saving estimate.
+type Savings struct {
+	// SavedPower is the average power reduction the savings derive from.
+	SavedPower units.Power
+	// ElectricityPerYear is the direct annual electricity saving ($).
+	ElectricityPerYear float64
+	// CoolingPerYear is the annual cooling saving ($).
+	CoolingPerYear float64
+}
+
+// Total returns electricity plus cooling savings per year.
+func (s Savings) Total() float64 { return s.ElectricityPerYear + s.CoolingPerYear }
+
+// Annualize converts an average power reduction into annual dollar savings.
+func (m CostModel) Annualize(saved units.Power) (Savings, error) {
+	if m.PricePerKWh < 0 || m.CoolingOverhead < 0 {
+		return Savings{}, fmt.Errorf("core: negative cost-model parameter (%+v)", m)
+	}
+	if saved < 0 {
+		return Savings{}, fmt.Errorf("core: negative saved power %v", saved)
+	}
+	kwhPerYear := saved.Kilowatts() * HoursPerYear
+	return Savings{
+		SavedPower:         saved,
+		ElectricityPerYear: kwhPerYear * m.PricePerKWh,
+		CoolingPerYear:     kwhPerYear * m.CoolingOverhead * m.PricePerKWh,
+	}, nil
+}
+
+// Section32 reproduces §3.2's worked example: the absolute power saved by
+// improving the baseline 400 G cluster's network proportionality from 10%
+// to the given value, annualized with the default cost model. The paper's
+// numbers at 50%: ~365 kW saved, ~$416k/yr electricity, ~$125k/yr cooling.
+func Section32(proportionality float64) (Savings, error) {
+	grid, err := ComputeSavingsGrid(Baseline(),
+		[]units.Bandwidth{400 * units.Gbps}, []float64{proportionality}, 0.10)
+	if err != nil {
+		return Savings{}, err
+	}
+	return DefaultCostModel().Annualize(grid.Cell(0, 0).SavedPower)
+}

@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"netpowerprop/internal/core"
+	"netpowerprop/internal/units"
+)
+
+// The paper's §3.1 analysis in four lines: build the baseline pod and read
+// off the two headline metrics.
+func ExampleNew() {
+	cluster, err := core.New(core.Baseline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network share: %.1f%%\n", cluster.NetworkShare()*100)
+	fmt.Printf("network efficiency: %.1f%%\n", cluster.NetworkEfficiency()*100)
+	// Output:
+	// network share: 12.0%
+	// network efficiency: 11.0%
+}
+
+// Table 3's headline cell: a 50%-proportional network saves ~5% of the
+// whole 400 G cluster.
+func ExampleTable3() {
+	grid, err := core.Table3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cell := grid.Cell(2, 2) // 400 G row, 50% column
+	fmt.Printf("%v at %.0f%% proportionality saves %.1f%%\n",
+		cell.Bandwidth, cell.Proportionality*100, cell.Savings*100)
+	// Output:
+	// 400 Gbps at 50% proportionality saves 4.8%
+}
+
+// §3.2's worked example: what the 50%-proportionality savings are worth
+// per year.
+func ExampleSection32() {
+	s, err := core.Section32(0.50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved power: %v\n", s.SavedPower)
+	fmt.Printf("electricity: $%.0fk/year\n", s.ElectricityPerYear/1000)
+	// Output:
+	// saved power: 380.5 kW
+	// electricity: $433k/year
+}
+
+// OptimizeGPUs answers §3.3's question: how many GPUs fit a fixed power
+// budget once the network gets cheaper to idle?
+func ExampleOptimizeGPUs() {
+	base := core.Baseline()
+	baseline, err := core.New(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := baseline.AveragePower()
+
+	better := base
+	better.NetworkProportionality = 0.85
+	cl, err := core.OptimizeGPUs(better, budget, core.AvgBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same budget, 85%%-proportional network: %d GPUs (was %d)\n",
+		cl.Config().GPUs, base.GPUs)
+	// Output:
+	// same budget, 85%-proportional network: 16984 GPUs (was 15360)
+}
+
+// ComputeSavingsGrid evaluates custom what-if grids beyond Table 3.
+func ExampleComputeSavingsGrid() {
+	grid, err := core.ComputeSavingsGrid(core.Baseline(),
+		[]units.Bandwidth{800 * units.Gbps}, []float64{0.85}, 0.10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("800G at 85%%: %.1f%% saved\n", grid.Cell(0, 0).Savings*100)
+	// Output:
+	// 800G at 85%: 16.0% saved
+}

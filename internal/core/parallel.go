@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"netpowerprop/internal/units"
+)
+
+// Parallel sweep drivers: Fig. 3 and Fig. 4 evaluate an independent
+// optimization per (bandwidth, proportionality) cell, so the grids
+// parallelize perfectly. These drivers produce results identical to the
+// serial Fig3/Fig4 — cell order is deterministic — using a bounded worker
+// pool.
+
+// gridJob is one (row, col) cell to evaluate.
+type gridJob struct{ row, col int }
+
+// runGrid evaluates rows x cols cells with the given worker count,
+// stopping at the first error.
+func runGrid(rows, cols, workers int, eval func(row, col int) error) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := make(chan gridJob)
+	errOnce := sync.Once{}
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := eval(j.row, j.col); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			jobs <- gridJob{i, j}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}
+
+// Fig3Parallel computes Fig. 3 concurrently; workers <= 0 uses GOMAXPROCS.
+// The result is identical to Fig3.
+func Fig3Parallel(base Config, bandwidths []units.Bandwidth, props []float64, kind BudgetKind, workers int) ([]SpeedupCurve, error) {
+	baseCluster, err := New(base)
+	if err != nil {
+		return nil, fmt.Errorf("core: fig3 baseline: %w", err)
+	}
+	budget := budgetPower(baseCluster, kind)
+	refTime := baseCluster.Iteration().Total()
+	if refTime <= 0 {
+		return nil, fmt.Errorf("core: fig3 baseline has zero iteration time")
+	}
+	curves := make([]SpeedupCurve, len(bandwidths))
+	for i, bw := range bandwidths {
+		curves[i] = SpeedupCurve{Bandwidth: bw, Points: make([]SpeedupPoint, len(props))}
+	}
+	err = runGrid(len(bandwidths), len(props), workers, func(i, j int) error {
+		cfg := base
+		cfg.Bandwidth = bandwidths[i]
+		cfg.NetworkProportionality = props[j]
+		cl, err := OptimizeGPUs(cfg, budget, kind)
+		if err != nil {
+			return fmt.Errorf("core: fig3 (%v, %v): %w", bandwidths[i], props[j], err)
+		}
+		t := cl.Iteration().Total()
+		curves[i].Points[j] = SpeedupPoint{
+			Bandwidth:       bandwidths[i],
+			Proportionality: props[j],
+			GPUs:            cl.Config().GPUs,
+			IterationTime:   t,
+			Speedup:         float64(refTime)/float64(t) - 1,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return curves, nil
+}
+
+// Fig4Parallel computes Fig. 4 concurrently; workers <= 0 uses GOMAXPROCS.
+// The result is identical to Fig4.
+func Fig4Parallel(base Config, bandwidths []units.Bandwidth, props []float64, ratio float64, kind BudgetKind, workers int) ([]SpeedupCurve, error) {
+	baseCluster, err := New(base)
+	if err != nil {
+		return nil, fmt.Errorf("core: fig4 baseline: %w", err)
+	}
+	budget := budgetPower(baseCluster, kind)
+
+	// Per-bandwidth references (prop 0) first — they gate every cell in
+	// their row, so compute them in a parallel pass of their own.
+	refTimes := make([]units.Seconds, len(bandwidths))
+	err = runGrid(len(bandwidths), 1, workers, func(i, _ int) error {
+		refCfg := base
+		refCfg.Bandwidth = bandwidths[i]
+		refCfg.NetworkProportionality = 0
+		refCfg.FixedCommRatio = ratio
+		refCl, err := OptimizeGPUs(refCfg, budget, kind)
+		if err != nil {
+			return fmt.Errorf("core: fig4 reference at %v: %w", bandwidths[i], err)
+		}
+		refTimes[i] = refCl.Iteration().Total()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	curves := make([]SpeedupCurve, len(bandwidths))
+	for i, bw := range bandwidths {
+		curves[i] = SpeedupCurve{Bandwidth: bw, Points: make([]SpeedupPoint, len(props))}
+	}
+	err = runGrid(len(bandwidths), len(props), workers, func(i, j int) error {
+		cfg := base
+		cfg.Bandwidth = bandwidths[i]
+		cfg.NetworkProportionality = props[j]
+		cfg.FixedCommRatio = ratio
+		cl, err := OptimizeGPUs(cfg, budget, kind)
+		if err != nil {
+			return fmt.Errorf("core: fig4 (%v, %v): %w", bandwidths[i], props[j], err)
+		}
+		t := cl.Iteration().Total()
+		curves[i].Points[j] = SpeedupPoint{
+			Bandwidth:       bandwidths[i],
+			Proportionality: props[j],
+			GPUs:            cl.Config().GPUs,
+			IterationTime:   t,
+			Speedup:         float64(refTimes[i])/float64(t) - 1,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return curves, nil
+}

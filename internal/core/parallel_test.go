@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func curvesEqual(t *testing.T, a, b []SpeedupCurve, label string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: curve counts differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Bandwidth != b[i].Bandwidth {
+			t.Fatalf("%s: bandwidth order differs at %d", label, i)
+		}
+		if len(a[i].Points) != len(b[i].Points) {
+			t.Fatalf("%s: point counts differ at %d", label, i)
+		}
+		for j := range a[i].Points {
+			pa, pb := a[i].Points[j], b[i].Points[j]
+			if pa.GPUs != pb.GPUs {
+				t.Errorf("%s: GPUs differ at (%d,%d): %d vs %d", label, i, j, pa.GPUs, pb.GPUs)
+			}
+			if math.Abs(pa.Speedup-pb.Speedup) > 1e-12 {
+				t.Errorf("%s: speedup differs at (%d,%d): %v vs %v", label, i, j, pa.Speedup, pb.Speedup)
+			}
+		}
+	}
+}
+
+// TestFig3ParallelMatchesSerial: the concurrent driver is a pure
+// optimization — bit-identical results to the serial path.
+func TestFig3ParallelMatchesSerial(t *testing.T) {
+	props := []float64{0, 0.5, 1}
+	serial, err := Fig3(Baseline(), figBandwidths(), props, AvgBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 0, 32} {
+		parallel, err := Fig3Parallel(Baseline(), figBandwidths(), props, AvgBudget, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curvesEqual(t, serial, parallel, "fig3")
+	}
+}
+
+// TestFig4ParallelMatchesSerial: same for the fixed-ratio scenario.
+func TestFig4ParallelMatchesSerial(t *testing.T) {
+	props := []float64{0, 0.5, 1}
+	serial, err := Fig4(Baseline(), figBandwidths(), props, 0.10, AvgBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig4Parallel(Baseline(), figBandwidths(), props, 0.10, AvgBudget, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvesEqual(t, serial, parallel, "fig4")
+}
+
+func TestParallelErrors(t *testing.T) {
+	bad := Baseline()
+	bad.GPUs = 0
+	if _, err := Fig3Parallel(bad, figBandwidths(), []float64{0.5}, AvgBudget, 4); err == nil {
+		t.Error("invalid base accepted by Fig3Parallel")
+	}
+	if _, err := Fig4Parallel(bad, figBandwidths(), []float64{0.5}, 0.10, AvgBudget, 4); err == nil {
+		t.Error("invalid base accepted by Fig4Parallel")
+	}
+	// A cell-level failure propagates: proportionality outside [0,1].
+	if _, err := Fig3Parallel(Baseline(), figBandwidths(), []float64{2}, AvgBudget, 4); err == nil {
+		t.Error("invalid proportionality accepted by Fig3Parallel")
+	}
+	if _, err := Fig4Parallel(Baseline(), figBandwidths(), []float64{0.5}, 1.5, AvgBudget, 4); err == nil {
+		t.Error("invalid ratio accepted by Fig4Parallel")
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"netpowerprop/internal/units"
+)
+
+// SavingsCell is one cell of Table 3: the relative average-power saving of
+// running the cluster at Proportionality instead of the reference network
+// proportionality, at the given per-GPU bandwidth.
+type SavingsCell struct {
+	Bandwidth       units.Bandwidth
+	Proportionality float64
+	// Savings is the fractional reduction of total average cluster power
+	// relative to the same-bandwidth reference cluster.
+	Savings float64
+	// AveragePower is the absolute average power at this cell.
+	AveragePower units.Power
+	// SavedPower is the absolute average power reduction vs. the reference
+	// (used by the §3.2 cost analysis: 365 kW at 400 G / 50%).
+	SavedPower units.Power
+}
+
+// SavingsGrid is the full Table 3: rows by bandwidth, columns by
+// proportionality.
+type SavingsGrid struct {
+	Bandwidths         []units.Bandwidth
+	Proportionalities  []float64
+	RefProportionality float64
+	Cells              [][]SavingsCell // [row][col]
+}
+
+// Cell returns the cell at (bandwidth row i, proportionality column j).
+func (g SavingsGrid) Cell(i, j int) SavingsCell { return g.Cells[i][j] }
+
+// Table3Bandwidths lists the paper's Table 3 rows.
+func Table3Bandwidths() []units.Bandwidth {
+	return []units.Bandwidth{
+		100 * units.Gbps, 200 * units.Gbps, 400 * units.Gbps,
+		800 * units.Gbps, 1600 * units.Gbps,
+	}
+}
+
+// Table3Proportionalities lists the paper's Table 3 columns.
+func Table3Proportionalities() []float64 {
+	return []float64{0.10, 0.20, 0.50, 0.85, 1.00}
+}
+
+// ComputeSavingsGrid evaluates Table 3 for an arbitrary base scenario,
+// bandwidth set, and proportionality set. Each row keeps the base GPU count
+// and the fixed workload (so communication time scales with bandwidth);
+// savings are relative to the same-bandwidth cluster at refProp.
+func ComputeSavingsGrid(base Config, bandwidths []units.Bandwidth, props []float64, refProp float64) (SavingsGrid, error) {
+	if len(bandwidths) == 0 || len(props) == 0 {
+		return SavingsGrid{}, fmt.Errorf("core: empty savings grid axes")
+	}
+	g := SavingsGrid{
+		Bandwidths:         bandwidths,
+		Proportionalities:  props,
+		RefProportionality: refProp,
+		Cells:              make([][]SavingsCell, len(bandwidths)),
+	}
+	for i, bw := range bandwidths {
+		refCfg := base
+		refCfg.Bandwidth = bw
+		refCfg.NetworkProportionality = refProp
+		refCluster, err := New(refCfg)
+		if err != nil {
+			return SavingsGrid{}, fmt.Errorf("core: savings reference at %v: %w", bw, err)
+		}
+		refPower := refCluster.AveragePower()
+		g.Cells[i] = make([]SavingsCell, len(props))
+		for j, p := range props {
+			cfg := refCfg
+			cfg.NetworkProportionality = p
+			cl, err := New(cfg)
+			if err != nil {
+				return SavingsGrid{}, fmt.Errorf("core: savings cell (%v, %v): %w", bw, p, err)
+			}
+			avg := cl.AveragePower()
+			cell := SavingsCell{
+				Bandwidth:       bw,
+				Proportionality: p,
+				AveragePower:    avg,
+				SavedPower:      refPower - avg,
+			}
+			if refPower > 0 {
+				cell.Savings = float64(refPower-avg) / float64(refPower)
+			}
+			g.Cells[i][j] = cell
+		}
+	}
+	return g, nil
+}
+
+// Table3 evaluates the paper's Table 3 on the baseline cluster: savings of
+// total average cluster power versus today's 10%-proportional network.
+func Table3() (SavingsGrid, error) {
+	return ComputeSavingsGrid(Baseline(), Table3Bandwidths(), Table3Proportionalities(), 0.10)
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"netpowerprop/internal/units"
+)
+
+// ScalingPoint is one cluster size of a scaling study: as pods grow, the
+// fat tree climbs through stage counts, switches-per-host rises, and the
+// network's share of the power budget grows — the paper's motivation that
+// the problem gets worse at scale.
+type ScalingPoint struct {
+	GPUs int
+	// Stages is the effective fat-tree stage count.
+	Stages float64
+	// SwitchesPerThousandGPUs normalizes the network size.
+	SwitchesPerThousandGPUs float64
+	// NetworkShare and NetworkEfficiency are the §3.1 metrics at this size.
+	NetworkShare      float64
+	NetworkEfficiency float64
+	// AveragePower is the cluster's average draw.
+	AveragePower units.Power
+	// SavingsAtComputeParity is the total-power saving of raising network
+	// proportionality to the compute's level (85%).
+	SavingsAtComputeParity float64
+}
+
+// ScalingStudy evaluates the baseline scenario across cluster sizes.
+func ScalingStudy(base Config, sizes []int) ([]ScalingPoint, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("core: empty scaling study")
+	}
+	// A scaling study keeps the WORKLOAD SHAPE constant: each size runs a
+	// proportionally larger job at the base scenario's communication
+	// ratio, rather than shrinking the base job onto more GPUs (which
+	// would drive the ratio toward 1 as compute time vanishes).
+	ratio := base.FixedCommRatio
+	if ratio == 0 {
+		ratio = base.Workload.CommRatio()
+	}
+	out := make([]ScalingPoint, 0, len(sizes))
+	for _, g := range sizes {
+		if g < 1 {
+			return nil, fmt.Errorf("core: invalid cluster size %d", g)
+		}
+		cfg := base
+		cfg.GPUs = g
+		cfg.FixedCommRatio = ratio
+		cl, err := New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: scaling at %d GPUs: %w", g, err)
+		}
+		parity := cfg
+		parity.NetworkProportionality = cfg.ComputeProportionality
+		clParity, err := New(parity)
+		if err != nil {
+			return nil, fmt.Errorf("core: scaling parity at %d GPUs: %w", g, err)
+		}
+		pt := ScalingPoint{
+			GPUs:                    g,
+			Stages:                  cl.Design().Stages,
+			SwitchesPerThousandGPUs: cl.Design().Switches / float64(g) * 1000,
+			NetworkShare:            cl.NetworkShare(),
+			NetworkEfficiency:       cl.NetworkEfficiency(),
+			AveragePower:            cl.AveragePower(),
+		}
+		if avg := cl.AveragePower(); avg > 0 {
+			pt.SavingsAtComputeParity = float64(avg-clParity.AveragePower()) / float64(avg)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// DefaultScalingSizes spans pod to multi-pod scale around the paper's
+// 15,360-GPU baseline.
+func DefaultScalingSizes() []int {
+	return []int{1024, 4096, 15360, 65536, 262144}
+}

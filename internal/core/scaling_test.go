@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScalingStudyBaselineAnchor(t *testing.T) {
+	pts, err := ScalingStudy(Baseline(), []int{15360})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pts[0]
+	if math.Abs(pt.NetworkShare-0.1204) > 0.001 {
+		t.Errorf("share at baseline size = %v, want ~0.120", pt.NetworkShare)
+	}
+	if math.Abs(pt.NetworkEfficiency-0.1099) > 0.001 {
+		t.Errorf("efficiency at baseline size = %v", pt.NetworkEfficiency)
+	}
+	if math.Abs(pt.SavingsAtComputeParity-0.0893) > 0.002 {
+		t.Errorf("savings at compute parity = %v, want ~0.089 (paper: ~9%%)", pt.SavingsAtComputeParity)
+	}
+	if math.Abs(pt.Stages-2.0139) > 0.001 {
+		t.Errorf("stages = %v", pt.Stages)
+	}
+}
+
+// TestScalingShareGrows: bigger clusters need deeper trees, so the
+// network's power share and the parity savings grow with scale.
+func TestScalingShareGrows(t *testing.T) {
+	pts, err := ScalingStudy(Baseline(), DefaultScalingSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].NetworkShare <= pts[i-1].NetworkShare {
+			t.Errorf("share not growing at %d GPUs: %v <= %v",
+				pts[i].GPUs, pts[i].NetworkShare, pts[i-1].NetworkShare)
+		}
+		if pts[i].SavingsAtComputeParity <= pts[i-1].SavingsAtComputeParity {
+			t.Errorf("parity savings not growing at %d GPUs", pts[i].GPUs)
+		}
+		if pts[i].Stages < pts[i-1].Stages {
+			t.Errorf("stages shrank at %d GPUs", pts[i].GPUs)
+		}
+		if pts[i].AveragePower <= pts[i-1].AveragePower {
+			t.Errorf("average power not growing at %d GPUs", pts[i].GPUs)
+		}
+	}
+	// Network efficiency is scale-free in this model (same duty cycle and
+	// proportionality): it stays ~11% at every size.
+	for _, pt := range pts {
+		if math.Abs(pt.NetworkEfficiency-0.11) > 0.005 {
+			t.Errorf("efficiency at %d GPUs = %v, want ~0.11", pt.GPUs, pt.NetworkEfficiency)
+		}
+	}
+}
+
+func TestScalingStudyValidation(t *testing.T) {
+	if _, err := ScalingStudy(Baseline(), nil); err == nil {
+		t.Error("empty sizes accepted")
+	}
+	if _, err := ScalingStudy(Baseline(), []int{0}); err == nil {
+		t.Error("zero size accepted")
+	}
+	bad := Baseline()
+	bad.Bandwidth = 0
+	if _, err := ScalingStudy(bad, []int{1000}); err == nil {
+		t.Error("invalid base accepted")
+	}
+}
+
+func TestDefaultScalingSizes(t *testing.T) {
+	sizes := DefaultScalingSizes()
+	if len(sizes) < 3 {
+		t.Fatal("too few sizes")
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Error("sizes not ascending")
+		}
+	}
+	// The paper's baseline size is included.
+	found := false
+	for _, s := range sizes {
+		if s == 15360 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("baseline size missing from the default sweep")
+	}
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"netpowerprop/internal/units"
+)
+
+// BudgetKind selects which power quantity a fixed power budget constrains.
+type BudgetKind int
+
+const (
+	// AvgBudget constrains the time-averaged cluster power — the default.
+	// Calibration: only the average-power budget reproduces Fig. 3's
+	// published shape (200 G still beating 400 G at 50% proportionality,
+	// 800/1600 G winning only above ~90%); see EXPERIMENTS.md.
+	AvgBudget BudgetKind = iota
+	// PeakBudget constrains the peak (provisioned) power instead; provided
+	// as an ablation.
+	PeakBudget
+)
+
+// String names the budget kind for CLI flags.
+func (k BudgetKind) String() string {
+	switch k {
+	case AvgBudget:
+		return "avg"
+	case PeakBudget:
+		return "peak"
+	default:
+		return fmt.Sprintf("BudgetKind(%d)", int(k))
+	}
+}
+
+// ParseBudgetKind converts a CLI string into a BudgetKind.
+func ParseBudgetKind(s string) (BudgetKind, error) {
+	switch s {
+	case "avg", "average", "":
+		return AvgBudget, nil
+	case "peak":
+		return PeakBudget, nil
+	default:
+		return 0, fmt.Errorf("unknown budget kind %q (want avg or peak)", s)
+	}
+}
+
+// budgetPower evaluates the budgeted quantity of a cluster.
+func budgetPower(c *Cluster, kind BudgetKind) units.Power {
+	if kind == PeakBudget {
+		return c.PeakPower()
+	}
+	return c.AveragePower()
+}
+
+// OptimizeGPUs returns the largest GPU count whose cluster (built from cfg
+// with GPUs replaced) fits the power budget, together with that cluster.
+// Cluster power is monotone increasing in the GPU count, and iteration time
+// is monotone decreasing, so the largest feasible count is optimal.
+func OptimizeGPUs(cfg Config, budget units.Power, kind BudgetKind) (*Cluster, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("core: power budget %v must be positive", budget)
+	}
+	feasible := func(g int) (*Cluster, bool, error) {
+		c := cfg
+		c.GPUs = g
+		cl, err := New(c)
+		if err != nil {
+			return nil, false, err
+		}
+		return cl, budgetPower(cl, kind) <= budget, nil
+	}
+	one, ok, err := feasible(1)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: budget %v cannot power even one GPU at %v", budget, cfg.Bandwidth)
+	}
+	// Exponential search for an infeasible upper bound.
+	hi := 1
+	var last *Cluster = one
+	for {
+		next := hi * 2
+		cl, ok, err := feasible(next)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			hi = next
+			break
+		}
+		last = cl
+		hi = next
+		if hi > 1<<30 {
+			return last, nil // absurdly large budget; accept
+		}
+	}
+	// Binary search the feasibility boundary in (hi/2, hi].
+	lo := hi / 2
+	g := lo + sort.Search(hi-lo, func(d int) bool {
+		_, ok, err := feasible(lo + d + 1)
+		return err != nil || !ok
+	})
+	cl, ok, err := feasible(g)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return last, nil
+	}
+	return cl, nil
+}
+
+// SpeedupPoint is one point of Fig. 3 or Fig. 4.
+type SpeedupPoint struct {
+	Bandwidth       units.Bandwidth
+	Proportionality float64
+	// GPUs is the optimized GPU count under the power budget.
+	GPUs int
+	// IterationTime is the resulting iteration time.
+	IterationTime units.Seconds
+	// Speedup is (t_ref / t − 1): positive means faster than the reference.
+	Speedup float64
+}
+
+// SpeedupCurve is one line of Fig. 3/4: a bandwidth across proportionality
+// values.
+type SpeedupCurve struct {
+	Bandwidth units.Bandwidth
+	Points    []SpeedupPoint
+}
+
+// Fig3 evaluates the paper's fixed-workload scenario (§3.3): with a fixed
+// power budget taken from the baseline scenario, re-optimize the GPU count
+// for every (bandwidth, proportionality) pair; communication time scales
+// with bandwidth, and speedups are relative to the baseline scenario's
+// iteration time.
+func Fig3(base Config, bandwidths []units.Bandwidth, props []float64, kind BudgetKind) ([]SpeedupCurve, error) {
+	baseCluster, err := New(base)
+	if err != nil {
+		return nil, fmt.Errorf("core: fig3 baseline: %w", err)
+	}
+	budget := budgetPower(baseCluster, kind)
+	refTime := baseCluster.Iteration().Total()
+	if refTime <= 0 {
+		return nil, fmt.Errorf("core: fig3 baseline has zero iteration time")
+	}
+	curves := make([]SpeedupCurve, 0, len(bandwidths))
+	for _, bw := range bandwidths {
+		curve := SpeedupCurve{Bandwidth: bw}
+		for _, p := range props {
+			cfg := base
+			cfg.Bandwidth = bw
+			cfg.NetworkProportionality = p
+			cl, err := OptimizeGPUs(cfg, budget, kind)
+			if err != nil {
+				return nil, fmt.Errorf("core: fig3 (%v, %v): %w", bw, p, err)
+			}
+			t := cl.Iteration().Total()
+			curve.Points = append(curve.Points, SpeedupPoint{
+				Bandwidth:       bw,
+				Proportionality: p,
+				GPUs:            cl.Config().GPUs,
+				IterationTime:   t,
+				Speedup:         float64(refTime)/float64(t) - 1,
+			})
+		}
+		curves = append(curves, curve)
+	}
+	return curves, nil
+}
+
+// Fig4 evaluates the paper's fixed-communication-ratio scenario (§3.3): the
+// communication workload grows with bandwidth so the ratio stays pinned
+// (default 10%); the power budget is taken from the baseline scenario, and
+// each curve's speedups are relative to the *same bandwidth* at zero
+// network power proportionality.
+func Fig4(base Config, bandwidths []units.Bandwidth, props []float64, ratio float64, kind BudgetKind) ([]SpeedupCurve, error) {
+	baseCluster, err := New(base)
+	if err != nil {
+		return nil, fmt.Errorf("core: fig4 baseline: %w", err)
+	}
+	budget := budgetPower(baseCluster, kind)
+	curves := make([]SpeedupCurve, 0, len(bandwidths))
+	for _, bw := range bandwidths {
+		refCfg := base
+		refCfg.Bandwidth = bw
+		refCfg.NetworkProportionality = 0
+		refCfg.FixedCommRatio = ratio
+		refCl, err := OptimizeGPUs(refCfg, budget, kind)
+		if err != nil {
+			return nil, fmt.Errorf("core: fig4 reference at %v: %w", bw, err)
+		}
+		refTime := refCl.Iteration().Total()
+		curve := SpeedupCurve{Bandwidth: bw}
+		for _, p := range props {
+			cfg := refCfg
+			cfg.NetworkProportionality = p
+			cl, err := OptimizeGPUs(cfg, budget, kind)
+			if err != nil {
+				return nil, fmt.Errorf("core: fig4 (%v, %v): %w", bw, p, err)
+			}
+			t := cl.Iteration().Total()
+			curve.Points = append(curve.Points, SpeedupPoint{
+				Bandwidth:       bw,
+				Proportionality: p,
+				GPUs:            cl.Config().GPUs,
+				IterationTime:   t,
+				Speedup:         float64(refTime)/float64(t) - 1,
+			})
+		}
+		curves = append(curves, curve)
+	}
+	return curves, nil
+}
+
+// Crossover is one row of the best-bandwidth table: the bandwidth that
+// maximizes speedup at a proportionality.
+type Crossover struct {
+	Proportionality float64
+	Best            units.Bandwidth
+	Speedup         float64
+}
+
+// BestBandwidth reduces Fig. 3 curves to the winner at each
+// proportionality — the crossover structure the paper narrates ("800 and
+// 1600 Gbps speeds become the best alternatives only at very high
+// proportionality values").
+func BestBandwidth(curves []SpeedupCurve) ([]Crossover, error) {
+	if len(curves) == 0 || len(curves[0].Points) == 0 {
+		return nil, fmt.Errorf("core: empty speedup curves")
+	}
+	nProps := len(curves[0].Points)
+	for _, c := range curves {
+		if len(c.Points) != nProps {
+			return nil, fmt.Errorf("core: ragged speedup curves")
+		}
+	}
+	out := make([]Crossover, 0, nProps)
+	for j := 0; j < nProps; j++ {
+		best := Crossover{
+			Proportionality: curves[0].Points[j].Proportionality,
+			Best:            curves[0].Bandwidth,
+			Speedup:         curves[0].Points[j].Speedup,
+		}
+		for _, c := range curves[1:] {
+			if c.Points[j].Speedup > best.Speedup {
+				best.Best = c.Bandwidth
+				best.Speedup = c.Points[j].Speedup
+			}
+		}
+		out = append(out, best)
+	}
+	return out, nil
+}
+
+// FigProportionalities returns the x-axis sweep used for Figs. 3 and 4:
+// 0 to 1 in 5% steps. Values are computed by division, not accumulation,
+// so the endpoints are exact.
+func FigProportionalities() []float64 {
+	out := make([]float64, 21)
+	for i := range out {
+		out[i] = float64(i) / 20
+	}
+	return out
+}

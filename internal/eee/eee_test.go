@@ -1,0 +1,334 @@
+package eee
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netpowerprop/internal/units"
+)
+
+func params() Params {
+	return DefaultParams(10*units.Gbps, 10*units.Watt)
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := params()
+	if p.LPIPower != 1*units.Watt {
+		t.Errorf("LPI power = %v, want 1 W (10%%)", p.LPIPower)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.Capacity = 0 },
+		func(p *Params) { p.ActivePower = -1 },
+		func(p *Params) { p.LPIPower = p.ActivePower + 1 },
+		func(p *Params) { p.SleepTime = -1 },
+		func(p *Params) { p.WakeTime = -1 },
+		func(p *Params) { p.CoalesceTimer = -1 },
+		func(p *Params) { p.BufferFrames = -1 },
+	}
+	for i, mutate := range cases {
+		p := params()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestSimulateSinglePacket(t *testing.T) {
+	p := params()
+	p.CoalesceTimer = 0                  // wake immediately
+	pkt := Packet{Arrival: 1, Bits: 1e4} // 1 us transmission at 10G
+	res, err := Simulate(p, []Packet{pkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 1 || res.Dropped != 0 {
+		t.Fatalf("delivered/dropped = %d/%d", res.Delivered, res.Dropped)
+	}
+	// Delay is exactly the wake time.
+	if math.Abs(float64(res.MeanDelay-p.WakeTime)) > 1e-12 {
+		t.Errorf("delay = %v, want wake time %v", res.MeanDelay, p.WakeTime)
+	}
+	// Link slept from 0 to arrival: big savings on a mostly idle second.
+	if res.Savings < 0.85 {
+		t.Errorf("savings = %v, want > 0.85 on an idle link", res.Savings)
+	}
+	if res.LPITime <= 0 || res.LPITime >= res.Horizon {
+		t.Errorf("LPI time = %v of %v", res.LPITime, res.Horizon)
+	}
+}
+
+func TestSimulateCoalescingAmortizesWakes(t *testing.T) {
+	p := params()
+	p.CoalesceTimer = 50e-6
+	// 50 frames in 10 clusters 500 us apart; frames within a cluster are
+	// 8 us apart: far enough that an immediate-wake link re-sleeps between
+	// them (wake 4.48 us + tx 1 us < 8 us), close enough that one 50 us
+	// coalescing window batches the whole cluster into a single wake.
+	var pkts []Packet
+	for c := 0; c < 10; c++ {
+		base := units.Seconds(float64(c) * 500e-6)
+		for k := 0; k < 5; k++ {
+			pkts = append(pkts, Packet{Arrival: base + units.Seconds(float64(k)*8e-6), Bits: 1e4})
+		}
+	}
+	withCoalesce, err := Simulate(p, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noCoalesce := p
+	noCoalesce.CoalesceTimer = 0
+	noCoalesce.CoalesceCount = 0
+	without, err := Simulate(noCoalesce, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCoalesce.Delivered != 50 || without.Delivered != 50 {
+		t.Fatalf("delivered = %d/%d, want 50", withCoalesce.Delivered, without.Delivered)
+	}
+	// Coalescing adds delay but saves energy versus immediate wake.
+	if withCoalesce.MeanDelay <= without.MeanDelay {
+		t.Errorf("coalescing should add delay: %v vs %v", withCoalesce.MeanDelay, without.MeanDelay)
+	}
+	if withCoalesce.Energy >= without.Energy {
+		t.Errorf("coalescing should save energy here: %v vs %v", withCoalesce.Energy, without.Energy)
+	}
+}
+
+func TestSimulateBackToBackStaysActive(t *testing.T) {
+	p := params()
+	p.CoalesceTimer = 0
+	// Second frame arrives while the first transmits: no second wake, so
+	// its only delay is queueing behind frame 1.
+	tx := units.Seconds(1e4 / 10e9)
+	pkts := []Packet{
+		{Arrival: 0, Bits: 1e4},
+		{Arrival: p.WakeTime + tx/2, Bits: 1e4},
+	}
+	res, err := Simulate(p, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 2 {
+		t.Fatalf("delivered = %d", res.Delivered)
+	}
+	// Frame 2's delay = remaining half transmission of frame 1 (no wake).
+	wantDelay2 := float64(tx) / 2
+	// Mean = (wake + wantDelay2)/2.
+	wantMean := (float64(p.WakeTime) + wantDelay2) / 2
+	if math.Abs(float64(res.MeanDelay)-wantMean) > 1e-12 {
+		t.Errorf("mean delay = %v, want %v", res.MeanDelay, wantMean)
+	}
+}
+
+func TestSimulateSavingsScaleWithIdleness(t *testing.T) {
+	p := params()
+	// Same 10 frames over a short horizon vs. stretched 100x: the
+	// stretched trace idles more and saves more.
+	var dense, sparse []Packet
+	for k := 0; k < 10; k++ {
+		dense = append(dense, Packet{Arrival: units.Seconds(float64(k) * 1e-5), Bits: 1e4})
+		sparse = append(sparse, Packet{Arrival: units.Seconds(float64(k) * 1e-3), Bits: 1e4})
+	}
+	dr, err := Simulate(p, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := Simulate(p, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Savings <= dr.Savings {
+		t.Errorf("sparse savings %v should exceed dense %v", sr.Savings, dr.Savings)
+	}
+}
+
+func TestSimulateUnsortedInput(t *testing.T) {
+	p := params()
+	pkts := []Packet{
+		{Arrival: 5e-3, Bits: 1e4},
+		{Arrival: 1e-3, Bits: 1e4},
+	}
+	res, err := Simulate(p, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 2 {
+		t.Errorf("unsorted input mishandled: %+v", res)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	p := params()
+	if _, err := Simulate(p, nil); err == nil {
+		t.Error("no packets should fail")
+	}
+	if _, err := Simulate(p, []Packet{{Arrival: -1, Bits: 1}}); err == nil {
+		t.Error("negative arrival should fail")
+	}
+	if _, err := Simulate(p, []Packet{{Arrival: 0, Bits: 0}}); err == nil {
+		t.Error("zero-bit packet should fail")
+	}
+	bad := p
+	bad.Capacity = 0
+	if _, err := Simulate(bad, []Packet{{Arrival: 0, Bits: 1}}); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+func TestBufferDrops(t *testing.T) {
+	p := params()
+	p.BufferFrames = 4
+	p.CoalesceCount = 0
+	p.CoalesceTimer = 1e-3 // long window buffers many frames
+	var pkts []Packet
+	for k := 0; k < 10; k++ {
+		pkts = append(pkts, Packet{Arrival: units.Seconds(float64(k) * 1e-6), Bits: 1e4})
+	}
+	res, err := Simulate(p, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Error("expected drops with a 4-frame buffer and 10-frame batch")
+	}
+	if res.Delivered+res.Dropped != 10 {
+		t.Errorf("delivered %d + dropped %d != 10", res.Delivered, res.Dropped)
+	}
+}
+
+func TestPoissonPacketsDeterministic(t *testing.T) {
+	a, err := PoissonPackets(42, 10*units.Gbps, 0.3, 12000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := PoissonPackets(42, 10*units.Gbps, 0.3, 12000, 0.01)
+	if len(a) != len(b) {
+		t.Fatalf("same seed different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed different packets")
+		}
+	}
+	c, _ := PoissonPackets(43, 10*units.Gbps, 0.3, 12000, 0.01)
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+	// Load sanity: ~30% utilization means ~0.3*10e9*0.01 bits total.
+	var bits float64
+	for _, pk := range a {
+		bits += pk.Bits
+	}
+	want := 0.3 * 10e9 * 0.01
+	if bits < want*0.7 || bits > want*1.3 {
+		t.Errorf("offered bits = %v, want ~%v", bits, want)
+	}
+}
+
+func TestPoissonPacketsErrors(t *testing.T) {
+	if _, err := PoissonPackets(1, 0, 0.5, 1e4, 1); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := PoissonPackets(1, 10*units.Gbps, 0, 1e4, 1); err == nil {
+		t.Error("zero utilization should fail")
+	}
+	if _, err := PoissonPackets(1, 10*units.Gbps, 1.5, 1e4, 1); err == nil {
+		t.Error("excess utilization should fail")
+	}
+	if _, err := PoissonPackets(1, 10*units.Gbps, 0.5, 0, 1); err == nil {
+		t.Error("zero frame should fail")
+	}
+	if _, err := PoissonPackets(1, 10*units.Gbps, 0.5, 1e4, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+}
+
+func TestBurstPackets(t *testing.T) {
+	pkts, err := BurstPackets(10*units.Gbps, 1e4, 1, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.1 s at 10G / 1e4 bits = 1e5 frames per burst, 3 bursts.
+	if len(pkts) != 3e5 {
+		t.Fatalf("frames = %d, want 300000", len(pkts))
+	}
+	// First burst starts at period - window = 0.9.
+	if math.Abs(float64(pkts[0].Arrival)-0.9) > 1e-9 {
+		t.Errorf("first arrival = %v, want 0.9", pkts[0].Arrival)
+	}
+	if _, err := BurstPackets(0, 1e4, 1, 0.1, 1); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := BurstPackets(10*units.Gbps, 1e4, 1, 2, 1); err == nil {
+		t.Error("window > period should fail")
+	}
+	if _, err := BurstPackets(10*units.Gbps, 1e4, 1, 0.1, 0); err == nil {
+		t.Error("zero bursts should fail")
+	}
+}
+
+// Property: energy never exceeds the always-on baseline, savings are in
+// [0,1), and all frames are accounted for.
+func TestSimulateInvariants(t *testing.T) {
+	f := func(seed int64, utilRaw uint8) bool {
+		util := 0.05 + float64(utilRaw%90)/100
+		pkts, err := PoissonPackets(seed, 10*units.Gbps, util, 12000, 0.002)
+		if err != nil {
+			return false
+		}
+		res, err := Simulate(params(), pkts)
+		if err != nil {
+			return false
+		}
+		if res.Energy > res.Baseline+1e-9 {
+			return false
+		}
+		if res.Savings < 0 || res.Savings >= 1 {
+			return false
+		}
+		if res.Delivered+res.Dropped != len(pkts) {
+			return false
+		}
+		return res.MeanDelay >= 0 && res.MaxDelay >= res.MeanDelay
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: savings decrease as utilization rises — EEE helps idle links,
+// not busy ones (the reason it lost its appeal on fast, busy links).
+func TestSavingsDecreaseWithLoad(t *testing.T) {
+	prev := 2.0
+	for _, util := range []float64{0.05, 0.2, 0.5, 0.9} {
+		pkts, err := PoissonPackets(7, 10*units.Gbps, util, 12000, 0.005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(params(), pkts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Savings >= prev {
+			t.Errorf("savings at util %v = %v, not below %v", util, res.Savings, prev)
+		}
+		prev = res.Savings
+	}
+}

@@ -1,0 +1,25 @@
+package eee_test
+
+import (
+	"fmt"
+	"log"
+
+	"netpowerprop/internal/eee"
+	"netpowerprop/internal/units"
+)
+
+// Simulate runs 802.3az LPI over a lone frame on an otherwise idle link:
+// near-maximal savings, at the cost of the wake latency.
+func ExampleSimulate() {
+	params := eee.DefaultParams(10*units.Gbps, 10*units.Watt)
+	params.CoalesceTimer = 0 // wake immediately on the first frame
+	res, err := eee.Simulate(params, []eee.Packet{{Arrival: 0.5, Bits: 12000}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("savings: %.0f%%\n", res.Savings*100)
+	fmt.Printf("added delay: %.2f us (the wake transition)\n", float64(res.MeanDelay)*1e6)
+	// Output:
+	// savings: 90%
+	// added delay: 4.48 us (the wake transition)
+}

@@ -1,0 +1,220 @@
+package eee
+
+import (
+	"fmt"
+	"sort"
+
+	"netpowerprop/internal/units"
+)
+
+// This file implements the other half of Nedevschi et al.'s NSDI'08 study
+// the paper builds on ("Reducing Network Energy Consumption via Sleeping
+// and Rate-Adaptation"): instead of sleeping between packets, the link
+// runs at a reduced rate matched to the offered load (§4.3 observes the
+// same idea surviving today as interface down-rating, e.g. a 100G port
+// configured at 10G). Comparing SimulateRate against Simulate on the same
+// packet trace reproduces the classic trade-off: sleeping wins on bursty
+// low load, rate adaptation on smooth moderate load.
+
+// SpeedPower is one operating point of a multi-rate PHY.
+type SpeedPower struct {
+	Speed units.Bandwidth
+	Power units.Power
+}
+
+// RateParams configures a rate-adaptive link.
+type RateParams struct {
+	// Levels are the PHY's operating points, ascending by speed. The last
+	// level is the full line rate.
+	Levels []SpeedPower
+	// DecisionInterval is how often the rate controller re-evaluates.
+	DecisionInterval units.Seconds
+	// SwitchTime stalls the link when changing rate (PHY retraining).
+	SwitchTime units.Seconds
+	// Headroom multiplies the observed load when picking a rate.
+	Headroom float64
+}
+
+// DefaultRateParams builds a four-level PHY for the given line rate with
+// power scaling sublinearly in speed (mirroring Table 2's NIC curve shape:
+// a 10x slower interface draws ~1/3 the power, not 1/10).
+func DefaultRateParams(lineRate units.Bandwidth, fullPower units.Power) RateParams {
+	return RateParams{
+		Levels: []SpeedPower{
+			{lineRate / 10, units.Power(0.30 * float64(fullPower))},
+			{lineRate / 4, units.Power(0.45 * float64(fullPower))},
+			{lineRate / 2, units.Power(0.65 * float64(fullPower))},
+			{lineRate, fullPower},
+		},
+		DecisionInterval: 100e-6,
+		SwitchTime:       1e-6,
+		Headroom:         1.2,
+	}
+}
+
+// Validate checks the parameters.
+func (p RateParams) Validate() error {
+	if len(p.Levels) == 0 {
+		return fmt.Errorf("eee: rate adaptation needs at least one level")
+	}
+	for i, l := range p.Levels {
+		if l.Speed <= 0 || l.Power < 0 {
+			return fmt.Errorf("eee: level %d invalid (%v, %v)", i, l.Speed, l.Power)
+		}
+		if i > 0 {
+			if l.Speed <= p.Levels[i-1].Speed {
+				return fmt.Errorf("eee: level speeds not ascending at %d", i)
+			}
+			if l.Power < p.Levels[i-1].Power {
+				return fmt.Errorf("eee: level power decreasing at %d", i)
+			}
+		}
+	}
+	if p.DecisionInterval <= 0 {
+		return fmt.Errorf("eee: decision interval %v must be positive", p.DecisionInterval)
+	}
+	if p.SwitchTime < 0 {
+		return fmt.Errorf("eee: negative switch time %v", p.SwitchTime)
+	}
+	if p.Headroom < 1 {
+		return fmt.Errorf("eee: headroom %v must be >= 1", p.Headroom)
+	}
+	return nil
+}
+
+// RateResult summarizes a rate-adaptation run.
+type RateResult struct {
+	Horizon units.Seconds
+	// Energy under rate adaptation; Baseline at full rate throughout.
+	Energy   units.Energy
+	Baseline units.Energy
+	Savings  float64
+	// MeanDelay / MaxDelay are queueing+retraining delays added versus an
+	// ideal full-rate link (its own transmission time excluded).
+	MeanDelay units.Seconds
+	MaxDelay  units.Seconds
+	// RateSwitches counts PHY retrainings.
+	RateSwitches int
+	// MeanSpeed is the time-averaged operating speed.
+	MeanSpeed units.Bandwidth
+}
+
+// SimulateRate runs the rate-adaptive link over a packet trace. In each
+// decision interval the controller picks the lowest level whose speed
+// covers the previous interval's offered load times the headroom.
+func SimulateRate(p RateParams, packets []Packet) (RateResult, error) {
+	var res RateResult
+	if err := p.Validate(); err != nil {
+		return res, err
+	}
+	if len(packets) == 0 {
+		return res, fmt.Errorf("eee: no packets")
+	}
+	pkts := make([]Packet, len(packets))
+	copy(pkts, packets)
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Arrival < pkts[j].Arrival })
+	for i, pk := range pkts {
+		if pk.Arrival < 0 || pk.Bits <= 0 {
+			return res, fmt.Errorf("eee: packet %d invalid (arrival %v, bits %v)", i, pk.Arrival, pk.Bits)
+		}
+	}
+
+	D := float64(p.DecisionInterval)
+	last := float64(pkts[len(pkts)-1].Arrival)
+	intervals := int(last/D) + 1
+
+	// Offered bits per interval.
+	offered := make([]float64, intervals+1)
+	for _, pk := range pkts {
+		idx := int(float64(pk.Arrival) / D)
+		offered[idx] += pk.Bits
+	}
+
+	// Level per interval, from the previous interval's load.
+	level := make([]int, intervals+1)
+	fullTx := func(bits float64) float64 { return bits / float64(p.Levels[len(p.Levels)-1].Speed) }
+	for k := range level {
+		if k == 0 {
+			level[k] = 0
+			continue
+		}
+		needed := offered[k-1] / D * p.Headroom
+		idx := len(p.Levels) - 1
+		for i, l := range p.Levels {
+			if float64(l.Speed) >= needed {
+				idx = i
+				break
+			}
+		}
+		level[k] = idx
+	}
+
+	// FIFO service with per-interval speed; a rate change stalls the link
+	// for SwitchTime at the interval boundary.
+	var (
+		linkFree   float64
+		totalDelay float64
+	)
+	stallUntil := make([]float64, intervals+1)
+	for k := 1; k <= intervals; k++ {
+		if level[k] != level[k-1] {
+			res.RateSwitches++
+			stallUntil[k] = float64(k)*D + float64(p.SwitchTime)
+		}
+	}
+	for _, pk := range pkts {
+		start := float64(pk.Arrival)
+		if linkFree > start {
+			start = linkFree
+		}
+		k := int(start / D)
+		if k > intervals {
+			k = intervals
+		}
+		if stallUntil[k] > start {
+			start = stallUntil[k]
+		}
+		speed := float64(p.Levels[level[k]].Speed)
+		finish := start + pk.Bits/speed
+		// Delay versus an ideal always-full-rate link serving the same
+		// FIFO: approximate the ideal as arrival + full-rate transmission.
+		delay := (start - float64(pk.Arrival)) + (pk.Bits/speed - fullTx(pk.Bits))
+		if delay < 0 {
+			delay = 0
+		}
+		totalDelay += delay
+		if units.Seconds(delay) > res.MaxDelay {
+			res.MaxDelay = units.Seconds(delay)
+		}
+		linkFree = finish
+	}
+
+	horizon := linkFree
+	if h := float64(intervals+1) * D; h > horizon {
+		horizon = h
+	}
+	res.Horizon = units.Seconds(horizon)
+	// Energy: each interval at its level's power (rate-adaptive links do
+	// not sleep; they just run slower).
+	var energy, speedAcc float64
+	for k := 0; float64(k)*D < horizon; k++ {
+		idx := intervals
+		if k <= intervals {
+			idx = k
+		}
+		d := D
+		if rem := horizon - float64(k)*D; rem < d {
+			d = rem
+		}
+		energy += float64(p.Levels[level[idx]].Power) * d
+		speedAcc += float64(p.Levels[level[idx]].Speed) * d
+	}
+	res.Energy = units.Energy(energy)
+	res.Baseline = units.EnergyOver(p.Levels[len(p.Levels)-1].Power, res.Horizon)
+	if res.Baseline > 0 {
+		res.Savings = 1 - float64(res.Energy)/float64(res.Baseline)
+	}
+	res.MeanDelay = units.Seconds(totalDelay / float64(len(pkts)))
+	res.MeanSpeed = units.Bandwidth(speedAcc / horizon)
+	return res, nil
+}

@@ -1,0 +1,53 @@
+package fattree_test
+
+import (
+	"fmt"
+	"log"
+
+	"netpowerprop/internal/fattree"
+	"netpowerprop/internal/units"
+)
+
+// Size reproduces the paper's §2.4 network sizing for the baseline pod:
+// 15,360 hosts at 400 G (128-port switches) fall between the 2-stage and
+// 3-stage capacities and interpolate to ~474 switches.
+func ExampleSize() {
+	d, err := fattree.Size(15360, 128, fattree.InterpAbsolute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stages: %.4f\n", d.Stages)
+	fmt.Printf("switches: %.1f\n", d.Switches)
+	fmt.Printf("transceivers: %.0f\n", d.Transceivers())
+	// Output:
+	// stages: 2.0139
+	// switches: 473.8
+	// transceivers: 31147
+}
+
+// BuildThreeTier constructs an explicit topology for the simulator; a k=4
+// tree has the textbook 16 hosts, 20 switches, and 4 ECMP paths between
+// cross-pod hosts.
+func ExampleBuildThreeTier() {
+	top, err := fattree.BuildThreeTier(4, 100*units.Gbps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hosts := top.Hosts()
+	var cross int
+	for _, h := range hosts[1:] {
+		if top.Nodes[h].Pod != top.Nodes[hosts[0]].Pod {
+			cross = h
+			break
+		}
+	}
+	paths, err := top.Paths(hosts[0], cross)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hosts: %d, switches: %d\n", len(hosts), len(top.SwitchIDs()))
+	fmt.Printf("cross-pod ECMP paths: %d\n", len(paths))
+	// Output:
+	// hosts: 16, switches: 20
+	// cross-pod ECMP paths: 4
+}

@@ -1,0 +1,212 @@
+// Package fattree implements the fat-tree (folded-Clos) arithmetic the
+// paper uses to size the network (§2.4), plus an explicit topology builder
+// used by the flow-level simulator.
+//
+// An n-stage fat tree built from k-port switches supports 2·(k/2)^n hosts
+// using (2n−1)·(k/2)^(n−1) switches, with (n−1)·N inter-switch links at
+// full capacity N (full bisection bandwidth at every stage boundary). When
+// the host count falls between the capacities of n and n+1 stages, the
+// paper interpolates; the exact rule is unspecified, so two calibrated
+// modes are provided (see DESIGN.md).
+package fattree
+
+import (
+	"fmt"
+
+	"netpowerprop/internal/stats"
+)
+
+// InterpMode selects how switch/link counts are interpolated between the
+// capacities of consecutive stage counts.
+type InterpMode int
+
+const (
+	// InterpAbsolute interpolates the absolute switch and link counts
+	// between the two full-capacity configurations. Calibrated default:
+	// reproduces the paper's 400G baseline (12% network power share, 11%
+	// efficiency, Table 3 row) to within rounding.
+	InterpAbsolute InterpMode = iota
+	// InterpPerHost interpolates the per-host switch and link ratios
+	// instead; yields smaller networks for host counts just above a stage
+	// boundary. Provided as an ablation.
+	InterpPerHost
+)
+
+// String names the mode for CLI flags and reports.
+func (m InterpMode) String() string {
+	switch m {
+	case InterpAbsolute:
+		return "absolute"
+	case InterpPerHost:
+		return "perhost"
+	default:
+		return fmt.Sprintf("InterpMode(%d)", int(m))
+	}
+}
+
+// ParseInterpMode converts a CLI string into an InterpMode.
+func ParseInterpMode(s string) (InterpMode, error) {
+	switch s {
+	case "absolute", "abs", "":
+		return InterpAbsolute, nil
+	case "perhost", "per-host", "ratio":
+		return InterpPerHost, nil
+	default:
+		return 0, fmt.Errorf("unknown interpolation mode %q (want absolute or perhost)", s)
+	}
+}
+
+// maxStages bounds the stage search; 2·(k/2)^12 overflows any practical
+// cluster long before this for k ≥ 4.
+const maxStages = 12
+
+// StageCapacity returns the number of hosts an n-stage fat tree of k-port
+// switches supports: 2·(k/2)^n.
+func StageCapacity(ports, stages int) (int, error) {
+	if err := checkPorts(ports); err != nil {
+		return 0, err
+	}
+	if stages < 1 || stages > maxStages {
+		return 0, fmt.Errorf("fattree: stages %d outside [1,%d]", stages, maxStages)
+	}
+	half := ports / 2
+	cap := 2
+	for i := 0; i < stages; i++ {
+		if cap > (1<<56)/half {
+			return 0, fmt.Errorf("fattree: capacity overflow at k=%d n=%d", ports, stages)
+		}
+		cap *= half
+	}
+	return cap, nil
+}
+
+// StageSwitches returns the switch count of a full n-stage fat tree:
+// (2n−1)·(k/2)^(n−1).
+func StageSwitches(ports, stages int) (int, error) {
+	if err := checkPorts(ports); err != nil {
+		return 0, err
+	}
+	if stages < 1 || stages > maxStages {
+		return 0, fmt.Errorf("fattree: stages %d outside [1,%d]", stages, maxStages)
+	}
+	half := ports / 2
+	s := 2*stages - 1
+	for i := 0; i < stages-1; i++ {
+		if s > (1<<56)/half {
+			return 0, fmt.Errorf("fattree: switch count overflow at k=%d n=%d", ports, stages)
+		}
+		s *= half
+	}
+	return s, nil
+}
+
+// StageLinks returns the inter-switch link count of a full n-stage fat tree:
+// (n−1)·capacity — every stage boundary above the hosts carries one link per
+// host at full bisection bandwidth. Host-to-edge links are excluded (they
+// are electrical and free in the power model).
+func StageLinks(ports, stages int) (int, error) {
+	cap, err := StageCapacity(ports, stages)
+	if err != nil {
+		return 0, err
+	}
+	return (stages - 1) * cap, nil
+}
+
+// Design is the (possibly fractional) outcome of sizing a fat tree for a
+// host count that need not align with a full-capacity configuration.
+type Design struct {
+	Hosts int
+	Ports int
+	// Stages is the effective stage count; fractional between full
+	// configurations.
+	Stages float64
+	// Switches is the interpolated switch count.
+	Switches float64
+	// InterSwitchLinks is the interpolated count of switch-to-switch links;
+	// each needs two optical transceivers in the power model.
+	InterSwitchLinks float64
+	// Mode records which interpolation produced this design.
+	Mode InterpMode
+}
+
+// Transceivers returns the optical transceiver count: two per inter-switch
+// link (§2.3.2).
+func (d Design) Transceivers() float64 { return 2 * d.InterSwitchLinks }
+
+// Size computes the fat-tree design for the given host count and switch
+// radix. Host counts at or below a single switch's host capacity use one
+// switch; host counts between stage capacities are interpolated per mode.
+func Size(hosts, ports int, mode InterpMode) (Design, error) {
+	if err := checkPorts(ports); err != nil {
+		return Design{}, err
+	}
+	if hosts < 1 {
+		return Design{}, fmt.Errorf("fattree: host count %d must be positive", hosts)
+	}
+	if mode != InterpAbsolute && mode != InterpPerHost {
+		return Design{}, fmt.Errorf("fattree: unknown interpolation mode %d", mode)
+	}
+	d := Design{Hosts: hosts, Ports: ports, Mode: mode}
+
+	cap1, _ := StageCapacity(ports, 1)
+	if hosts <= cap1 {
+		// A single switch suffices; below one stage there is nothing to
+		// interpolate against, so clamp at the 1-stage design.
+		d.Stages = 1
+		d.Switches = 1
+		d.InterSwitchLinks = 0
+		return d, nil
+	}
+
+	// Find n with cap(n) < hosts <= cap(n+1).
+	for n := 1; n < maxStages; n++ {
+		capN, err := StageCapacity(ports, n)
+		if err != nil {
+			return Design{}, err
+		}
+		capN1, err := StageCapacity(ports, n+1)
+		if err != nil {
+			return Design{}, err
+		}
+		if hosts > capN1 {
+			continue
+		}
+		if hosts == capN1 {
+			s, _ := StageSwitches(ports, n+1)
+			l, _ := StageLinks(ports, n+1)
+			d.Stages = float64(n + 1)
+			d.Switches = float64(s)
+			d.InterSwitchLinks = float64(l)
+			return d, nil
+		}
+		frac := float64(hosts-capN) / float64(capN1-capN)
+		d.Stages = float64(n) + frac
+		sN, _ := StageSwitches(ports, n)
+		sN1, _ := StageSwitches(ports, n+1)
+		switch mode {
+		case InterpAbsolute:
+			d.Switches = stats.Lerp(0, float64(sN), 1, float64(sN1), frac)
+		case InterpPerHost:
+			swPerHost := stats.Lerp(0, float64(sN)/float64(capN), 1, float64(sN1)/float64(capN1), frac)
+			d.Switches = swPerHost * float64(hosts)
+		}
+		// Inter-switch links always follow the per-host rule: every host
+		// contributes one link per stage boundary above it at full bisection
+		// bandwidth, so (stages_eff − 1) links per host. This agrees with
+		// the full configurations at both endpoints and calibrates the
+		// paper's 400 G baseline (12% network share; see DESIGN.md).
+		d.InterSwitchLinks = (d.Stages - 1) * float64(hosts)
+		return d, nil
+	}
+	return Design{}, fmt.Errorf("fattree: %d hosts exceed a %d-stage tree of %d-port switches", hosts, maxStages, ports)
+}
+
+func checkPorts(ports int) error {
+	if ports < 2 {
+		return fmt.Errorf("fattree: switch radix %d must be at least 2", ports)
+	}
+	if ports%2 != 0 {
+		return fmt.Errorf("fattree: switch radix %d must be even (half up, half down)", ports)
+	}
+	return nil
+}

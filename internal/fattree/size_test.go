@@ -1,0 +1,263 @@
+package fattree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStageCapacity(t *testing.T) {
+	tests := []struct{ ports, stages, want int }{
+		{4, 1, 4},      // 2*(2)^1
+		{4, 2, 8},      // 2*4
+		{4, 3, 16},     // k^3/4
+		{128, 2, 8192}, // 400G baseline two-stage
+		{128, 3, 524288},
+		{512, 2, 131072}, // 100G
+		{32, 3, 8192},    // 1600G three-stage
+		{32, 4, 131072},
+	}
+	for _, tt := range tests {
+		got, err := StageCapacity(tt.ports, tt.stages)
+		if err != nil {
+			t.Fatalf("StageCapacity(%d,%d): %v", tt.ports, tt.stages, err)
+		}
+		if got != tt.want {
+			t.Errorf("StageCapacity(%d,%d) = %d, want %d", tt.ports, tt.stages, got, tt.want)
+		}
+	}
+}
+
+func TestStageSwitches(t *testing.T) {
+	tests := []struct{ ports, stages, want int }{
+		{4, 1, 1},
+		{4, 2, 6},  // 3*(k/2)
+		{4, 3, 20}, // 5k²/4
+		{128, 2, 192},
+		{128, 3, 20480},
+		{32, 3, 1280},
+		{32, 4, 28672},
+	}
+	for _, tt := range tests {
+		got, err := StageSwitches(tt.ports, tt.stages)
+		if err != nil {
+			t.Fatalf("StageSwitches(%d,%d): %v", tt.ports, tt.stages, err)
+		}
+		if got != tt.want {
+			t.Errorf("StageSwitches(%d,%d) = %d, want %d", tt.ports, tt.stages, got, tt.want)
+		}
+	}
+}
+
+func TestStageLinks(t *testing.T) {
+	tests := []struct{ ports, stages, want int }{
+		{4, 1, 0},
+		{4, 2, 8},  // one boundary, N=8
+		{4, 3, 32}, // two boundaries, N=16
+		{128, 2, 8192},
+		{128, 3, 1048576},
+	}
+	for _, tt := range tests {
+		got, err := StageLinks(tt.ports, tt.stages)
+		if err != nil {
+			t.Fatalf("StageLinks(%d,%d): %v", tt.ports, tt.stages, err)
+		}
+		if got != tt.want {
+			t.Errorf("StageLinks(%d,%d) = %d, want %d", tt.ports, tt.stages, got, tt.want)
+		}
+	}
+}
+
+func TestStageValidation(t *testing.T) {
+	if _, err := StageCapacity(3, 2); err == nil {
+		t.Error("odd radix should fail")
+	}
+	if _, err := StageCapacity(0, 2); err == nil {
+		t.Error("zero radix should fail")
+	}
+	if _, err := StageCapacity(4, 0); err == nil {
+		t.Error("zero stages should fail")
+	}
+	if _, err := StageCapacity(4, 99); err == nil {
+		t.Error("excessive stages should fail")
+	}
+	if _, err := StageSwitches(4, 0); err == nil {
+		t.Error("StageSwitches zero stages should fail")
+	}
+}
+
+// TestSizeBaseline400G reproduces the paper's baseline network: 15,360 hosts
+// at 400G (k=128). The host count falls between the 2-stage (8,192) and
+// 3-stage (524,288) capacities; absolute interpolation yields ~474 switches,
+// which calibrates the paper's 12% network power share (see DESIGN.md).
+func TestSizeBaseline400G(t *testing.T) {
+	d, err := Size(15360, 128, InterpAbsolute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(15360-8192) / float64(524288-8192)
+	wantSwitches := 192 + frac*(20480-192)
+	if math.Abs(d.Switches-wantSwitches) > 1e-6 {
+		t.Errorf("Switches = %v, want %v", d.Switches, wantSwitches)
+	}
+	if d.Switches < 450 || d.Switches > 500 {
+		t.Errorf("Switches = %v, expected ~474 for the calibrated baseline", d.Switches)
+	}
+	// Links follow the per-host rule: (stages_eff − 1) per host.
+	wantLinks := (1 + frac) * 15360
+	if math.Abs(d.InterSwitchLinks-wantLinks) > 1e-6 {
+		t.Errorf("InterSwitchLinks = %v, want %v", d.InterSwitchLinks, wantLinks)
+	}
+	if math.Abs(d.Stages-(2+frac)) > 1e-9 {
+		t.Errorf("Stages = %v, want %v", d.Stages, 2+frac)
+	}
+	if d.Transceivers() != 2*d.InterSwitchLinks {
+		t.Errorf("Transceivers = %v, want 2x links", d.Transceivers())
+	}
+}
+
+func TestSizeExactCapacities(t *testing.T) {
+	// Exactly at a stage capacity: no interpolation.
+	d, err := Size(8192, 128, InterpAbsolute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Switches != 192 || d.Stages != 2 || d.InterSwitchLinks != 8192 {
+		t.Errorf("Size(8192,128) = %+v", d)
+	}
+	d, err = Size(524288, 128, InterpPerHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Switches != 20480 || d.Stages != 3 {
+		t.Errorf("Size(524288,128) = %+v", d)
+	}
+}
+
+func TestSizeSingleSwitch(t *testing.T) {
+	for _, hosts := range []int{1, 64, 128} {
+		d, err := Size(hosts, 128, InterpAbsolute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Switches != 1 || d.InterSwitchLinks != 0 || d.Stages != 1 {
+			t.Errorf("Size(%d,128) = %+v, want single switch", hosts, d)
+		}
+	}
+}
+
+func TestSizePerHostMode(t *testing.T) {
+	d, err := Size(15360, 128, InterpPerHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(15360-8192) / float64(524288-8192)
+	wantPerHost := (1-frac)*(192.0/8192.0) + frac*(20480.0/524288.0)
+	if math.Abs(d.Switches-wantPerHost*15360) > 1e-6 {
+		t.Errorf("per-host Switches = %v, want %v", d.Switches, wantPerHost*15360)
+	}
+	wantLinks := (1 + frac) * 15360
+	if math.Abs(d.InterSwitchLinks-wantLinks) > 1e-6 {
+		t.Errorf("per-host links = %v, want %v", d.InterSwitchLinks, wantLinks)
+	}
+	// Per-host mode always yields a smaller network in this regime.
+	abs, _ := Size(15360, 128, InterpAbsolute)
+	if d.Switches >= abs.Switches {
+		t.Errorf("per-host (%v) should be below absolute (%v) here", d.Switches, abs.Switches)
+	}
+}
+
+func TestSizeErrors(t *testing.T) {
+	if _, err := Size(0, 128, InterpAbsolute); err == nil {
+		t.Error("zero hosts should fail")
+	}
+	if _, err := Size(100, 5, InterpAbsolute); err == nil {
+		t.Error("odd radix should fail")
+	}
+	if _, err := Size(100, 128, InterpMode(99)); err == nil {
+		t.Error("unknown mode should fail")
+	}
+}
+
+func TestParseInterpMode(t *testing.T) {
+	for _, s := range []string{"absolute", "abs", ""} {
+		m, err := ParseInterpMode(s)
+		if err != nil || m != InterpAbsolute {
+			t.Errorf("ParseInterpMode(%q) = %v, %v", s, m, err)
+		}
+	}
+	for _, s := range []string{"perhost", "per-host", "ratio"} {
+		m, err := ParseInterpMode(s)
+		if err != nil || m != InterpPerHost {
+			t.Errorf("ParseInterpMode(%q) = %v, %v", s, m, err)
+		}
+	}
+	if _, err := ParseInterpMode("bogus"); err == nil {
+		t.Error("bogus mode should fail")
+	}
+	if InterpAbsolute.String() != "absolute" || InterpPerHost.String() != "perhost" {
+		t.Error("InterpMode.String broken")
+	}
+	if InterpMode(42).String() == "" {
+		t.Error("unknown mode should still format")
+	}
+}
+
+// Property: switch and link counts are monotone non-decreasing in host count
+// for a fixed radix, in both interpolation modes.
+func TestSizeMonotoneInHosts(t *testing.T) {
+	f := func(a, b uint32, modeRaw bool) bool {
+		mode := InterpAbsolute
+		if modeRaw {
+			mode = InterpPerHost
+		}
+		ha := 1 + int(a%500000)
+		hb := 1 + int(b%500000)
+		if ha > hb {
+			ha, hb = hb, ha
+		}
+		da, err1 := Size(ha, 128, mode)
+		db, err2 := Size(hb, 128, mode)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return da.Switches <= db.Switches+1e-6 && da.InterSwitchLinks <= db.InterSwitchLinks+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interpolated counts lie between the bracketing full-capacity
+// configurations.
+func TestSizeBounded(t *testing.T) {
+	f := func(raw uint32) bool {
+		hosts := 8193 + int(raw%(524288-8193))
+		d, err := Size(hosts, 128, InterpAbsolute)
+		if err != nil {
+			return false
+		}
+		return d.Switches >= 192-1e-9 && d.Switches <= 20480+1e-9 &&
+			d.InterSwitchLinks >= 8192-1e-9 && d.InterSwitchLinks <= 1048576+1e-9 &&
+			d.Stages >= 2 && d.Stages <= 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more ports never require more switches for the same host count.
+func TestSizeMonotoneInRadix(t *testing.T) {
+	f := func(raw uint32) bool {
+		hosts := 100 + int(raw%100000)
+		small, err1 := Size(hosts, 64, InterpAbsolute)
+		large, err2 := Size(hosts, 128, InterpAbsolute)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return large.Switches <= small.Switches+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

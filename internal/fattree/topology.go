@@ -1,0 +1,325 @@
+package fattree
+
+import (
+	"fmt"
+
+	"netpowerprop/internal/units"
+)
+
+// NodeKind distinguishes topology node roles.
+type NodeKind int
+
+// Node kinds, bottom-up.
+const (
+	KindHost NodeKind = iota
+	KindEdge
+	KindAgg
+	KindCore
+)
+
+// String names the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case KindHost:
+		return "host"
+	case KindEdge:
+		return "edge"
+	case KindAgg:
+		return "agg"
+	case KindCore:
+		return "core"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is one vertex of an explicit topology: a host or a switch.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	// Pod is the pod index for edge/agg switches and hosts; -1 for core.
+	Pod int
+	// Index is the position within the pod (or within the core layer).
+	Index int
+}
+
+// IsSwitch reports whether the node is a switch of any tier.
+func (n Node) IsSwitch() bool { return n.Kind != KindHost }
+
+// Link is an undirected edge between two nodes. Links are full duplex with
+// the same speed each direction.
+type Link struct {
+	ID    int
+	A, B  int // node IDs, A < B
+	Speed units.Bandwidth
+	// Optical marks switch-to-switch links (which carry two optical
+	// transceivers in the power model); host links are electrical.
+	Optical bool
+}
+
+// Topology is an explicit fat-tree graph, used by the flow-level simulator.
+// Build it with BuildTwoTier or BuildThreeTier.
+type Topology struct {
+	Ports  int // switch radix k
+	Stages int // 2 or 3
+	Nodes  []Node
+	Links  []Link
+
+	hosts    []int          // node IDs of hosts in order
+	adjacent map[int][]int  // node ID -> link IDs
+	linkAt   map[[2]int]int // (min,max) node pair -> link ID
+}
+
+// Hosts returns the node IDs of all hosts, in construction order.
+func (t *Topology) Hosts() []int { return t.hosts }
+
+// SwitchIDs returns the node IDs of all switches.
+func (t *Topology) SwitchIDs() []int {
+	var out []int
+	for _, n := range t.Nodes {
+		if n.IsSwitch() {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// LinksOf returns the link IDs incident to a node.
+func (t *Topology) LinksOf(node int) []int { return t.adjacent[node] }
+
+// LinkBetween returns the link joining two nodes, if any.
+func (t *Topology) LinkBetween(a, b int) (Link, bool) {
+	if a > b {
+		a, b = b, a
+	}
+	id, ok := t.linkAt[[2]int{a, b}]
+	if !ok {
+		return Link{}, false
+	}
+	return t.Links[id], true
+}
+
+// Peer returns the node at the other end of a link.
+func (t *Topology) Peer(linkID, node int) int {
+	l := t.Links[linkID]
+	if l.A == node {
+		return l.B
+	}
+	return l.A
+}
+
+// EdgeOf returns the edge switch a host attaches to.
+func (t *Topology) EdgeOf(host int) (int, error) {
+	n := t.Nodes[host]
+	if n.Kind != KindHost {
+		return 0, fmt.Errorf("fattree: node %d is a %v, not a host", host, n.Kind)
+	}
+	for _, lid := range t.adjacent[host] {
+		p := t.Peer(lid, host)
+		if t.Nodes[p].Kind == KindEdge {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("fattree: host %d has no edge switch", host)
+}
+
+// Paths enumerates every shortest up/down path between two distinct hosts
+// as sequences of link IDs. The path set is exactly what ECMP spreads over.
+func (t *Topology) Paths(src, dst int) ([][]int, error) {
+	if src == dst {
+		return nil, fmt.Errorf("fattree: src and dst are the same host %d", src)
+	}
+	se, err := t.EdgeOf(src)
+	if err != nil {
+		return nil, err
+	}
+	de, err := t.EdgeOf(dst)
+	if err != nil {
+		return nil, err
+	}
+	up1, _ := t.LinkBetween(src, se)
+	down1, _ := t.LinkBetween(dst, de)
+	if se == de {
+		return [][]int{{up1.ID, down1.ID}}, nil
+	}
+	var paths [][]int
+	if t.Nodes[se].Pod == t.Nodes[de].Pod {
+		// Same pod: up to any shared agg, down.
+		for _, lid := range t.adjacent[se] {
+			agg := t.Peer(lid, se)
+			if t.Nodes[agg].Kind != KindAgg {
+				continue
+			}
+			l2, ok := t.LinkBetween(agg, de)
+			if !ok {
+				continue
+			}
+			paths = append(paths, []int{up1.ID, lid, l2.ID, down1.ID})
+		}
+		if len(paths) > 0 {
+			return paths, nil
+		}
+	}
+	// Cross pod (or 2-tier same "pod" semantics): edge -> agg/spine -> (core ->)
+	// matching agg -> edge.
+	for _, l1 := range t.adjacent[se] {
+		mid := t.Peer(l1, se)
+		midNode := t.Nodes[mid]
+		if midNode.Kind == KindHost {
+			continue
+		}
+		if t.Stages == 2 {
+			// Two tiers: mid is a spine directly adjacent to both edges.
+			if l2, ok := t.LinkBetween(mid, de); ok {
+				paths = append(paths, []int{up1.ID, l1, l2.ID, down1.ID})
+			}
+			continue
+		}
+		if midNode.Kind != KindAgg {
+			continue
+		}
+		for _, l2 := range t.adjacent[mid] {
+			core := t.Peer(l2, mid)
+			if t.Nodes[core].Kind != KindCore {
+				continue
+			}
+			for _, l3 := range t.adjacent[core] {
+				agg2 := t.Peer(l3, core)
+				if t.Nodes[agg2].Kind != KindAgg || t.Nodes[agg2].Pod != t.Nodes[de].Pod {
+					continue
+				}
+				if l4, ok := t.LinkBetween(agg2, de); ok {
+					paths = append(paths, []int{up1.ID, l1, l2, l3, l4.ID, down1.ID})
+				}
+			}
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("fattree: no path between hosts %d and %d", src, dst)
+	}
+	return paths, nil
+}
+
+// builder accumulates nodes and links.
+type builder struct {
+	t Topology
+}
+
+func (b *builder) addNode(kind NodeKind, pod, index int) int {
+	id := len(b.t.Nodes)
+	b.t.Nodes = append(b.t.Nodes, Node{ID: id, Kind: kind, Pod: pod, Index: index})
+	if kind == KindHost {
+		b.t.hosts = append(b.t.hosts, id)
+	}
+	return id
+}
+
+func (b *builder) addLink(a, bID int, speed units.Bandwidth, optical bool) {
+	if a > bID {
+		a, bID = bID, a
+	}
+	id := len(b.t.Links)
+	b.t.Links = append(b.t.Links, Link{ID: id, A: a, B: bID, Speed: speed, Optical: optical})
+	b.t.adjacent[a] = append(b.t.adjacent[a], id)
+	b.t.adjacent[bID] = append(b.t.adjacent[bID], id)
+	b.t.linkAt[[2]int{a, bID}] = id
+}
+
+func newBuilder(ports, stages int) *builder {
+	return &builder{t: Topology{
+		Ports:    ports,
+		Stages:   stages,
+		adjacent: make(map[int][]int),
+		linkAt:   make(map[[2]int]int),
+	}}
+}
+
+// BuildTwoTier constructs a full two-tier (leaf-spine) fat tree from k-port
+// switches: k leaves, k/2 spines, k²/2 hosts, every leaf wired to every
+// spine once. All links run at the given speed.
+func BuildTwoTier(ports int, speed units.Bandwidth) (*Topology, error) {
+	if err := checkPorts(ports); err != nil {
+		return nil, err
+	}
+	k := ports
+	b := newBuilder(k, 2)
+	leaves := make([]int, k)
+	spines := make([]int, k/2)
+	for i := range spines {
+		spines[i] = b.addNode(KindCore, -1, i)
+	}
+	for i := range leaves {
+		leaves[i] = b.addNode(KindEdge, i, 0)
+		for h := 0; h < k/2; h++ {
+			host := b.addNode(KindHost, i, h)
+			b.addLink(host, leaves[i], speed, false)
+		}
+		for _, s := range spines {
+			b.addLink(leaves[i], s, speed, true)
+		}
+	}
+	return &b.t, nil
+}
+
+// BuildThreeTier constructs the classic three-tier fat tree from k-port
+// switches: k pods of k/2 edge and k/2 aggregation switches, (k/2)² core
+// switches, k³/4 hosts. Aggregation switch j of each pod connects to core
+// switches [j·k/2, (j+1)·k/2).
+func BuildThreeTier(ports int, speed units.Bandwidth) (*Topology, error) {
+	if err := checkPorts(ports); err != nil {
+		return nil, err
+	}
+	k := ports
+	half := k / 2
+	b := newBuilder(k, 3)
+	cores := make([]int, half*half)
+	for i := range cores {
+		cores[i] = b.addNode(KindCore, -1, i)
+	}
+	for p := 0; p < k; p++ {
+		aggs := make([]int, half)
+		for j := 0; j < half; j++ {
+			aggs[j] = b.addNode(KindAgg, p, j)
+			for c := j * half; c < (j+1)*half; c++ {
+				b.addLink(aggs[j], cores[c], speed, true)
+			}
+		}
+		for e := 0; e < half; e++ {
+			edge := b.addNode(KindEdge, p, e)
+			for _, a := range aggs {
+				b.addLink(edge, a, speed, true)
+			}
+			for h := 0; h < half; h++ {
+				host := b.addNode(KindHost, p, e*half+h)
+				b.addLink(host, edge, speed, false)
+			}
+		}
+	}
+	return &b.t, nil
+}
+
+// Validate checks structural invariants: port budgets respected, link
+// endpoints exist, host degree 1, and (for full trees) the expected counts.
+func (t *Topology) Validate() error {
+	degree := make(map[int]int)
+	for _, l := range t.Links {
+		if l.A < 0 || l.B < 0 || l.A >= len(t.Nodes) || l.B >= len(t.Nodes) {
+			return fmt.Errorf("fattree: link %d endpoint out of range", l.ID)
+		}
+		if l.A == l.B {
+			return fmt.Errorf("fattree: link %d is a self-loop", l.ID)
+		}
+		degree[l.A]++
+		degree[l.B]++
+	}
+	for _, n := range t.Nodes {
+		d := degree[n.ID]
+		switch {
+		case n.Kind == KindHost && d != 1:
+			return fmt.Errorf("fattree: host %d has degree %d, want 1", n.ID, d)
+		case n.IsSwitch() && d > t.Ports:
+			return fmt.Errorf("fattree: switch %d uses %d ports, radix %d", n.ID, d, t.Ports)
+		}
+	}
+	return nil
+}

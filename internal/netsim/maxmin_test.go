@@ -1,0 +1,185 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxMinSingleLink(t *testing.T) {
+	// Three flows share a 90-unit link; equal split.
+	rates, err := MaxMin(
+		[]float64{100, 100, 100},
+		[][]int{{1}, {1}, {1}},
+		map[int]float64{1: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rates {
+		if math.Abs(r-30) > 1e-9 {
+			t.Errorf("rate[%d] = %v, want 30", i, r)
+		}
+	}
+}
+
+func TestMaxMinDemandBounded(t *testing.T) {
+	// One small flow takes its demand; the rest split the remainder.
+	rates, err := MaxMin(
+		[]float64{10, 100, 100},
+		[][]int{{1}, {1}, {1}},
+		map[int]float64{1: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rates[0]-10) > 1e-9 {
+		t.Errorf("small flow = %v, want 10", rates[0])
+	}
+	for _, i := range []int{1, 2} {
+		if math.Abs(rates[i]-40) > 1e-9 {
+			t.Errorf("rate[%d] = %v, want 40", i, rates[i])
+		}
+	}
+}
+
+func TestMaxMinClassicTandem(t *testing.T) {
+	// The textbook example: flow A crosses links 1 and 2, flow B link 1,
+	// flow C link 2. cap(1)=10, cap(2)=20. Max-min: A=5, B=5, C=15.
+	rates, err := MaxMin(
+		[]float64{100, 100, 100},
+		[][]int{{1, 2}, {1}, {2}},
+		map[int]float64{1: 10, 2: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 5, 15}
+	for i := range want {
+		if math.Abs(rates[i]-want[i]) > 1e-9 {
+			t.Errorf("rate[%d] = %v, want %v", i, rates[i], want[i])
+		}
+	}
+}
+
+func TestMaxMinUnconstrained(t *testing.T) {
+	// Demands below all fair shares: everyone gets their demand.
+	rates, err := MaxMin(
+		[]float64{5, 7},
+		[][]int{{1}, {2}},
+		map[int]float64{1: 100, 2: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[0] != 5 || rates[1] != 7 {
+		t.Errorf("rates = %v, want [5 7]", rates)
+	}
+}
+
+func TestMaxMinZeroCapacity(t *testing.T) {
+	// A parked (zero-capacity) link starves its flows without wedging the
+	// algorithm.
+	rates, err := MaxMin(
+		[]float64{10, 10},
+		[][]int{{1}, {2}},
+		map[int]float64{1: 0, 2: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[0] != 0 {
+		t.Errorf("flow on dead link = %v, want 0", rates[0])
+	}
+	if rates[1] != 10 {
+		t.Errorf("healthy flow = %v, want 10", rates[1])
+	}
+}
+
+func TestMaxMinZeroDemand(t *testing.T) {
+	rates, err := MaxMin(
+		[]float64{0, 50},
+		[][]int{{1}, {1}},
+		map[int]float64{1: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[0] != 0 || math.Abs(rates[1]-40) > 1e-9 {
+		t.Errorf("rates = %v, want [0 40]", rates)
+	}
+}
+
+func TestMaxMinErrors(t *testing.T) {
+	if _, err := MaxMin([]float64{1}, nil, nil); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := MaxMin([]float64{-1}, [][]int{{1}}, map[int]float64{1: 10}); err == nil {
+		t.Error("negative demand should fail")
+	}
+	if _, err := MaxMin([]float64{1}, [][]int{{}}, map[int]float64{}); err == nil {
+		t.Error("empty path should fail")
+	}
+	if _, err := MaxMin([]float64{1}, [][]int{{9}}, map[int]float64{1: 10}); err == nil {
+		t.Error("unknown link should fail")
+	}
+	if _, err := MaxMin([]float64{1}, [][]int{{1}}, map[int]float64{1: -5}); err == nil {
+		t.Error("negative capacity should fail")
+	}
+	if rates, err := MaxMin(nil, nil, nil); err != nil || len(rates) != 0 {
+		t.Error("empty input should succeed with no rates")
+	}
+}
+
+// Property: max-min allocations are feasible (no link over capacity, no
+// flow over demand) and leave no link with unfrozen headroom wasted: every
+// flow is either demand-limited or crosses a saturated link.
+func TestMaxMinFeasibleAndEfficient(t *testing.T) {
+	f := func(seed [12]uint8) bool {
+		// Build a small random instance from the seed: 4 links, 6 flows.
+		caps := map[int]float64{}
+		for l := 0; l < 4; l++ {
+			caps[l] = float64(10 + int(seed[l])%90)
+		}
+		demands := make([]float64, 6)
+		paths := make([][]int, 6)
+		for i := 0; i < 6; i++ {
+			demands[i] = float64(1 + int(seed[i+4])%60)
+			a := int(seed[(i+7)%12]) % 4
+			b := (a + 1 + int(seed[(i+3)%12])%3) % 4
+			paths[i] = []int{a, b}
+		}
+		rates, err := MaxMin(demands, paths, caps)
+		if err != nil {
+			return false
+		}
+		used := map[int]float64{}
+		for i, r := range rates {
+			if r < -1e-9 || r > demands[i]+1e-9 {
+				return false
+			}
+			for _, l := range paths[i] {
+				used[l] += r
+			}
+		}
+		for l, u := range used {
+			if u > caps[l]+1e-6 {
+				return false
+			}
+		}
+		// Efficiency: every flow is demand-limited or bottlenecked.
+		for i, r := range rates {
+			if math.Abs(r-demands[i]) < 1e-6 {
+				continue
+			}
+			bottlenecked := false
+			for _, l := range paths[i] {
+				if used[l] > caps[l]-1e-6 {
+					bottlenecked = true
+					break
+				}
+			}
+			if !bottlenecked {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,316 @@
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"netpowerprop/internal/device"
+	"netpowerprop/internal/fattree"
+	"netpowerprop/internal/power"
+	"netpowerprop/internal/traffic"
+	"netpowerprop/internal/units"
+)
+
+// Routing selects how flows pick among their ECMP paths.
+type Routing int
+
+const (
+	// HashECMP spreads flows by 5-tuple hash — today's load balancing.
+	HashECMP Routing = iota
+	// ConcentrateRouting greedily picks the path that touches the fewest
+	// switches not already carrying traffic, so unused switches can sleep
+	// (§4.2's "concentrate the network traffic on as few devices as
+	// possible" applied at the routing layer). Deterministic: flows are
+	// routed in input order.
+	ConcentrateRouting
+)
+
+// String names the routing mode.
+func (r Routing) String() string {
+	switch r {
+	case HashECMP:
+		return "ecmp"
+	case ConcentrateRouting:
+		return "concentrate"
+	default:
+		return fmt.Sprintf("Routing(%d)", int(r))
+	}
+}
+
+// Sim runs flow-level simulations on an explicit fat-tree topology.
+type Sim struct {
+	Top *fattree.Topology
+	// ECMPSeed perturbs deterministic path selection, so repeated runs can
+	// explore different ECMP placements reproducibly.
+	ECMPSeed uint64
+	// Routing selects the path-selection policy (default HashECMP).
+	Routing Routing
+	// Capacity overrides per-link capacity; absent links default to their
+	// topology speed. Used by parking/OCS studies to disable links (0).
+	Capacity map[int]units.Bandwidth
+
+	// usedSwitches tracks switches already chosen by ConcentrateRouting
+	// within one Run.
+	usedSwitches map[int]bool
+}
+
+// New returns a simulator over a topology.
+func New(top *fattree.Topology) *Sim {
+	return &Sim{Top: top}
+}
+
+// FlowStat reports one flow's outcome.
+type FlowStat struct {
+	Flow traffic.Flow
+	// Path is the chosen link-ID sequence.
+	Path []int
+	// DeliveredBits integrates the achieved rate over the flow lifetime.
+	DeliveredBits float64
+	// MeanRate is DeliveredBits / lifetime.
+	MeanRate units.Bandwidth
+}
+
+// Result is a completed simulation: utilization traces per link and per
+// switch, plus flow outcomes. Traces cover [0, Horizon].
+type Result struct {
+	Horizon     units.Seconds
+	LinkTrace   map[int]Trace
+	SwitchTrace map[int]Trace
+	Flows       []FlowStat
+}
+
+// pathFor picks one path per the routing policy.
+func (s *Sim) pathFor(f traffic.Flow) ([]int, error) {
+	paths, err := s.Top.Paths(f.Src, f.Dst)
+	if err != nil {
+		return nil, err
+	}
+	if s.Routing == ConcentrateRouting {
+		best, bestNew := paths[0], len(s.Top.Nodes)+1
+		for _, p := range paths {
+			newSwitches := 0
+			for _, sw := range s.switchesOn(p, f.Src) {
+				if !s.usedSwitches[sw] {
+					newSwitches++
+				}
+			}
+			if newSwitches < bestNew {
+				best, bestNew = p, newSwitches
+			}
+		}
+		for _, sw := range s.switchesOn(best, f.Src) {
+			s.usedSwitches[sw] = true
+		}
+		return best, nil
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(f.Src))
+	put(uint64(f.Dst))
+	put(s.ECMPSeed)
+	return paths[h.Sum64()%uint64(len(paths))], nil
+}
+
+// capacityOf resolves a link's effective capacity.
+func (s *Sim) capacityOf(l fattree.Link) units.Bandwidth {
+	if s.Capacity != nil {
+		if c, ok := s.Capacity[l.ID]; ok {
+			return c
+		}
+	}
+	return l.Speed
+}
+
+// Run simulates the flows and returns utilization traces. The horizon is
+// the latest flow end time (0 horizon is an error: nothing to simulate).
+func (s *Sim) Run(flows []traffic.Flow) (*Result, error) {
+	if s.Top == nil {
+		return nil, fmt.Errorf("netsim: nil topology")
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("netsim: no flows")
+	}
+	s.usedSwitches = make(map[int]bool)
+	type flowState struct {
+		spec traffic.Flow
+		path []int
+		// switches crossed, derived from the path once.
+		switches  []int
+		delivered float64
+	}
+	states := make([]*flowState, len(flows))
+	var horizon units.Seconds
+	for i, f := range flows {
+		if f.End <= f.Start {
+			return nil, fmt.Errorf("netsim: flow %d empty window [%v,%v]", i, f.Start, f.End)
+		}
+		if f.Demand <= 0 {
+			return nil, fmt.Errorf("netsim: flow %d non-positive demand %v", i, f.Demand)
+		}
+		path, err := s.pathFor(f)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: flow %d: %w", i, err)
+		}
+		states[i] = &flowState{spec: f, path: path, switches: s.switchesOn(path, f.Src)}
+		if f.End > horizon {
+			horizon = f.End
+		}
+	}
+
+	// Event times: every flow boundary plus 0 and horizon.
+	timeSet := map[units.Seconds]struct{}{0: {}, horizon: {}}
+	for _, st := range states {
+		timeSet[st.spec.Start] = struct{}{}
+		timeSet[st.spec.End] = struct{}{}
+	}
+	times := make([]units.Seconds, 0, len(timeSet))
+	for t := range timeSet {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	caps := make(map[int]float64, len(s.Top.Links))
+	for _, l := range s.Top.Links {
+		caps[l.ID] = float64(s.capacityOf(l))
+	}
+
+	res := &Result{
+		Horizon:     horizon,
+		LinkTrace:   make(map[int]Trace, len(s.Top.Links)),
+		SwitchTrace: make(map[int]Trace),
+	}
+	for _, l := range s.Top.Links {
+		res.LinkTrace[l.ID] = nil
+	}
+	for _, sw := range s.Top.SwitchIDs() {
+		res.SwitchTrace[sw] = nil
+	}
+
+	for ti := 0; ti+1 < len(times); ti++ {
+		t0, t1 := times[ti], times[ti+1]
+		// Active flows during [t0, t1).
+		var active []*flowState
+		for _, st := range states {
+			if st.spec.Start <= t0 && st.spec.End >= t1 {
+				active = append(active, st)
+			}
+		}
+		linkRate := make(map[int]float64)
+		switchRate := make(map[int]float64)
+		if len(active) > 0 {
+			demands := make([]float64, len(active))
+			paths := make([][]int, len(active))
+			for i, st := range active {
+				demands[i] = float64(st.spec.Demand)
+				paths[i] = st.path
+			}
+			rates, err := MaxMin(demands, paths, caps)
+			if err != nil {
+				return nil, err
+			}
+			for i, st := range active {
+				st.delivered += rates[i] * float64(t1-t0)
+				for _, l := range st.path {
+					linkRate[l] += rates[i]
+				}
+				for _, sw := range st.switches {
+					switchRate[sw] += rates[i]
+				}
+			}
+		}
+		for id := range res.LinkTrace {
+			res.LinkTrace[id] = res.LinkTrace[id].append(t0, t1, units.Bandwidth(linkRate[id]))
+		}
+		for id := range res.SwitchTrace {
+			res.SwitchTrace[id] = res.SwitchTrace[id].append(t0, t1, units.Bandwidth(switchRate[id]))
+		}
+	}
+
+	res.Flows = make([]FlowStat, len(states))
+	for i, st := range states {
+		life := float64(st.spec.End - st.spec.Start)
+		res.Flows[i] = FlowStat{
+			Flow:          st.spec,
+			Path:          st.path,
+			DeliveredBits: st.delivered,
+			MeanRate:      units.Bandwidth(st.delivered / life),
+		}
+	}
+	return res, nil
+}
+
+// switchesOn lists the switch nodes a path visits, walking the link
+// sequence from the source host.
+func (s *Sim) switchesOn(path []int, src int) []int {
+	var out []int
+	at := src
+	for _, lid := range path {
+		at = s.Top.Peer(lid, at)
+		if s.Top.Nodes[at].IsSwitch() {
+			out = append(out, at)
+		}
+	}
+	return out
+}
+
+// EnergyReport is the baseline network energy of a simulation under a
+// uniform device proportionality: switches as two-state devices, optical
+// transceivers on inter-switch links (two per link, drawing power whenever
+// the link is up).
+type EnergyReport struct {
+	SwitchEnergy      units.Energy
+	TransceiverEnergy units.Energy
+	// BusySwitchSeconds sums switch busy time, for efficiency metrics.
+	BusySwitchSeconds units.Seconds
+	// Horizon echoes the simulated time span.
+	Horizon units.Seconds
+}
+
+// Total returns switch plus transceiver energy.
+func (r EnergyReport) Total() units.Energy { return r.SwitchEnergy + r.TransceiverEnergy }
+
+// Energy integrates baseline network energy over a result. proportionality
+// applies to every device; law selects the power-vs-load behavior.
+func (s *Sim) Energy(res *Result, proportionality float64, law PowerLaw) (EnergyReport, error) {
+	var rep EnergyReport
+	rep.Horizon = res.Horizon
+	switchModel, err := power.NewModel(device.SwitchMaxPower, proportionality)
+	if err != nil {
+		return rep, err
+	}
+	for _, sw := range s.Top.SwitchIDs() {
+		tr := res.SwitchTrace[sw]
+		e, err := tr.Energy(switchModel, device.SwitchCapacity, law)
+		if err != nil {
+			return rep, fmt.Errorf("netsim: switch %d: %w", sw, err)
+		}
+		rep.SwitchEnergy += e
+		rep.BusySwitchSeconds += tr.BusyTime()
+	}
+	for _, l := range s.Top.Links {
+		if !l.Optical {
+			continue
+		}
+		xp, err := device.TransceiverPower(l.Speed)
+		if err != nil {
+			return rep, err
+		}
+		m, err := power.NewModel(2*xp, proportionality)
+		if err != nil {
+			return rep, err
+		}
+		e, err := res.LinkTrace[l.ID].Energy(m, s.capacityOf(l), law)
+		if err != nil {
+			return rep, fmt.Errorf("netsim: link %d: %w", l.ID, err)
+		}
+		rep.TransceiverEnergy += e
+	}
+	return rep, nil
+}

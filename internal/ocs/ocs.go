@@ -1,0 +1,340 @@
+// Package ocs implements §4.2's static optimization: tailoring the
+// datacenter topology to the workload with optical circuit switches. For
+// long-running ML training jobs, an OCS layer between hosts and the
+// packet-switched fabric re-packs the job's hosts onto the fewest edge
+// switches and sizes the aggregation/core layers to the traffic that
+// actually crosses them — everything else powers off. Off-the-shelf OCSs
+// reconfigure in tens of milliseconds, which a days-long job amortizes to
+// nothing (the paper's observation).
+//
+// The package also models the standby trade-off the paper raises: keeping
+// some switches in a fast-wake standby state costs energy but shortens the
+// reaction time when a job's traffic pattern changes.
+package ocs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"netpowerprop/internal/device"
+	"netpowerprop/internal/power"
+	"netpowerprop/internal/traffic"
+	"netpowerprop/internal/units"
+)
+
+// Fabric describes the packet-switched fat tree the OCS feeds, in the
+// aggregate terms the tailoring algorithm needs.
+type Fabric struct {
+	// Ports is the switch radix k.
+	Ports int
+	// LinkSpeed is the per-port speed.
+	LinkSpeed units.Bandwidth
+	// EdgeTotal, AggTotal, CoreTotal are the full topology's switch counts.
+	EdgeTotal, AggTotal, CoreTotal int
+}
+
+// ThreeTierFabric derives a Fabric from a full three-tier fat tree of
+// k-port switches.
+func ThreeTierFabric(ports int, speed units.Bandwidth) (Fabric, error) {
+	if ports < 2 || ports%2 != 0 {
+		return Fabric{}, fmt.Errorf("ocs: radix %d must be even and >= 2", ports)
+	}
+	if speed <= 0 {
+		return Fabric{}, fmt.Errorf("ocs: link speed %v must be positive", speed)
+	}
+	half := ports / 2
+	return Fabric{
+		Ports:     ports,
+		LinkSpeed: speed,
+		EdgeTotal: ports * half,
+		AggTotal:  ports * half,
+		CoreTotal: half * half,
+	}, nil
+}
+
+// HostsPerEdge returns an edge switch's host capacity (k/2 downlinks).
+func (f Fabric) HostsPerEdge() int { return f.Ports / 2 }
+
+// EdgesPerPod returns the pod width (k/2 edges).
+func (f Fabric) EdgesPerPod() int { return f.Ports / 2 }
+
+// Plan is the outcome of tailoring the topology to a job.
+type Plan struct {
+	Fabric Fabric
+	// Hosts is the job's host count.
+	Hosts int
+	// EdgeActive, AggActive, CoreActive are the switches that must stay
+	// on; the rest power off.
+	EdgeActive, AggActive, CoreActive int
+	// InterEdgeDemand and InterPodDemand are the traffic volumes that,
+	// after re-packing, still cross the aggregation and core layers.
+	InterEdgeDemand units.Bandwidth
+	InterPodDemand  units.Bandwidth
+	// placement maps each job host to its packed edge index.
+	placement map[int]int
+}
+
+// ActiveSwitches returns the total switches the plan keeps on.
+func (p Plan) ActiveSwitches() int { return p.EdgeActive + p.AggActive + p.CoreActive }
+
+// TotalSwitches returns the full topology's switch count.
+func (p Plan) TotalSwitches() int { return p.Fabric.EdgeTotal + p.Fabric.AggTotal + p.Fabric.CoreTotal }
+
+// OffSwitches returns how many switches the plan powers off.
+func (p Plan) OffSwitches() int { return p.TotalSwitches() - p.ActiveSwitches() }
+
+// EdgeOf returns the packed edge index of a job host.
+func (p Plan) EdgeOf(host int) (int, bool) {
+	e, ok := p.placement[host]
+	return e, ok
+}
+
+// Tailor re-packs a job's hosts onto the fewest edge switches and sizes
+// the upper layers to the residual cross traffic. Hosts are packed in
+// descending order of their total traffic with already-packed hosts
+// (greedy affinity), which keeps ring and neighbor patterns local.
+func Tailor(f Fabric, m *traffic.Matrix) (Plan, error) {
+	if m == nil || m.Len() == 0 {
+		return Plan{}, fmt.Errorf("ocs: empty traffic matrix")
+	}
+	hostSet := map[int]bool{}
+	m.Pairs(func(s, d int, _ units.Bandwidth) {
+		hostSet[s] = true
+		hostSet[d] = true
+	})
+	hosts := make([]int, 0, len(hostSet))
+	for h := range hostSet {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+	hostsPerEdge := f.HostsPerEdge()
+	edgeNeeded := int(math.Ceil(float64(len(hosts)) / float64(hostsPerEdge)))
+	if edgeNeeded > f.EdgeTotal {
+		return Plan{}, fmt.Errorf("ocs: job needs %d edge switches, fabric has %d", edgeNeeded, f.EdgeTotal)
+	}
+
+	// Greedy affinity packing: seed each edge with the highest-traffic
+	// unplaced host, then fill it with the hosts that exchange the most
+	// traffic with the edge's current members.
+	totalTraffic := map[int]float64{}
+	m.Pairs(func(s, d int, v units.Bandwidth) {
+		totalTraffic[s] += float64(v)
+		totalTraffic[d] += float64(v)
+	})
+	unplaced := map[int]bool{}
+	for _, h := range hosts {
+		unplaced[h] = true
+	}
+	placement := make(map[int]int, len(hosts))
+	affinity := func(h int, members []int) float64 {
+		var a float64
+		for _, mbr := range members {
+			a += float64(m.Demand(h, mbr) + m.Demand(mbr, h))
+		}
+		return a
+	}
+	for e := 0; e < edgeNeeded && len(unplaced) > 0; e++ {
+		// Seed: heaviest unplaced host (ties by ID for determinism).
+		seed, best := -1, -1.0
+		for _, h := range hosts {
+			if unplaced[h] && (totalTraffic[h] > best || (totalTraffic[h] == best && (seed < 0 || h < seed))) {
+				seed, best = h, totalTraffic[h]
+			}
+		}
+		members := []int{seed}
+		placement[seed] = e
+		delete(unplaced, seed)
+		for len(members) < hostsPerEdge && len(unplaced) > 0 {
+			pick, bestA := -1, -1.0
+			for _, h := range hosts {
+				if !unplaced[h] {
+					continue
+				}
+				if a := affinity(h, members); a > bestA || (a == bestA && (pick < 0 || h < pick)) {
+					pick, bestA = h, a
+				}
+			}
+			members = append(members, pick)
+			placement[pick] = e
+			delete(unplaced, pick)
+		}
+	}
+
+	// Residual demand across the packed layout.
+	edgesPerPod := f.EdgesPerPod()
+	var interEdge, interPod float64
+	m.Pairs(func(s, d int, v units.Bandwidth) {
+		es, ed := placement[s], placement[d]
+		if es == ed {
+			return
+		}
+		interEdge += float64(v)
+		if es/edgesPerPod != ed/edgesPerPod {
+			interPod += float64(v)
+		}
+	})
+
+	aggCapacity := float64(f.EdgesPerPod()) * float64(f.LinkSpeed)
+	coreCapacity := float64(f.Ports) * float64(f.LinkSpeed)
+	plan := Plan{
+		Fabric:          f,
+		Hosts:           len(hosts),
+		EdgeActive:      edgeNeeded,
+		InterEdgeDemand: units.Bandwidth(interEdge),
+		InterPodDemand:  units.Bandwidth(interPod),
+		placement:       placement,
+	}
+	if interEdge > 0 {
+		plan.AggActive = int(math.Ceil(interEdge / aggCapacity))
+	}
+	if interPod > 0 {
+		plan.CoreActive = int(math.Ceil(interPod / coreCapacity))
+	}
+	if plan.AggActive > f.AggTotal || plan.CoreActive > f.CoreTotal {
+		return Plan{}, fmt.Errorf("ocs: residual demand exceeds fabric (agg %d/%d, core %d/%d)",
+			plan.AggActive, f.AggTotal, plan.CoreActive, f.CoreTotal)
+	}
+	return plan, nil
+}
+
+// Comparison quantifies a tailored topology against the full fat tree for
+// one job.
+type Comparison struct {
+	Plan Plan
+	// FullEnergy keeps every switch powered (two-state at the job's
+	// communication duty cycle); TailoredEnergy powers only the plan's
+	// active switches plus the OCS.
+	FullEnergy     units.Energy
+	TailoredEnergy units.Energy
+	Savings        float64
+	// ReconfigOverhead is the fraction of the job duration spent waiting
+	// for the one OCS reconfiguration at job start.
+	ReconfigOverhead float64
+}
+
+// CompareParams configures the energy comparison.
+type CompareParams struct {
+	// JobDuration is the training job's length.
+	JobDuration units.Seconds
+	// CommDutyCycle is the fraction of time the network is busy (§2.2's
+	// communication ratio).
+	CommDutyCycle float64
+	// SwitchProportionality is the packet switches' power proportionality.
+	SwitchProportionality float64
+	// OCSPower is the circuit switch layer's constant draw (mirror
+	// control only — the paper postulates it is small).
+	OCSPower units.Power
+	// ReconfigTime is the OCS reconfiguration latency at job start.
+	ReconfigTime units.Seconds
+}
+
+// DefaultCompareParams: a one-day job at 10% duty cycle on 10%-proportional
+// switches, a 30 W OCS, and a 25 ms reconfiguration.
+func DefaultCompareParams() CompareParams {
+	return CompareParams{
+		JobDuration:           86400,
+		CommDutyCycle:         0.10,
+		SwitchProportionality: device.NetworkProportionality,
+		OCSPower:              30 * units.Watt,
+		ReconfigTime:          25e-3,
+	}
+}
+
+// Compare evaluates a tailoring plan's energy against the full topology.
+func Compare(plan Plan, p CompareParams) (Comparison, error) {
+	if p.JobDuration <= 0 {
+		return Comparison{}, fmt.Errorf("ocs: job duration %v must be positive", p.JobDuration)
+	}
+	if p.CommDutyCycle < 0 || p.CommDutyCycle > 1 {
+		return Comparison{}, fmt.Errorf("ocs: duty cycle %v outside [0,1]", p.CommDutyCycle)
+	}
+	if p.OCSPower < 0 {
+		return Comparison{}, fmt.Errorf("ocs: negative OCS power %v", p.OCSPower)
+	}
+	if p.ReconfigTime < 0 || units.Seconds(p.ReconfigTime) > p.JobDuration {
+		return Comparison{}, fmt.Errorf("ocs: reconfig time %v outside [0, job duration]", p.ReconfigTime)
+	}
+	model, err := power.NewModel(device.SwitchMaxPower, p.SwitchProportionality)
+	if err != nil {
+		return Comparison{}, err
+	}
+	perSwitch := float64(model.Max)*p.CommDutyCycle + float64(model.Idle())*(1-p.CommDutyCycle)
+	full := perSwitch * float64(plan.TotalSwitches()) * float64(p.JobDuration)
+	tailored := perSwitch*float64(plan.ActiveSwitches())*float64(p.JobDuration) +
+		float64(p.OCSPower)*float64(p.JobDuration)
+	c := Comparison{
+		Plan:             plan,
+		FullEnergy:       units.Energy(full),
+		TailoredEnergy:   units.Energy(tailored),
+		ReconfigOverhead: float64(p.ReconfigTime) / float64(p.JobDuration),
+	}
+	if full > 0 {
+		c.Savings = 1 - tailored/full
+	}
+	return c, nil
+}
+
+// StandbyParams models the reaction-time/energy trade-off of keeping spare
+// switches in standby rather than fully off (§4.2: "turning on network
+// devices takes a while, so it makes sense to keep some devices in
+// standby").
+type StandbyParams struct {
+	// OffPower, StandbyPower, wake latencies of the two states.
+	OffPower        units.Power
+	StandbyPower    units.Power
+	WakeFromOff     units.Seconds
+	WakeFromStandby units.Seconds
+}
+
+// DefaultStandbyParams: off draws nothing but takes 120 s to boot; standby
+// draws 40% of max and wakes in 2 s.
+func DefaultStandbyParams() StandbyParams {
+	return StandbyParams{
+		OffPower:        0,
+		StandbyPower:    units.Power(0.4 * float64(device.SwitchMaxPower)),
+		WakeFromOff:     120,
+		WakeFromStandby: 2,
+	}
+}
+
+// StandbyPoint is one row of the standby trade-off curve.
+type StandbyPoint struct {
+	// Pool is the number of switches kept in standby.
+	Pool int
+	// ExtraPower is the steady power cost versus keeping them off.
+	ExtraPower units.Power
+	// Reaction is the time to bring `needed` switches online: standby
+	// wakes cover the pool, the remainder boots from off.
+	Reaction units.Seconds
+}
+
+// StandbyCurve evaluates pools 0..needed for a demand spike requiring
+// `needed` additional switches.
+func StandbyCurve(p StandbyParams, needed int) ([]StandbyPoint, error) {
+	if needed < 1 {
+		return nil, fmt.Errorf("ocs: needed %d must be positive", needed)
+	}
+	if p.StandbyPower < p.OffPower {
+		return nil, fmt.Errorf("ocs: standby power %v below off power %v", p.StandbyPower, p.OffPower)
+	}
+	if p.WakeFromStandby > p.WakeFromOff {
+		return nil, fmt.Errorf("ocs: standby wake %v slower than off wake %v", p.WakeFromStandby, p.WakeFromOff)
+	}
+	out := make([]StandbyPoint, 0, needed+1)
+	for pool := 0; pool <= needed; pool++ {
+		pt := StandbyPoint{
+			Pool:       pool,
+			ExtraPower: units.Power(float64(p.StandbyPower-p.OffPower) * float64(pool)),
+		}
+		if pool >= needed {
+			pt.Reaction = p.WakeFromStandby
+		} else {
+			// The off switches dominate the reaction (they boot in
+			// parallel with the standby wakes).
+			pt.Reaction = p.WakeFromOff
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,279 @@
+package ocs
+
+import (
+	"math"
+	"testing"
+
+	"netpowerprop/internal/traffic"
+	"netpowerprop/internal/units"
+)
+
+func fabric(t *testing.T) Fabric {
+	t.Helper()
+	f, err := ThreeTierFabric(8, 400*units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestThreeTierFabric(t *testing.T) {
+	f := fabric(t)
+	// k=8: 32 edge, 32 agg, 16 core; 4 hosts per edge; 4 edges per pod.
+	if f.EdgeTotal != 32 || f.AggTotal != 32 || f.CoreTotal != 16 {
+		t.Errorf("fabric = %+v", f)
+	}
+	if f.HostsPerEdge() != 4 || f.EdgesPerPod() != 4 {
+		t.Errorf("per-edge/pod = %d/%d", f.HostsPerEdge(), f.EdgesPerPod())
+	}
+	if _, err := ThreeTierFabric(7, 400*units.Gbps); err == nil {
+		t.Error("odd radix accepted")
+	}
+	if _, err := ThreeTierFabric(8, 0); err == nil {
+		t.Error("zero speed accepted")
+	}
+}
+
+func ringMatrix(t *testing.T, hosts int, rate units.Bandwidth) *traffic.Matrix {
+	t.Helper()
+	ids := make([]int, hosts)
+	for i := range ids {
+		ids[i] = 1000 + i
+	}
+	j := traffic.Job{ID: 1, Hosts: ids, Period: 10, CommRatio: 0.5, Rate: rate, Pattern: traffic.Ring}
+	m, err := j.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTailorPacksRingLocally(t *testing.T) {
+	f := fabric(t)
+	// An 8-host ring fits on 2 edge switches; affinity packing keeps the
+	// ring segments local, so only the seam traffic crosses edges.
+	m := ringMatrix(t, 8, 100*units.Gbps)
+	plan, err := Tailor(f, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Hosts != 8 || plan.EdgeActive != 2 {
+		t.Errorf("plan = %+v, want 8 hosts on 2 edges", plan)
+	}
+	// Ring over 2 edges: exactly 2 edges of the ring cross (the two
+	// seams), each 50 Gbps average (rate x ratio).
+	wantCross := 2 * 50 * units.Gbps
+	if math.Abs(float64(plan.InterEdgeDemand-wantCross)) > 1e-3 {
+		t.Errorf("inter-edge demand = %v, want %v", plan.InterEdgeDemand, wantCross)
+	}
+	// Both edges are in one pod: no core needed, one agg carries the seam.
+	if plan.CoreActive != 0 {
+		t.Errorf("core active = %d, want 0", plan.CoreActive)
+	}
+	if plan.AggActive != 1 {
+		t.Errorf("agg active = %d, want 1", plan.AggActive)
+	}
+	// 77 of 80 switches can power off.
+	if plan.OffSwitches() != plan.TotalSwitches()-3 {
+		t.Errorf("off = %d of %d", plan.OffSwitches(), plan.TotalSwitches())
+	}
+	// Every job host is placed on a valid edge.
+	for h := 1000; h < 1008; h++ {
+		e, ok := plan.EdgeOf(h)
+		if !ok || e < 0 || e >= plan.EdgeActive {
+			t.Errorf("host %d placement = %d, %v", h, e, ok)
+		}
+	}
+	if _, ok := plan.EdgeOf(9999); ok {
+		t.Error("non-job host placed")
+	}
+}
+
+func TestTailorSmallJobSingleEdge(t *testing.T) {
+	f := fabric(t)
+	m := ringMatrix(t, 4, 100*units.Gbps)
+	plan, err := Tailor(f, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 hosts fit one edge: zero cross traffic, only 1 switch on.
+	if plan.EdgeActive != 1 || plan.AggActive != 0 || plan.CoreActive != 0 {
+		t.Errorf("plan = %+v, want single edge", plan)
+	}
+	if plan.InterEdgeDemand != 0 || plan.InterPodDemand != 0 {
+		t.Errorf("cross demand = %v/%v, want 0", plan.InterEdgeDemand, plan.InterPodDemand)
+	}
+}
+
+func TestTailorCrossPodJob(t *testing.T) {
+	f := fabric(t)
+	// 32 hosts need 8 edges = 2 pods; the ring seams cross pods.
+	m := ringMatrix(t, 32, 100*units.Gbps)
+	plan, err := Tailor(f, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.EdgeActive != 8 {
+		t.Errorf("edge active = %d, want 8", plan.EdgeActive)
+	}
+	if plan.InterPodDemand <= 0 {
+		t.Error("cross-pod ring should have inter-pod demand")
+	}
+	if plan.CoreActive < 1 {
+		t.Errorf("core active = %d, want >= 1", plan.CoreActive)
+	}
+	if plan.ActiveSwitches() >= plan.TotalSwitches() {
+		t.Error("tailoring should still turn switches off")
+	}
+}
+
+func TestTailorAllToAllNeedsMoreFabric(t *testing.T) {
+	f := fabric(t)
+	ring := ringMatrix(t, 16, 100*units.Gbps)
+	ids := make([]int, 16)
+	for i := range ids {
+		ids[i] = 1000 + i
+	}
+	a2a, err := (traffic.Job{ID: 2, Hosts: ids, Period: 10, CommRatio: 0.5,
+		Rate: 100 * units.Gbps, Pattern: traffic.AllToAll}).Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringPlan, err := Tailor(f, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2aPlan, err := Tailor(f, a2a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2aPlan.ActiveSwitches() <= ringPlan.ActiveSwitches() {
+		t.Errorf("all-to-all (%d active) should need more fabric than ring (%d)",
+			a2aPlan.ActiveSwitches(), ringPlan.ActiveSwitches())
+	}
+}
+
+func TestTailorErrors(t *testing.T) {
+	f := fabric(t)
+	if _, err := Tailor(f, nil); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := Tailor(f, traffic.NewMatrix()); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	// More hosts than the fabric supports.
+	big := traffic.NewMatrix()
+	for i := 0; i < 200; i++ {
+		big.Add(i, (i+1)%200, 1*units.Gbps)
+	}
+	if _, err := Tailor(f, big); err == nil {
+		t.Error("oversized job accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	f := fabric(t)
+	plan, err := Tailor(f, ringMatrix(t, 8, 100*units.Gbps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compare(plan, DefaultCompareParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 of 80 switches on: ~96% switch-energy savings minus OCS power.
+	if c.Savings < 0.90 {
+		t.Errorf("savings = %v, want > 0.90", c.Savings)
+	}
+	if c.TailoredEnergy >= c.FullEnergy {
+		t.Error("tailored should beat full")
+	}
+	// 25 ms amortized over a day is negligible.
+	if c.ReconfigOverhead > 1e-6 {
+		t.Errorf("reconfig overhead = %v", c.ReconfigOverhead)
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	f := fabric(t)
+	plan, _ := Tailor(f, ringMatrix(t, 8, 100*units.Gbps))
+	cases := []func(*CompareParams){
+		func(p *CompareParams) { p.JobDuration = 0 },
+		func(p *CompareParams) { p.CommDutyCycle = 2 },
+		func(p *CompareParams) { p.OCSPower = -1 },
+		func(p *CompareParams) { p.ReconfigTime = -1 },
+		func(p *CompareParams) { p.ReconfigTime = 1e9 },
+		func(p *CompareParams) { p.SwitchProportionality = 2 },
+	}
+	for i, mutate := range cases {
+		p := DefaultCompareParams()
+		mutate(&p)
+		if _, err := Compare(plan, p); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestCompareOCSPowerCanNegateSavings(t *testing.T) {
+	f := fabric(t)
+	plan, _ := Tailor(f, ringMatrix(t, 8, 100*units.Gbps))
+	p := DefaultCompareParams()
+	// An absurdly hungry OCS erases the benefit — the paper's "is the
+	// addition worth it?" question.
+	p.OCSPower = 100 * units.Kilowatt
+	c, err := Compare(plan, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Savings >= 0 {
+		t.Errorf("savings = %v, want negative with a 100 kW OCS", c.Savings)
+	}
+}
+
+func TestStandbyCurve(t *testing.T) {
+	pts, err := StandbyCurve(DefaultStandbyParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	// Pool 0: no extra power, slow reaction.
+	if pts[0].ExtraPower != 0 || pts[0].Reaction != 120 {
+		t.Errorf("pool 0 = %+v", pts[0])
+	}
+	// Full pool: fast reaction, maximal power.
+	last := pts[4]
+	if last.Reaction != 2 {
+		t.Errorf("full pool reaction = %v, want 2", last.Reaction)
+	}
+	if math.Abs(float64(last.ExtraPower)-4*0.4*750) > 1e-9 {
+		t.Errorf("full pool power = %v, want 1200 W", last.ExtraPower)
+	}
+	// Partial pools still pay the slow boot (off switches dominate).
+	if pts[2].Reaction != 120 {
+		t.Errorf("partial pool reaction = %v, want 120", pts[2].Reaction)
+	}
+	// Monotone power growth.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ExtraPower <= pts[i-1].ExtraPower {
+			t.Error("extra power not increasing with pool size")
+		}
+	}
+}
+
+func TestStandbyCurveValidation(t *testing.T) {
+	if _, err := StandbyCurve(DefaultStandbyParams(), 0); err == nil {
+		t.Error("zero needed accepted")
+	}
+	p := DefaultStandbyParams()
+	p.StandbyPower = -1
+	if _, err := StandbyCurve(p, 2); err == nil {
+		t.Error("standby below off accepted")
+	}
+	p = DefaultStandbyParams()
+	p.WakeFromStandby = 1000
+	if _, err := StandbyCurve(p, 2); err == nil {
+		t.Error("standby slower than off accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package parking
+
+import (
+	"math"
+	"testing"
+
+	"netpowerprop/internal/units"
+)
+
+// bigFrames keeps packet counts tractable: even a scaled-down switch
+// demands enormous frame rates, so validation uses 100 Mb aggregate
+// "frames" (frame size does not change fluid-level energy).
+const bigFrame = 1e8
+
+// pktCfg scales the switch down to 8 ports (3.2 Tbps) so packet-level
+// validation runs in milliseconds; the fluid/packet comparison is
+// capacity-scale-free.
+func pktCfg() Config {
+	cfg := DefaultConfig()
+	cfg.ASIC.Ports = 8
+	cfg.ASIC.MemoryBanks = 8
+	return cfg
+}
+
+func TestArrivalsFromDemand(t *testing.T) {
+	cfg := pktCfg()
+	times, demand := mlDemand(t, 40, 0.05, 2, 0.2, 0.5)
+	arr, err := ArrivalsFromDemand(cfg, times, demand, bigFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) == 0 {
+		t.Fatal("no arrivals")
+	}
+	// Total bits match the fluid offered bits within one frame per sample.
+	var got float64
+	for _, a := range arr {
+		got += a.Bits
+	}
+	var want float64
+	totalCap := float64(asicCapacity(cfg.ASIC))
+	for _, u := range demand {
+		want += u * totalCap * 0.05
+	}
+	if math.Abs(got-want) > bigFrame*float64(len(times)) {
+		t.Errorf("offered bits %v, want ~%v", got, want)
+	}
+	// Arrivals sorted within each interval.
+	for i := 1; i < len(arr); i++ {
+		if arr[i].At < arr[i-1].At {
+			t.Fatal("arrivals unsorted")
+		}
+	}
+}
+
+func TestArrivalsFromDemandErrors(t *testing.T) {
+	cfg := pktCfg()
+	times, demand := mlDemand(t, 10, 0.05, 2, 0.2, 0.5)
+	if _, err := ArrivalsFromDemand(cfg, times[:1], demand[:1], bigFrame); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := ArrivalsFromDemand(cfg, times, demand, 0); err == nil {
+		t.Error("zero frame accepted")
+	}
+	bad := append([]float64{}, demand...)
+	bad[0] = 2
+	if _, err := ArrivalsFromDemand(cfg, times, bad, bigFrame); err == nil {
+		t.Error("demand > 1 accepted")
+	}
+	zero := make([]float64, len(times))
+	if _, err := ArrivalsFromDemand(cfg, times, zero, bigFrame); err == nil {
+		t.Error("all-zero demand accepted")
+	}
+}
+
+func TestSimulatePacketsAlwaysOn(t *testing.T) {
+	cfg := pktCfg()
+	times, demand := mlDemand(t, 100, 0.05, 2, 0.2, 0.5)
+	arr, err := ArrivalsFromDemand(cfg, times, demand, bigFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulatePackets(cfg, arr, AlwaysOn{Pipelines: cfg.ASIC.Pipelines}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 {
+		t.Errorf("always-on dropped %d", res.Dropped)
+	}
+	if res.Delivered != len(arr) {
+		t.Errorf("delivered %d of %d", res.Delivered, len(arr))
+	}
+	// Energy = baseline + circuit switch.
+	extra := units.EnergyOver(cfg.CircuitSwitchPower, res.Horizon)
+	if math.Abs(float64(res.Energy-res.Baseline-extra)) > 1e-6 {
+		t.Errorf("always-on energy %v != baseline %v + %v", res.Energy, res.Baseline, extra)
+	}
+	// At 50% demand on 4 active pipelines the queue never builds beyond
+	// one frame's service time.
+	frameSvc := bigFrame / float64(asicCapacity(cfg.ASIC))
+	if float64(res.MaxDelay) > 10*frameSvc {
+		t.Errorf("always-on max delay %v too large", res.MaxDelay)
+	}
+}
+
+// TestFluidMatchesPackets: the fluid model's energy savings agree with the
+// packet-level ground truth within a few percentage points on the same
+// workload and policy.
+func TestFluidMatchesPackets(t *testing.T) {
+	cfg := pktCfg()
+	times, demand := mlDemand(t, 200, 0.05, 2, 0.2, 0.5)
+	pol1, _ := NewReactive(4, 1, 0.8, 0.5)
+	pol2, _ := NewReactive(4, 1, 0.8, 0.5)
+	fluid, err := Simulate(cfg, times, demand, pol1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := ArrivalsFromDemand(cfg, times, demand, bigFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := SimulatePackets(cfg, arr, pol2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fluid.Savings-pkt.Savings) > 0.05 {
+		t.Errorf("fluid savings %v vs packet savings %v differ by > 5 pp",
+			fluid.Savings, pkt.Savings)
+	}
+	if pkt.Reconfigurations == 0 {
+		t.Error("packet-level run never reconfigured")
+	}
+}
+
+func TestSimulatePacketsScheduledNoDrops(t *testing.T) {
+	cfg := pktCfg()
+	times, demand := mlDemand(t, 200, 0.05, 2, 0.2, 0.5)
+	sched, err := NewScheduled(2, 0.4, 0.2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := ArrivalsFromDemand(cfg, times, demand, bigFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulatePackets(cfg, arr, sched, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 {
+		t.Errorf("scheduled policy dropped %d frames", res.Dropped)
+	}
+	if res.Savings <= 0 {
+		t.Errorf("scheduled packet savings = %v", res.Savings)
+	}
+	if res.Delivered+res.Dropped != len(arr) {
+		t.Errorf("conservation: %d+%d != %d", res.Delivered, res.Dropped, len(arr))
+	}
+}
+
+func TestSimulatePacketsTinyBufferDrops(t *testing.T) {
+	cfg := pktCfg()
+	cfg.BufferBits = 2 * bigFrame
+	cfg.WakeLatency = 0.5
+	times, demand := mlDemand(t, 100, 0.05, 2, 0.2, 0.9)
+	pol, _ := NewReactive(4, 1, 0.8, 0.5)
+	arr, err := ArrivalsFromDemand(cfg, times, demand, bigFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulatePackets(cfg, arr, pol, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Error("expected drops with a 2-frame buffer and slow wake")
+	}
+}
+
+func TestSimulatePacketsValidation(t *testing.T) {
+	cfg := pktCfg()
+	pol := AlwaysOn{Pipelines: 4}
+	arr := []Arrival{{At: 0, Bits: bigFrame}}
+	if _, err := SimulatePackets(cfg, nil, pol, 0.05); err == nil {
+		t.Error("no arrivals accepted")
+	}
+	if _, err := SimulatePackets(cfg, arr, pol, 0); err == nil {
+		t.Error("zero tick accepted")
+	}
+	if _, err := SimulatePackets(cfg, arr, nil, 0.05); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := SimulatePackets(cfg, []Arrival{{At: -1, Bits: 1}}, pol, 0.05); err == nil {
+		t.Error("negative arrival accepted")
+	}
+	if _, err := SimulatePackets(cfg, []Arrival{{At: 0, Bits: 0}}, pol, 0.05); err == nil {
+		t.Error("zero-bit frame accepted")
+	}
+	bad := cfg
+	bad.MinActive = 0
+	if _, err := SimulatePackets(bad, arr, pol, 0.05); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,329 @@
+// Package parking implements §4.4's dynamic optimization: turning entire
+// pipelines off. A circuit switch between the physical ports and the ASIC
+// (Fig. 5) breaks the fixed port-to-pipeline mapping, so traffic can be
+// concentrated onto a few active pipelines while the rest power down.
+//
+// The simulator drives a parking policy over a sampled demand trace and
+// accounts for the §4.4 trade-offs: the circuit switch's own power, the
+// wake latency of a parked pipeline (demand arriving before capacity is
+// back gets buffered — or dropped when the buffer overflows), and the
+// buffering delay this adds.
+package parking
+
+import (
+	"fmt"
+	"math"
+
+	"netpowerprop/internal/asic"
+	"netpowerprop/internal/units"
+)
+
+// Config sizes the parking-capable switch.
+type Config struct {
+	// ASIC is the chip being parked.
+	ASIC asic.Config
+	// CircuitSwitchPower is the indirection layer's constant draw. The
+	// paper postulates it is small (it only redirects signals) but grows
+	// if buffers are added.
+	CircuitSwitchPower units.Power
+	// WakeLatency is how long an off pipeline takes to come back.
+	WakeLatency units.Seconds
+	// BufferBits bounds the backlog the circuit switch can hold while
+	// capacity catches up; excess is dropped (or, equivalently, paused at
+	// the sender via Ethernet pause frames — we count it as loss here).
+	BufferBits float64
+	// MinActive floors the number of powered pipelines.
+	MinActive int
+}
+
+// DefaultConfig pairs the default ASIC with a 5 W buffered electrical
+// circuit switch, a 10 ms pipeline wake, a 100 MB buffer, and one pipeline
+// always on.
+func DefaultConfig() Config {
+	return Config{
+		ASIC:               asic.DefaultConfig(),
+		CircuitSwitchPower: 5 * units.Watt,
+		WakeLatency:        10e-3,
+		BufferBits:         8 * 100e6,
+		MinActive:          1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.CircuitSwitchPower < 0 {
+		return fmt.Errorf("parking: negative circuit switch power %v", c.CircuitSwitchPower)
+	}
+	if c.WakeLatency < 0 {
+		return fmt.Errorf("parking: negative wake latency %v", c.WakeLatency)
+	}
+	if c.BufferBits < 0 {
+		return fmt.Errorf("parking: negative buffer %v", c.BufferBits)
+	}
+	if c.MinActive < 1 || c.MinActive > c.ASIC.Pipelines {
+		return fmt.Errorf("parking: min active %d outside [1,%d]", c.MinActive, c.ASIC.Pipelines)
+	}
+	return nil
+}
+
+// Policy decides how many pipelines should be active for the next interval.
+type Policy interface {
+	Name() string
+	// Decide sees the current time, the switch-wide offered utilization
+	// (fraction of full-ASIC capacity) observed over the last interval,
+	// and the currently active pipeline count.
+	Decide(now units.Seconds, util float64, active int) int
+}
+
+// AlwaysOn keeps every pipeline powered (today's behavior).
+type AlwaysOn struct{ Pipelines int }
+
+// Name implements Policy.
+func (AlwaysOn) Name() string { return "always-on" }
+
+// Decide implements Policy.
+func (a AlwaysOn) Decide(units.Seconds, float64, int) int { return a.Pipelines }
+
+// Reactive turns a pipeline off when the remaining ones could absorb the
+// load below the down-threshold, and turns one on when utilization of the
+// active set crosses the up-threshold — §4.4's "reactive manner".
+type Reactive struct {
+	Pipelines int
+	MinActive int
+	// UpThreshold and DownThreshold are utilizations of the *active*
+	// capacity; Up > Down gives hysteresis.
+	UpThreshold   float64
+	DownThreshold float64
+}
+
+// NewReactive validates and builds the policy.
+func NewReactive(pipelines, minActive int, up, down float64) (*Reactive, error) {
+	if pipelines < 1 || minActive < 1 || minActive > pipelines {
+		return nil, fmt.Errorf("parking: pipelines %d / min %d invalid", pipelines, minActive)
+	}
+	if down <= 0 || up <= down || up > 1 {
+		return nil, fmt.Errorf("parking: thresholds up %v / down %v invalid (need 0 < down < up <= 1)", up, down)
+	}
+	return &Reactive{Pipelines: pipelines, MinActive: minActive, UpThreshold: up, DownThreshold: down}, nil
+}
+
+// Name implements Policy.
+func (r *Reactive) Name() string { return "reactive" }
+
+// Decide implements Policy.
+func (r *Reactive) Decide(_ units.Seconds, util float64, active int) int {
+	if active < r.MinActive {
+		active = r.MinActive
+	}
+	perPipe := 1.0 / float64(r.Pipelines)
+	activeUtil := util / (float64(active) * perPipe)
+	switch {
+	case activeUtil > r.UpThreshold && active < r.Pipelines:
+		return active + 1
+	case active > r.MinActive:
+		// Would the load fit on one fewer pipeline below the down
+		// threshold?
+		if util/(float64(active-1)*perPipe) < r.DownThreshold {
+			return active - 1
+		}
+	}
+	return active
+}
+
+// Scheduled exploits ML training predictability: it powers up to High
+// pipelines a lead time before each periodic communication window and
+// drops to Low outside it — §4.4's "orchestrate when pipelines are turned
+// on and off based on when traffic is expected".
+type Scheduled struct {
+	Period units.Seconds
+	// Window is the communication window length at the end of each period.
+	Window units.Seconds
+	// Lead wakes pipelines this long before the window opens (covering the
+	// wake latency).
+	Lead      units.Seconds
+	Low, High int
+}
+
+// NewScheduled validates and builds the policy.
+func NewScheduled(period, window, lead units.Seconds, low, high int) (*Scheduled, error) {
+	if period <= 0 || window <= 0 || window > period {
+		return nil, fmt.Errorf("parking: window %v / period %v invalid", window, period)
+	}
+	if lead < 0 || lead > period-window {
+		return nil, fmt.Errorf("parking: lead %v outside [0, %v]", lead, period-window)
+	}
+	if low < 1 || high < low {
+		return nil, fmt.Errorf("parking: counts low %d / high %d invalid", low, high)
+	}
+	return &Scheduled{Period: period, Window: window, Lead: lead, Low: low, High: high}, nil
+}
+
+// Name implements Policy.
+func (s *Scheduled) Name() string { return "scheduled" }
+
+// Decide implements Policy.
+func (s *Scheduled) Decide(now units.Seconds, _ float64, _ int) int {
+	phase := math.Mod(float64(now), float64(s.Period))
+	wakeAt := float64(s.Period - s.Window - s.Lead)
+	if phase >= wakeAt {
+		return s.High
+	}
+	return s.Low
+}
+
+// Result summarizes a parking run.
+type Result struct {
+	Energy   units.Energy
+	Baseline units.Energy
+	Savings  float64
+	// Reconfigurations counts pipeline state changes.
+	Reconfigurations int
+	// DroppedBits overflowed the circuit-switch buffer.
+	DroppedBits float64
+	// OfferedBits is the total offered demand.
+	OfferedBits float64
+	// MaxBacklogBits and MeanDelay quantify the buffering cost; MeanDelay
+	// is the backlog-weighted average delay proxy (backlog / active
+	// capacity).
+	MaxBacklogBits float64
+	MeanDelay      units.Seconds
+	MaxDelay       units.Seconds
+	// MeanActive is the time-averaged active pipeline count.
+	MeanActive float64
+	Horizon    units.Seconds
+}
+
+// Simulate drives a policy over a sampled demand trace. times must be
+// uniformly spaced; demand[i] is the switch-wide offered utilization (of
+// the full ASIC capacity) during interval i. The ASIC's ports stay powered
+// (the circuit switch still needs the SerDes); only pipelines park.
+func Simulate(cfg Config, times []units.Seconds, demand []float64, pol Policy) (Result, error) {
+	var res Result
+	if err := cfg.Validate(); err != nil {
+		return res, err
+	}
+	if len(times) < 2 || len(demand) != len(times) {
+		return res, fmt.Errorf("parking: need matching times/demand with >= 2 samples (have %d/%d)", len(times), len(demand))
+	}
+	step := times[1] - times[0]
+	if step <= 0 {
+		return res, fmt.Errorf("parking: non-increasing sample times")
+	}
+	if pol == nil {
+		return res, fmt.Errorf("parking: nil policy")
+	}
+
+	a, err := asic.New(cfg.ASIC)
+	if err != nil {
+		return res, err
+	}
+	base, err := asic.New(cfg.ASIC)
+	if err != nil {
+		return res, err
+	}
+	totalCap := float64(asicCapacity(cfg.ASIC))
+	perPipeCap := totalCap / float64(cfg.ASIC.Pipelines)
+
+	active := cfg.ASIC.Pipelines
+	// pendingWake[t] pipelines become active at time t (wake latency).
+	type wake struct {
+		at    units.Seconds
+		count int
+	}
+	var pending []wake
+	backlog := 0.0
+	var delayWeighted, backlogTime float64
+
+	for i, now := range times {
+		u := demand[i]
+		if u < 0 || u > 1 {
+			return res, fmt.Errorf("parking: demand %v outside [0,1] at sample %d", u, i)
+		}
+		// Apply completed wakes.
+		effective := active
+		var stillPending []wake
+		for _, w := range pending {
+			if w.at <= now {
+				effective += w.count
+			} else {
+				stillPending = append(stillPending, w)
+			}
+		}
+		pending = stillPending
+		pendingCount := 0
+		for _, w := range pending {
+			pendingCount += w.count
+		}
+		active = effective
+
+		want := pol.Decide(now, u, active)
+		if want < cfg.MinActive {
+			want = cfg.MinActive
+		}
+		if want > cfg.ASIC.Pipelines {
+			want = cfg.ASIC.Pipelines
+		}
+		switch {
+		case want > active+pendingCount:
+			// Wake the difference; capacity arrives after the latency.
+			n := want - active - pendingCount
+			pending = append(pending, wake{at: now + cfg.WakeLatency, count: n})
+			res.Reconfigurations += n
+		case want < active:
+			// Parking is immediate (drain first in hardware; the backlog
+			// model below charges any resulting shortfall).
+			res.Reconfigurations += active - want
+			active = want
+		}
+
+		// Configure the ASIC: pipelines [0,active) on, rest off.
+		for p := 0; p < cfg.ASIC.Pipelines; p++ {
+			if err := a.SetPipeline(p, p < active); err != nil {
+				return res, err
+			}
+		}
+
+		// Traffic accounting over the interval.
+		offered := u * totalCap * float64(step)
+		capacity := float64(active) * perPipeCap * float64(step)
+		res.OfferedBits += offered
+		backlog += offered - capacity
+		if backlog < 0 {
+			backlog = 0
+		}
+		if backlog > cfg.BufferBits {
+			res.DroppedBits += backlog - cfg.BufferBits
+			backlog = cfg.BufferBits
+		}
+		if backlog > res.MaxBacklogBits {
+			res.MaxBacklogBits = backlog
+		}
+		if backlog > 0 {
+			d := backlog / (float64(active) * perPipeCap)
+			delayWeighted += d * float64(step)
+			backlogTime += float64(step)
+			if units.Seconds(d) > res.MaxDelay {
+				res.MaxDelay = units.Seconds(d)
+			}
+		}
+
+		res.Energy += units.EnergyOver(a.Power()+cfg.CircuitSwitchPower, step)
+		res.Baseline += units.EnergyOver(base.Power(), step)
+		res.MeanActive += float64(active)
+	}
+	res.Horizon = step * units.Seconds(len(times))
+	res.MeanActive /= float64(len(times))
+	if backlogTime > 0 {
+		res.MeanDelay = units.Seconds(delayWeighted / backlogTime)
+	}
+	if res.Baseline > 0 {
+		res.Savings = 1 - float64(res.Energy)/float64(res.Baseline)
+	}
+	return res, nil
+}
+
+// asicCapacity returns the chip's aggregate forwarding capacity, assuming
+// the port count times a 400 G port (the paper's 51.2 Tbps switch).
+func asicCapacity(cfg asic.Config) units.Bandwidth {
+	return units.Bandwidth(float64(cfg.Ports)) * 400 * units.Gbps
+}

@@ -1,0 +1,283 @@
+package parking
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netpowerprop/internal/traffic"
+	"netpowerprop/internal/units"
+)
+
+func mlDemand(t *testing.T, n int, step units.Seconds, period units.Seconds, ratio, level float64) ([]units.Seconds, []float64) {
+	t.Helper()
+	prof, err := traffic.MLPeriodic(ratio, period, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]units.Seconds, n)
+	demand := make([]float64, n)
+	for i := range times {
+		times[i] = units.Seconds(i) * step
+		demand[i] = prof(times[i])
+	}
+	return times, demand
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.CircuitSwitchPower = -1 },
+		func(c *Config) { c.WakeLatency = -1 },
+		func(c *Config) { c.BufferBits = -1 },
+		func(c *Config) { c.MinActive = 0 },
+		func(c *Config) { c.MinActive = 99 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestAlwaysOnMatchesBaselinePlusCircuitSwitch(t *testing.T) {
+	cfg := DefaultConfig()
+	times, demand := mlDemand(t, 200, 0.05, 1, 0.2, 0.5)
+	res, err := Simulate(cfg, times, demand, AlwaysOn{Pipelines: cfg.ASIC.Pipelines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Always-on with a circuit switch costs slightly MORE than baseline:
+	// the indirection hardware isn't free.
+	wantExtra := units.EnergyOver(cfg.CircuitSwitchPower, res.Horizon)
+	if math.Abs(float64(res.Energy-res.Baseline-wantExtra)) > 1e-6 {
+		t.Errorf("always-on energy = %v, want baseline %v + circuit switch %v",
+			res.Energy, res.Baseline, wantExtra)
+	}
+	if res.Savings >= 0 {
+		t.Errorf("always-on savings = %v, want negative (circuit switch overhead)", res.Savings)
+	}
+	if res.DroppedBits != 0 || res.MaxBacklogBits != 0 {
+		t.Errorf("always-on should never buffer: %+v", res)
+	}
+	if res.MeanActive != 4 {
+		t.Errorf("mean active = %v, want 4", res.MeanActive)
+	}
+}
+
+func TestReactiveParksDuringCompute(t *testing.T) {
+	cfg := DefaultConfig()
+	// ML pattern: 80% of the time idle, bursts to 50% utilization.
+	times, demand := mlDemand(t, 400, 0.05, 2, 0.2, 0.5)
+	pol, err := NewReactive(4, 1, 0.8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(cfg, times, demand, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Savings <= 0.05 {
+		t.Errorf("reactive savings = %v, want > 5%%", res.Savings)
+	}
+	if res.MeanActive >= 4 || res.MeanActive < 1 {
+		t.Errorf("mean active = %v", res.MeanActive)
+	}
+	if res.Reconfigurations == 0 {
+		t.Error("reactive never reconfigured on periodic load")
+	}
+	// Wake latency on burst onset causes some buffering.
+	if res.MaxBacklogBits == 0 {
+		t.Error("expected backlog at burst onsets with 10 ms wake latency")
+	}
+}
+
+func TestScheduledAvoidsBacklog(t *testing.T) {
+	cfg := DefaultConfig()
+	period := units.Seconds(2.0)
+	times, demand := mlDemand(t, 400, 0.05, period, 0.2, 0.5)
+	// Lead covers the wake latency plus one sampling step (the policy is
+	// evaluated at interval granularity).
+	sched, err := NewScheduled(period, 0.4, 0.1, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(cfg, times, demand, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedBits != 0 {
+		t.Errorf("scheduled policy dropped %v bits", res.DroppedBits)
+	}
+	if res.MaxBacklogBits > 0 {
+		t.Errorf("scheduled policy backlog = %v bits, want 0", res.MaxBacklogBits)
+	}
+	if res.Savings <= 0.05 {
+		t.Errorf("scheduled savings = %v", res.Savings)
+	}
+}
+
+func TestScheduledBeatsReactiveOnLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	period := units.Seconds(2.0)
+	times, demand := mlDemand(t, 800, 0.05, period, 0.2, 0.5)
+	reactive, _ := NewReactive(4, 1, 0.8, 0.5)
+	sched, _ := NewScheduled(period, 0.4, 0.1, 1, 4)
+	r1, err := Simulate(cfg, times, demand, reactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(cfg, times, demand, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oracle schedule eliminates the wake-latency backlog the reactive
+	// policy pays at every burst onset (§4.4's predictability argument).
+	if r2.MaxDelay >= r1.MaxDelay {
+		t.Errorf("scheduled max delay %v should beat reactive %v", r2.MaxDelay, r1.MaxDelay)
+	}
+}
+
+func TestBufferOverflowDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BufferBits = 1e6 // 125 kB: tiny
+	cfg.WakeLatency = 0.5
+	times, demand := mlDemand(t, 200, 0.05, 2, 0.2, 0.9)
+	pol, _ := NewReactive(4, 1, 0.8, 0.5)
+	res, err := Simulate(cfg, times, demand, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedBits <= 0 {
+		t.Error("expected drops with a tiny buffer and 0.5 s wake latency")
+	}
+	if res.DroppedBits >= res.OfferedBits {
+		t.Errorf("drops %v exceed offered %v", res.DroppedBits, res.OfferedBits)
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	if _, err := NewReactive(0, 1, 0.8, 0.5); err == nil {
+		t.Error("zero pipelines accepted")
+	}
+	if _, err := NewReactive(4, 5, 0.8, 0.5); err == nil {
+		t.Error("min > pipelines accepted")
+	}
+	if _, err := NewReactive(4, 1, 0.5, 0.8); err == nil {
+		t.Error("up <= down accepted")
+	}
+	if _, err := NewReactive(4, 1, 1.5, 0.5); err == nil {
+		t.Error("up > 1 accepted")
+	}
+	if _, err := NewScheduled(0, 0.4, 0.1, 1, 4); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := NewScheduled(2, 3, 0.1, 1, 4); err == nil {
+		t.Error("window > period accepted")
+	}
+	if _, err := NewScheduled(2, 0.4, 1.7, 1, 4); err == nil {
+		t.Error("excess lead accepted")
+	}
+	if _, err := NewScheduled(2, 0.4, 0.1, 0, 4); err == nil {
+		t.Error("zero low accepted")
+	}
+	if _, err := NewScheduled(2, 0.4, 0.1, 3, 2); err == nil {
+		t.Error("high < low accepted")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	times, demand := mlDemand(t, 10, 0.1, 1, 0.2, 0.5)
+	pol := AlwaysOn{Pipelines: 4}
+	if _, err := Simulate(cfg, times[:1], demand[:1], pol); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := Simulate(cfg, times, demand[:5], pol); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Simulate(cfg, times, demand, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+	bad := append([]float64{}, demand...)
+	bad[3] = 2
+	if _, err := Simulate(cfg, times, bad, pol); err == nil {
+		t.Error("demand > 1 accepted")
+	}
+	badCfg := cfg
+	badCfg.MinActive = 0
+	if _, err := Simulate(badCfg, times, demand, pol); err == nil {
+		t.Error("invalid config accepted")
+	}
+	rev := append([]units.Seconds{}, times...)
+	rev[1] = rev[0]
+	if _, err := Simulate(cfg, rev, demand, pol); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+}
+
+func TestReactiveDecideBounds(t *testing.T) {
+	pol, _ := NewReactive(4, 1, 0.8, 0.5)
+	// High load on few pipelines: scale up one at a time.
+	if got := pol.Decide(0, 0.9, 2); got != 3 {
+		t.Errorf("scale up = %d, want 3", got)
+	}
+	// Cannot exceed pipeline count.
+	if got := pol.Decide(0, 1.0, 4); got != 4 {
+		t.Errorf("at max = %d, want 4", got)
+	}
+	// Low load: scale down.
+	if got := pol.Decide(0, 0.05, 2); got != 1 {
+		t.Errorf("scale down = %d, want 1", got)
+	}
+	// Never below min.
+	if got := pol.Decide(0, 0, 1); got != 1 {
+		t.Errorf("at min = %d, want 1", got)
+	}
+}
+
+// Property: conservation — delivered bits (offered - dropped) never exceed
+// offered; energy within [minActive floor, always-on + circuit switch];
+// mean active within [min, pipelines].
+func TestSimulateInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed uint16, lvlRaw uint8) bool {
+		level := 0.1 + float64(lvlRaw%80)/100
+		n := 100
+		times := make([]units.Seconds, n)
+		demand := make([]float64, n)
+		x := float64(seed) / 65536
+		for i := range times {
+			times[i] = units.Seconds(i) * 0.05
+			x = math.Mod(x*1.9+0.07, 1.0)
+			if x < 0.5 {
+				demand[i] = 0
+			} else {
+				demand[i] = level
+			}
+		}
+		pol, err := NewReactive(4, 1, 0.8, 0.5)
+		if err != nil {
+			return false
+		}
+		res, err := Simulate(cfg, times, demand, pol)
+		if err != nil {
+			return false
+		}
+		if res.DroppedBits < 0 || res.DroppedBits > res.OfferedBits+1e-6 {
+			return false
+		}
+		if res.MeanActive < 1 || res.MeanActive > 4 {
+			return false
+		}
+		ceiling := res.Baseline + units.EnergyOver(cfg.CircuitSwitchPower, res.Horizon)
+		return res.Energy <= ceiling+1 && res.Energy > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+package power_test
+
+import (
+	"fmt"
+	"log"
+
+	"netpowerprop/internal/power"
+	"netpowerprop/internal/units"
+)
+
+// Eq. 1 on the paper's numbers: a 500 W GPU unit idling at 75 W is 85%
+// power proportional; a 750 W switch idling at 675 W is 10%.
+func ExampleProportionality() {
+	gpu, err := power.Proportionality(500*units.Watt, 75*units.Watt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw, err := power.Proportionality(750*units.Watt, 675*units.Watt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GPU unit: %.0f%%\n", gpu*100)
+	fmt.Printf("switch:   %.0f%%\n", sw*100)
+	// Output:
+	// GPU unit: 85%
+	// switch:   10%
+}
+
+// The §3.1 efficiency metric: a 10%-proportional device that is busy 10%
+// of the time wastes 89% of its energy idling.
+func ExampleModel_Efficiency() {
+	m, err := power.NewModel(750*units.Watt, 0.10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iteration := []power.Phase{
+		{Duration: 0.9, Busy: false},
+		{Duration: 0.1, Busy: true},
+	}
+	fmt.Printf("efficiency: %.1f%%\n", m.Efficiency(iteration)*100)
+	// Output:
+	// efficiency: 11.0%
+}

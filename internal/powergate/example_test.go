@@ -1,0 +1,42 @@
+package powergate_test
+
+import (
+	"fmt"
+	"log"
+
+	"netpowerprop/internal/asic"
+	"netpowerprop/internal/powergate"
+)
+
+// Evaluate walks the §4.1 mode ladder for a half-used L2 switch: the
+// governor picks the deepest mode within the deployment's wake budget.
+func ExampleEvaluate() {
+	ports := make([]int, 64) // 64 of 128 ports carry links
+	for i := range ports {
+		ports[i] = i
+	}
+	deployment := powergate.Deployment{
+		UsedPorts:   ports,
+		NeedsL3:     false, // pure L2 role
+		FIBFraction: 0.25,  // route-reflector client
+		WakeBudget:  1,     // seconds
+	}
+	reports, err := powergate.Evaluate(asic.DefaultConfig(), deployment)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reports {
+		fmt.Printf("%s: %v (%.1f%% saved)\n", r.Mode.Name, r.Power, r.Savings*100)
+	}
+	best, err := powergate.Best(reports)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("governor: %s\n", best.Mode.Name)
+	// Output:
+	// PM0: 750 W (0.0% saved)
+	// PM1: 618.75 W (17.5% saved)
+	// PM2: 478.125 W (36.2% saved)
+	// PM3: 393.75 W (47.5% saved)
+	// governor: PM3
+}

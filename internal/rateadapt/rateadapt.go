@@ -1,0 +1,288 @@
+// Package rateadapt implements §4.3's dynamic optimization: rate
+// adaptation. Packet pipelines scale their clock frequency to the offered
+// load, saving dynamic power. The package provides reactive and
+// EWMA-predictive controllers with hysteresis, a "global" mode that
+// reproduces today's limitation of clocking every pipeline jointly, and an
+// option to combine frequency scaling with SerDes power gating — the
+// combination the paper argues is needed for real savings.
+package rateadapt
+
+import (
+	"fmt"
+
+	"netpowerprop/internal/asic"
+	"netpowerprop/internal/stats"
+	"netpowerprop/internal/units"
+)
+
+// Controller maps an observed pipeline utilization (fraction of pipeline
+// capacity, [0,1]) to a frequency setting in [MinFreq, 1].
+type Controller interface {
+	Name() string
+	// Decide returns the frequency for the next interval given the
+	// utilization observed over the last one.
+	Decide(util float64) float64
+}
+
+// Static always runs at full frequency (today's default behavior).
+type Static struct{}
+
+// Name implements Controller.
+func (Static) Name() string { return "static" }
+
+// Decide implements Controller.
+func (Static) Decide(float64) float64 { return 1 }
+
+// Reactive tracks the last observed utilization with headroom and
+// hysteresis: frequency rises immediately when utilization exceeds the
+// current setting, but only falls when the setting exceeds need by the
+// hysteresis margin — avoiding oscillation on noisy load.
+type Reactive struct {
+	// Headroom multiplies the observed load to leave slack for bursts
+	// (e.g. 1.25 runs 25% above observed need).
+	Headroom float64
+	// MinFreq floors the frequency (pipelines cannot clock to zero; §4.4
+	// handles turning them off entirely).
+	MinFreq float64
+	// Hysteresis is the downward margin: the frequency only drops when
+	// need + Hysteresis < current.
+	Hysteresis float64
+
+	current float64
+}
+
+// NewReactive validates and builds a reactive controller.
+func NewReactive(headroom, minFreq, hysteresis float64) (*Reactive, error) {
+	if headroom < 1 {
+		return nil, fmt.Errorf("rateadapt: headroom %v must be >= 1", headroom)
+	}
+	if minFreq <= 0 || minFreq > 1 {
+		return nil, fmt.Errorf("rateadapt: min frequency %v outside (0,1]", minFreq)
+	}
+	if hysteresis < 0 || hysteresis > 1 {
+		return nil, fmt.Errorf("rateadapt: hysteresis %v outside [0,1]", hysteresis)
+	}
+	return &Reactive{Headroom: headroom, MinFreq: minFreq, Hysteresis: hysteresis, current: 1}, nil
+}
+
+// Name implements Controller.
+func (r *Reactive) Name() string { return "reactive" }
+
+// Decide implements Controller.
+func (r *Reactive) Decide(util float64) float64 {
+	need := stats.Clamp(util*r.Headroom, r.MinFreq, 1)
+	switch {
+	case need > r.current:
+		r.current = need
+	case need+r.Hysteresis < r.current:
+		r.current = need
+	}
+	return r.current
+}
+
+// Predictive smooths utilization with an EWMA before applying headroom —
+// §4.3's "dynamically adapt to the load" with a memory, suited to the
+// predictable periodic load of ML training.
+type Predictive struct {
+	Headroom float64
+	MinFreq  float64
+	ewma     stats.EWMA
+}
+
+// NewPredictive validates and builds a predictive controller. alpha is the
+// EWMA smoothing factor in (0,1].
+func NewPredictive(headroom, minFreq, alpha float64) (*Predictive, error) {
+	if headroom < 1 {
+		return nil, fmt.Errorf("rateadapt: headroom %v must be >= 1", headroom)
+	}
+	if minFreq <= 0 || minFreq > 1 {
+		return nil, fmt.Errorf("rateadapt: min frequency %v outside (0,1]", minFreq)
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("rateadapt: alpha %v outside (0,1]", alpha)
+	}
+	return &Predictive{Headroom: headroom, MinFreq: minFreq, ewma: stats.EWMA{Alpha: alpha}}, nil
+}
+
+// Name implements Controller.
+func (p *Predictive) Name() string { return "predictive" }
+
+// Decide implements Controller.
+func (p *Predictive) Decide(util float64) float64 {
+	smoothed := p.ewma.Update(util)
+	// Never clock below the instantaneous need: smoothing must not shed
+	// packets during a burst the EWMA has not caught up with.
+	need := smoothed
+	if util > need {
+		need = util
+	}
+	return stats.Clamp(need*p.Headroom, p.MinFreq, 1)
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// Global clocks all pipelines jointly at the maximum decided frequency
+	// — reproducing the "all pipelines controlled jointly by the ASIC's
+	// frequency" limitation of today's routers.
+	Global bool
+	// GateIdleSerDes additionally powers off the SerDes of pipelines with
+	// zero utilization in an interval — the paper's point that frequency
+	// scaling must work with power gating to be really efficient.
+	GateIdleSerDes bool
+	// PipelineCapacity and FrameBits, when both positive, enable the
+	// M/D/1 queueing-delay estimate: a pipeline at frequency f serves
+	// frames at f·PipelineCapacity.
+	PipelineCapacity units.Bandwidth
+	FrameBits        float64
+}
+
+// md1Wait returns the M/D/1 mean waiting time for load rho on a server
+// with the given deterministic service time: W = rho·S / (2(1−rho)).
+// Loads at or above 1 return the saturated-interval bound instead (the
+// queue grows without limit within the interval; callers cap at the
+// interval length elsewhere via ShortfallTime).
+func md1Wait(rho, service float64) float64 {
+	if rho <= 0 {
+		return 0
+	}
+	if rho >= 1 {
+		rho = 0.999 // report a large finite wait; shortfall is tracked separately
+	}
+	return rho * service / (2 * (1 - rho))
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Energy under the controller; Baseline at full frequency throughout.
+	Energy   units.Energy
+	Baseline units.Energy
+	Savings  float64
+	// ShortfallTime accumulates interval time where a pipeline's frequency
+	// was below its utilization (capacity shortfall: queueing/loss proxy).
+	ShortfallTime units.Seconds
+	// MeanFreq is the time-averaged frequency across pipelines.
+	MeanFreq float64
+	// Horizon is the simulated span.
+	Horizon units.Seconds
+	// MeanQueueingDelay and MaxQueueingDelay estimate the latency cost of
+	// running pipelines slower (§4.3's challenge): an M/D/1 waiting-time
+	// estimate per busy interval, averaged over traffic. Zero when
+	// Options.FrameBits or PipelineCapacity is unset.
+	MeanQueueingDelay units.Seconds
+	MaxQueueingDelay  units.Seconds
+	// BaselineQueueingDelay is the same estimate at full frequency, for
+	// comparison.
+	BaselineQueueingDelay units.Seconds
+}
+
+// Simulate drives per-pipeline controllers over sampled utilizations.
+// times[i] is the start of interval i (uniformly spaced, step inferred
+// from the first two samples); utils[pipe][i] is pipeline pipe's offered
+// utilization during interval i. newController builds one controller per
+// pipeline (controllers are stateful).
+func Simulate(cfg asic.Config, times []units.Seconds, utils [][]float64, newController func() Controller, opts Options) (Result, error) {
+	var res Result
+	if len(times) < 2 {
+		return res, fmt.Errorf("rateadapt: need at least 2 samples, have %d", len(times))
+	}
+	if len(utils) != cfg.Pipelines {
+		return res, fmt.Errorf("rateadapt: %d utilization rows for %d pipelines", len(utils), cfg.Pipelines)
+	}
+	for p, row := range utils {
+		if len(row) != len(times) {
+			return res, fmt.Errorf("rateadapt: pipeline %d has %d samples, want %d", p, len(row), len(times))
+		}
+	}
+	step := times[1] - times[0]
+	if step <= 0 {
+		return res, fmt.Errorf("rateadapt: non-increasing sample times")
+	}
+
+	a, err := asic.New(cfg)
+	if err != nil {
+		return res, err
+	}
+	base, err := asic.New(cfg)
+	if err != nil {
+		return res, err
+	}
+	ctrls := make([]Controller, cfg.Pipelines)
+	for p := range ctrls {
+		ctrls[p] = newController()
+		if ctrls[p] == nil {
+			return res, fmt.Errorf("rateadapt: newController returned nil")
+		}
+	}
+
+	var freqSum float64
+	var delayAcc, baseDelayAcc, trafficAcc float64
+	delayModel := opts.PipelineCapacity > 0 && opts.FrameBits > 0
+	for i := range times {
+		freqs := make([]float64, cfg.Pipelines)
+		for p := range ctrls {
+			u := utils[p][i]
+			if u < 0 || u > 1 {
+				return res, fmt.Errorf("rateadapt: utilization %v outside [0,1] (pipeline %d, sample %d)", u, p, i)
+			}
+			freqs[p] = ctrls[p].Decide(u)
+		}
+		if opts.Global {
+			maxF := 0.0
+			for _, f := range freqs {
+				if f > maxF {
+					maxF = f
+				}
+			}
+			for p := range freqs {
+				freqs[p] = maxF
+			}
+		}
+		for p, f := range freqs {
+			if err := a.SetPipelineFreq(p, f); err != nil {
+				return res, err
+			}
+			ports, err := a.PortsOf(p)
+			if err != nil {
+				return res, err
+			}
+			gate := opts.GateIdleSerDes && utils[p][i] == 0
+			for _, port := range ports {
+				if err := a.SetPort(port, !gate); err != nil {
+					return res, err
+				}
+			}
+			if utils[p][i] > freqs[p]+1e-12 {
+				res.ShortfallTime += step
+			}
+			freqSum += f
+			if delayModel && utils[p][i] > 0 {
+				// Traffic-weighted M/D/1 waiting time: service time is one
+				// frame at the scaled rate; load is util relative to the
+				// scaled capacity.
+				weight := utils[p][i] * float64(step)
+				svc := opts.FrameBits / (f * float64(opts.PipelineCapacity))
+				wait := md1Wait(utils[p][i]/f, svc)
+				svcFull := opts.FrameBits / float64(opts.PipelineCapacity)
+				waitFull := md1Wait(utils[p][i], svcFull)
+				delayAcc += wait * weight
+				baseDelayAcc += waitFull * weight
+				trafficAcc += weight
+				if units.Seconds(wait) > res.MaxQueueingDelay {
+					res.MaxQueueingDelay = units.Seconds(wait)
+				}
+			}
+		}
+		res.Energy += units.EnergyOver(a.Power(), step)
+		res.Baseline += units.EnergyOver(base.Power(), step)
+	}
+	res.Horizon = step * units.Seconds(len(times))
+	res.MeanFreq = freqSum / float64(len(times)*cfg.Pipelines)
+	if res.Baseline > 0 {
+		res.Savings = 1 - float64(res.Energy)/float64(res.Baseline)
+	}
+	if trafficAcc > 0 {
+		res.MeanQueueingDelay = units.Seconds(delayAcc / trafficAcc)
+		res.BaselineQueueingDelay = units.Seconds(baseDelayAcc / trafficAcc)
+	}
+	return res, nil
+}

@@ -1,0 +1,349 @@
+package rateadapt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netpowerprop/internal/asic"
+	"netpowerprop/internal/traffic"
+	"netpowerprop/internal/units"
+)
+
+func sampleTimes(n int, step units.Seconds) []units.Seconds {
+	out := make([]units.Seconds, n)
+	for i := range out {
+		out[i] = units.Seconds(i) * step
+	}
+	return out
+}
+
+// mlUtils builds per-pipeline utilization rows from an ML periodic profile,
+// with some pipelines idle (their ports unused by the job).
+func mlUtils(t *testing.T, cfg asic.Config, n int, step units.Seconds, busyPipelines int) ([]units.Seconds, [][]float64) {
+	t.Helper()
+	prof, err := traffic.MLPeriodic(0.2, 10, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := sampleTimes(n, step)
+	utils := make([][]float64, cfg.Pipelines)
+	for p := range utils {
+		utils[p] = make([]float64, n)
+		if p >= busyPipelines {
+			continue
+		}
+		for i, ts := range times {
+			utils[p][i] = prof(ts)
+		}
+	}
+	return times, utils
+}
+
+func TestStaticControllerBaseline(t *testing.T) {
+	cfg := asic.DefaultConfig()
+	times, utils := mlUtils(t, cfg, 100, 0.5, 4)
+	res, err := Simulate(cfg, times, utils, func() Controller { return Static{} }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.Energy-res.Baseline)) > 1e-6 {
+		t.Errorf("static controller energy %v != baseline %v", res.Energy, res.Baseline)
+	}
+	if res.Savings != 0 || res.MeanFreq != 1 || res.ShortfallTime != 0 {
+		t.Errorf("static result = %+v", res)
+	}
+}
+
+func TestReactiveSavesOnPeriodicLoad(t *testing.T) {
+	cfg := asic.DefaultConfig()
+	times, utils := mlUtils(t, cfg, 200, 0.5, 4)
+	newCtrl := func() Controller {
+		c, err := NewReactive(1.1, 0.2, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	res, err := Simulate(cfg, times, utils, newCtrl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Savings <= 0.05 {
+		t.Errorf("reactive savings = %v, want > 5%% on an 80%%-idle load", res.Savings)
+	}
+	if res.ShortfallTime != 0 {
+		t.Errorf("reactive with headroom should have no shortfall, got %v", res.ShortfallTime)
+	}
+	if res.MeanFreq >= 1 || res.MeanFreq <= 0.2 {
+		t.Errorf("mean frequency = %v", res.MeanFreq)
+	}
+}
+
+func TestPerPipelineBeatsGlobal(t *testing.T) {
+	// Only one of four pipelines carries load: per-pipeline clocking slows
+	// the idle three; global clocking must keep all at the busy pipeline's
+	// frequency — the §4.3 argument for independent clock trees.
+	cfg := asic.DefaultConfig()
+	times, utils := mlUtils(t, cfg, 200, 0.5, 1)
+	mk := func() Controller {
+		c, _ := NewReactive(1.1, 0.2, 0.1)
+		return c
+	}
+	per, err := Simulate(cfg, times, utils, mk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := Simulate(cfg, times, utils, mk, Options{Global: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per.Energy >= global.Energy {
+		t.Errorf("per-pipeline energy %v should beat global %v", per.Energy, global.Energy)
+	}
+}
+
+func TestGatingAmplifiesSavings(t *testing.T) {
+	// Idle pipelines with gated SerDes save far more than frequency
+	// scaling alone — the paper's point that rate adaptation must combine
+	// with power gating.
+	cfg := asic.DefaultConfig()
+	times, utils := mlUtils(t, cfg, 200, 0.5, 1)
+	mk := func() Controller {
+		c, _ := NewReactive(1.1, 0.2, 0.1)
+		return c
+	}
+	plain, err := Simulate(cfg, times, utils, mk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := Simulate(cfg, times, utils, mk, Options{GateIdleSerDes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated.Savings <= plain.Savings {
+		t.Errorf("gated savings %v should exceed plain %v", gated.Savings, plain.Savings)
+	}
+	// Three of four pipelines are fully idle; gating their SerDes alone is
+	// worth 3/4 x 35% = 26% of switch power.
+	if gated.Savings-plain.Savings < 0.20 {
+		t.Errorf("SerDes gating added only %v", gated.Savings-plain.Savings)
+	}
+}
+
+func TestPredictiveTracksBursts(t *testing.T) {
+	cfg := asic.DefaultConfig()
+	times, utils := mlUtils(t, cfg, 200, 0.5, 4)
+	mk := func() Controller {
+		c, err := NewPredictive(1.1, 0.2, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	res, err := Simulate(cfg, times, utils, mk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The predictive controller never clocks below instantaneous need.
+	if res.ShortfallTime != 0 {
+		t.Errorf("predictive shortfall = %v, want 0", res.ShortfallTime)
+	}
+	if res.Savings <= 0 {
+		t.Errorf("predictive savings = %v", res.Savings)
+	}
+}
+
+func TestReactiveHysteresis(t *testing.T) {
+	c, err := NewReactive(1.0, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts at full frequency; a clear drop follows the load down.
+	if f := c.Decide(0.5); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("dropped to %v, want 0.5", f)
+	}
+	// Rise is immediate.
+	if f := c.Decide(0.9); math.Abs(f-0.9) > 1e-12 {
+		t.Errorf("rise to %v, want 0.9", f)
+	}
+	// Small dip within hysteresis: hold.
+	if f := c.Decide(0.85); math.Abs(f-0.9) > 1e-12 {
+		t.Errorf("held at %v, want 0.9", f)
+	}
+	// Large dip: follow down.
+	if f := c.Decide(0.3); math.Abs(f-0.3) > 1e-12 {
+		t.Errorf("dropped to %v, want 0.3", f)
+	}
+	// Floor.
+	if f := c.Decide(0); math.Abs(f-0.1) > 1e-12 {
+		t.Errorf("floored at %v, want 0.1", f)
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	if _, err := NewReactive(0.9, 0.2, 0.1); err == nil {
+		t.Error("headroom < 1 accepted")
+	}
+	if _, err := NewReactive(1.1, 0, 0.1); err == nil {
+		t.Error("zero min freq accepted")
+	}
+	if _, err := NewReactive(1.1, 1.5, 0.1); err == nil {
+		t.Error("min freq > 1 accepted")
+	}
+	if _, err := NewReactive(1.1, 0.2, -0.1); err == nil {
+		t.Error("negative hysteresis accepted")
+	}
+	if _, err := NewPredictive(0.5, 0.2, 0.3); err == nil {
+		t.Error("predictive headroom < 1 accepted")
+	}
+	if _, err := NewPredictive(1.1, 0, 0.3); err == nil {
+		t.Error("predictive zero min freq accepted")
+	}
+	if _, err := NewPredictive(1.1, 0.2, 0); err == nil {
+		t.Error("predictive zero alpha accepted")
+	}
+	if (Static{}).Name() != "static" {
+		t.Error("static name")
+	}
+	r, _ := NewReactive(1.1, 0.2, 0.1)
+	if r.Name() != "reactive" {
+		t.Error("reactive name")
+	}
+	p, _ := NewPredictive(1.1, 0.2, 0.3)
+	if p.Name() != "predictive" {
+		t.Error("predictive name")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cfg := asic.DefaultConfig()
+	mk := func() Controller { return Static{} }
+	times, utils := mlUtils(nil2(t), cfg, 10, 1, 4)
+	if _, err := Simulate(cfg, times[:1], utils, mk, Options{}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := Simulate(cfg, times, utils[:2], mk, Options{}); err == nil {
+		t.Error("wrong pipeline count accepted")
+	}
+	short := [][]float64{{0}, {0}, {0}, {0}}
+	if _, err := Simulate(cfg, times, short, mk, Options{}); err == nil {
+		t.Error("short rows accepted")
+	}
+	bad := make([][]float64, 4)
+	for i := range bad {
+		bad[i] = make([]float64, len(times))
+	}
+	bad[0][0] = 2
+	if _, err := Simulate(cfg, times, bad, mk, Options{}); err == nil {
+		t.Error("utilization > 1 accepted")
+	}
+	if _, err := Simulate(cfg, times, utils, func() Controller { return nil }, Options{}); err == nil {
+		t.Error("nil controller accepted")
+	}
+	rev := []units.Seconds{1, 0, 2, 3, 4, 5, 6, 7, 8, 9}
+	if _, err := Simulate(cfg, rev, utils, mk, Options{}); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+}
+
+// nil2 adapts mlUtils's *testing.T requirement for validation tests.
+func nil2(t *testing.T) *testing.T { return t }
+
+func TestMD1Wait(t *testing.T) {
+	// rho=0.5, service 1us: W = 0.5*1e-6 / (2*0.5) = 0.5us.
+	if got := md1Wait(0.5, 1e-6); math.Abs(got-0.5e-6) > 1e-15 {
+		t.Errorf("md1Wait(0.5) = %v, want 0.5us", got)
+	}
+	if md1Wait(0, 1e-6) != 0 {
+		t.Error("zero load should have zero wait")
+	}
+	// Saturation returns a large finite value rather than infinity.
+	over := md1Wait(1.5, 1e-6)
+	if math.IsInf(over, 0) || over <= md1Wait(0.9, 1e-6) {
+		t.Errorf("saturated wait = %v", over)
+	}
+	// Monotone in load.
+	if md1Wait(0.8, 1e-6) <= md1Wait(0.4, 1e-6) {
+		t.Error("wait not monotone in load")
+	}
+}
+
+// TestQueueingDelayCost: slowing pipelines raises the estimated queueing
+// delay versus full frequency — the §4.3 latency cost made explicit.
+func TestQueueingDelayCost(t *testing.T) {
+	cfg := asic.DefaultConfig()
+	times, utils := mlUtils(t, cfg, 200, 0.5, 4)
+	opts := rateOpts()
+	mk := func() Controller {
+		c, _ := NewReactive(1.05, 0.2, 0.05)
+		return c
+	}
+	res, err := Simulate(cfg, times, utils, mk, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanQueueingDelay <= 0 {
+		t.Fatal("delay model produced no estimate")
+	}
+	if res.MeanQueueingDelay <= res.BaselineQueueingDelay {
+		t.Errorf("scaled delay %v should exceed full-rate delay %v",
+			res.MeanQueueingDelay, res.BaselineQueueingDelay)
+	}
+	if res.MaxQueueingDelay < res.MeanQueueingDelay {
+		t.Errorf("max %v below mean %v", res.MaxQueueingDelay, res.MeanQueueingDelay)
+	}
+	// Without the model parameters, no estimates are produced.
+	plain, err := Simulate(cfg, times, utils, mk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.MeanQueueingDelay != 0 || plain.MaxQueueingDelay != 0 {
+		t.Error("delay estimated without model parameters")
+	}
+}
+
+func rateOpts() Options {
+	return Options{
+		PipelineCapacity: 12.8 * units.Tbps, // quarter of a 51.2T chip
+		FrameBits:        12000,
+	}
+}
+
+// Property: energy under any reactive controller is within
+// [MinPower x horizon, baseline], and savings in [0,1).
+func TestSimulateBounded(t *testing.T) {
+	cfg := asic.DefaultConfig()
+	f := func(seed uint16, busyRaw uint8) bool {
+		busy := 1 + int(busyRaw)%4
+		n := 50
+		times := sampleTimes(n, 1)
+		utils := make([][]float64, cfg.Pipelines)
+		for p := range utils {
+			utils[p] = make([]float64, n)
+			if p >= busy {
+				continue
+			}
+			x := float64(seed%1000) / 1000
+			for i := range utils[p] {
+				x = math.Mod(x*1.7+0.13, 1.0)
+				utils[p][i] = x
+			}
+		}
+		mk := func() Controller {
+			c, _ := NewReactive(1.05, 0.1, 0.05)
+			return c
+		}
+		res, err := Simulate(cfg, times, utils, mk, Options{GateIdleSerDes: seed%2 == 0})
+		if err != nil {
+			return false
+		}
+		a, _ := asic.New(cfg)
+		floor := units.EnergyOver(a.MinPower(), res.Horizon)
+		return res.Energy >= floor-1 && res.Energy <= res.Baseline+1 &&
+			res.Savings >= 0 && res.Savings < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

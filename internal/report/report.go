@@ -1,0 +1,273 @@
+// Package report renders analysis results as aligned text tables, CSV, and
+// ASCII line charts, so every table and figure of the paper can be
+// regenerated on a terminal without plotting dependencies.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Write renders the table with right-aligned numeric-looking columns.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (quotes only when needed).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.Join(out, ","))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the table as a GitHub-flavored Markdown table,
+// preceded by the title as a bold paragraph when present.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	escape := func(c string) string {
+		return strings.ReplaceAll(c, "|", "\\|")
+	}
+	row := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = escape(c)
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+		return err
+	}
+	if err := row(t.Headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = "---"
+	}
+	if err := row(rule); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one line of an ASCII chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a multi-series ASCII line chart on a shared axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height of the plot area in characters; defaults 64x20.
+	Width, Height int
+}
+
+// markers cycles per series.
+var markers = []byte{'o', '+', 'x', '*', '#', '@', '%', '&'}
+
+// Write renders the chart. Series points are plotted on a character grid
+// with linear axes covering the joint data range.
+func (c *Chart) Write(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	var points int
+	for _, s := range c.Series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	// Zero line, if within range.
+	if ymin < 0 && ymax > 0 {
+		r := rowOf(0, ymin, ymax, height)
+		for x := 0; x < width; x++ {
+			grid[r][x] = '.'
+		}
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			grid[rowOf(s.Y[i], ymin, ymax, height)][col] = m
+		}
+	}
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.4g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.4g", ymin)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, row); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s  %-10.4g%s%10.4g\n", "",
+		xmin, strings.Repeat(" ", max(0, width-20)), xmax); err != nil {
+		return err
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%10sx: %s   y: %s\n", "", c.XLabel, c.YLabel); err != nil {
+			return err
+		}
+	}
+	for si, s := range c.Series {
+		if _, err := fmt.Fprintf(w, "%10s%c %s\n", "", markers[si%len(markers)], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func rowOf(y, ymin, ymax float64, height int) int {
+	r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+	if r < 0 {
+		r = 0
+	}
+	if r >= height {
+		r = height - 1
+	}
+	return r
+}
+
+// Percent formats a fraction as a percentage with one decimal.
+func Percent(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Dollars formats a dollar amount with thousands separators.
+func Dollars(v float64) string {
+	neg := v < 0
+	v = math.Abs(v)
+	s := fmt.Sprintf("%.0f", v)
+	var b strings.Builder
+	for i, r := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(r)
+	}
+	if neg {
+		return "-$" + b.String()
+	}
+	return "$" + b.String()
+}

@@ -1,0 +1,159 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableWrite(t *testing.T) {
+	tb := Table{
+		Title:   "Table 3",
+		Headers: []string{"Bandwidth", "10%", "50%"},
+	}
+	tb.AddRow("100G", "0.0%", "1.0%")
+	tb.AddRow("400G", "0.0%", "4.8%")
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 3", "Bandwidth", "400G", "4.8%", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + rule + 2 rows
+		t.Errorf("line count = %d, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: header and data lines have equal length.
+	if len(lines[1]) != len(lines[3]) {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := Table{Headers: []string{"a", "b"}}
+	tb.AddRow("plain", `has "quotes", and comma`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"has \"\"quotes\"\", and comma\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestTableWriteMarkdown(t *testing.T) {
+	tb := Table{Title: "Table 3", Headers: []string{"bw", "save"}}
+	tb.AddRow("400G", "4.8%")
+	tb.AddRow("pipe|y", "x")
+	var sb strings.Builder
+	if err := tb.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"**Table 3**", "| bw | save |", "| --- | --- |", "| 400G | 4.8% |", `pipe\|y`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Untitled tables omit the heading.
+	plain := Table{Headers: []string{"a"}}
+	sb.Reset()
+	if err := plain.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "**") {
+		t.Errorf("untitled table rendered a heading: %q", sb.String())
+	}
+}
+
+func TestChartWrite(t *testing.T) {
+	ch := Chart{
+		Title:  "Fig 3",
+		XLabel: "proportionality",
+		YLabel: "speedup %",
+		Series: []Series{
+			{Name: "400G", X: []float64{0, 0.5, 1}, Y: []float64{-1, 5, 11}},
+			{Name: "1600G", X: []float64{0, 0.5, 1}, Y: []float64{-28, -12, 13}},
+		},
+		Width:  40,
+		Height: 10,
+	}
+	var sb strings.Builder
+	if err := ch.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig 3", "400G", "1600G", "proportionality", "o", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Zero line drawn since the y range spans zero.
+	if !strings.Contains(out, "...") {
+		t.Errorf("chart missing zero line:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	ch := Chart{Title: "empty"}
+	var sb strings.Builder
+	if err := ch.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(no data)") {
+		t.Errorf("empty chart output: %q", sb.String())
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// A single point must not divide by zero.
+	ch := Chart{Series: []Series{{Name: "pt", X: []float64{1}, Y: []float64{2}}}}
+	var sb strings.Builder
+	if err := ch.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "o") {
+		t.Error("single point not plotted")
+	}
+	// Mismatched X/Y lengths use the shorter prefix.
+	ch = Chart{Series: []Series{{Name: "m", X: []float64{0, 1, 2}, Y: []float64{5}}}}
+	sb.Reset()
+	if err := ch.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.119); got != "11.9%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(0); got != "0.0%" {
+		t.Errorf("Percent(0) = %q", got)
+	}
+	if got := Percent(-0.05); got != "-5.0%" {
+		t.Errorf("Percent(-0.05) = %q", got)
+	}
+}
+
+func TestDollars(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{416000, "$416,000"},
+		{125000, "$125,000"},
+		{999, "$999"},
+		{1000, "$1,000"},
+		{0, "$0"},
+		{-1234567, "-$1,234,567"},
+	}
+	for _, tt := range tests {
+		if got := Dollars(tt.in); got != tt.want {
+			t.Errorf("Dollars(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package schedule implements §4.2's job-scheduler angle: concentrating
+// workloads on as few network devices as possible, the way compute
+// clusters consolidate onto few servers. A placement policy assigns each
+// job's hosts to edge switches; concentration lets whole pods — and the
+// core layer, when a single pod suffices — power off, while spreading
+// (today's load-balancing default) keeps everything on.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"netpowerprop/internal/device"
+	"netpowerprop/internal/ocs"
+	"netpowerprop/internal/power"
+	"netpowerprop/internal/units"
+)
+
+// JobReq is a job's resource request.
+type JobReq struct {
+	ID    int
+	Hosts int
+}
+
+// Policy selects the placement strategy.
+type Policy int
+
+const (
+	// Concentrate packs jobs onto the fewest edges and pods (first-fit
+	// decreasing) so unused fabric can power off.
+	Concentrate Policy = iota
+	// Spread round-robins hosts across all edges — maximizing failure
+	// independence and entropy, and keeping every switch busy (the
+	// energy-oblivious default).
+	Spread
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Concentrate:
+		return "concentrate"
+	case Spread:
+		return "spread"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Placement records where one job landed.
+type Placement struct {
+	Job JobReq
+	// HostsPerEdge maps edge index to the number of the job's hosts there.
+	HostsPerEdge map[int]int
+}
+
+// Schedule is a complete placement of jobs onto a fabric.
+type Schedule struct {
+	Fabric     ocs.Fabric
+	Policy     Policy
+	Placements []Placement
+	// EdgesUsed and PodsUsed count fabric elements with at least one host.
+	EdgesUsed, PodsUsed int
+}
+
+// ActiveSwitches returns how many switches must stay powered: the used
+// edges, the full aggregation layer of every used pod (intra-pod
+// any-to-any), and the full core layer as soon as a second pod is used.
+func (s Schedule) ActiveSwitches() int {
+	n := s.EdgesUsed + s.PodsUsed*s.Fabric.EdgesPerPod()
+	if s.PodsUsed > 1 {
+		n += s.Fabric.CoreTotal
+	}
+	return n
+}
+
+// OffSwitches returns how many switches the schedule lets power off.
+func (s Schedule) OffSwitches() int {
+	total := s.Fabric.EdgeTotal + s.Fabric.AggTotal + s.Fabric.CoreTotal
+	return total - s.ActiveSwitches()
+}
+
+// Place assigns jobs to edges under a policy. Jobs are processed largest
+// first (first-fit decreasing) for Concentrate, and in input order for
+// Spread.
+func Place(f ocs.Fabric, jobs []JobReq, pol Policy) (Schedule, error) {
+	if len(jobs) == 0 {
+		return Schedule{}, fmt.Errorf("schedule: no jobs")
+	}
+	perEdge := f.HostsPerEdge()
+	total := 0
+	for _, j := range jobs {
+		if j.Hosts < 1 {
+			return Schedule{}, fmt.Errorf("schedule: job %d requests %d hosts", j.ID, j.Hosts)
+		}
+		total += j.Hosts
+	}
+	if total > perEdge*f.EdgeTotal {
+		return Schedule{}, fmt.Errorf("schedule: %d hosts exceed fabric capacity %d", total, perEdge*f.EdgeTotal)
+	}
+
+	free := make([]int, f.EdgeTotal)
+	for i := range free {
+		free[i] = perEdge
+	}
+	s := Schedule{Fabric: f, Policy: pol}
+
+	ordered := make([]JobReq, len(jobs))
+	copy(ordered, jobs)
+	if pol == Concentrate {
+		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Hosts > ordered[j].Hosts })
+	}
+
+	next := 0 // round-robin cursor for Spread
+	for _, job := range ordered {
+		pl := Placement{Job: job, HostsPerEdge: make(map[int]int)}
+		remaining := job.Hosts
+		switch pol {
+		case Concentrate:
+			// First fit: fill partially used edges of used pods first,
+			// then fresh edges in pod order.
+			for e := 0; e < f.EdgeTotal && remaining > 0; e++ {
+				if free[e] == 0 {
+					continue
+				}
+				take := free[e]
+				if take > remaining {
+					take = remaining
+				}
+				free[e] -= take
+				remaining -= take
+				pl.HostsPerEdge[e] += take
+			}
+		case Spread:
+			// One host at a time, round-robin over edges with space.
+			for remaining > 0 {
+				tried := 0
+				for free[next%f.EdgeTotal] == 0 {
+					next++
+					tried++
+					if tried > f.EdgeTotal {
+						return Schedule{}, fmt.Errorf("schedule: internal: no free edge despite capacity check")
+					}
+				}
+				e := next % f.EdgeTotal
+				free[e]--
+				remaining--
+				pl.HostsPerEdge[e]++
+				next++
+			}
+		default:
+			return Schedule{}, fmt.Errorf("schedule: unknown policy %v", pol)
+		}
+		s.Placements = append(s.Placements, pl)
+	}
+
+	usedEdge := map[int]bool{}
+	usedPod := map[int]bool{}
+	for _, pl := range s.Placements {
+		for e := range pl.HostsPerEdge {
+			usedEdge[e] = true
+			usedPod[e/f.EdgesPerPod()] = true
+		}
+	}
+	s.EdgesUsed = len(usedEdge)
+	s.PodsUsed = len(usedPod)
+	return s, nil
+}
+
+// EnergyParams configures the schedule energy comparison.
+type EnergyParams struct {
+	Horizon units.Seconds
+	// DutyCycle is the fraction of time active switches are busy.
+	DutyCycle float64
+	// Proportionality of the packet switches.
+	Proportionality float64
+	// OffSwitchesSleep: when false, "off" switches still draw idle power
+	// (no mechanism to power them down — today's reality); when true they
+	// draw nothing (the §4.2 vision).
+	OffSwitchesSleep bool
+}
+
+// Energy returns the fabric's energy under the schedule.
+func (s Schedule) Energy(p EnergyParams) (units.Energy, error) {
+	if p.Horizon <= 0 {
+		return 0, fmt.Errorf("schedule: horizon %v must be positive", p.Horizon)
+	}
+	if p.DutyCycle < 0 || p.DutyCycle > 1 {
+		return 0, fmt.Errorf("schedule: duty cycle %v outside [0,1]", p.DutyCycle)
+	}
+	m, err := power.NewModel(device.SwitchMaxPower, p.Proportionality)
+	if err != nil {
+		return 0, err
+	}
+	active := float64(s.ActiveSwitches())
+	off := float64(s.OffSwitches())
+	perActive := float64(m.Max)*p.DutyCycle + float64(m.Idle())*(1-p.DutyCycle)
+	perOff := float64(m.Idle())
+	if p.OffSwitchesSleep {
+		perOff = 0
+	}
+	return units.Energy((active*perActive + off*perOff) * float64(p.Horizon)), nil
+}

@@ -1,0 +1,227 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netpowerprop/internal/ocs"
+	"netpowerprop/internal/units"
+)
+
+func fabric(t *testing.T) ocs.Fabric {
+	t.Helper()
+	f, err := ocs.ThreeTierFabric(8, 400*units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPlaceConcentrateSingleJob(t *testing.T) {
+	f := fabric(t)
+	// 6 hosts on 4-host edges: 2 edges, 1 pod.
+	s, err := Place(f, []JobReq{{ID: 1, Hosts: 6}}, Concentrate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.EdgesUsed != 2 || s.PodsUsed != 1 {
+		t.Errorf("edges/pods = %d/%d, want 2/1", s.EdgesUsed, s.PodsUsed)
+	}
+	// 2 edges + 4 aggs (one pod), no core.
+	if got := s.ActiveSwitches(); got != 6 {
+		t.Errorf("active = %d, want 6", got)
+	}
+	if s.OffSwitches() != 80-6 {
+		t.Errorf("off = %d, want 74", s.OffSwitches())
+	}
+	// All hosts placed.
+	placed := 0
+	for _, n := range s.Placements[0].HostsPerEdge {
+		placed += n
+	}
+	if placed != 6 {
+		t.Errorf("placed = %d, want 6", placed)
+	}
+}
+
+func TestPlaceSpreadUsesManyEdges(t *testing.T) {
+	f := fabric(t)
+	jobs := []JobReq{{ID: 1, Hosts: 6}}
+	spread, err := Place(f, jobs, Spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := Place(f, jobs, Concentrate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin puts 6 hosts on 6 distinct edges across 2 pods.
+	if spread.EdgesUsed != 6 {
+		t.Errorf("spread edges = %d, want 6", spread.EdgesUsed)
+	}
+	if spread.ActiveSwitches() <= conc.ActiveSwitches() {
+		t.Errorf("spread active (%d) should exceed concentrate (%d)",
+			spread.ActiveSwitches(), conc.ActiveSwitches())
+	}
+}
+
+func TestPlaceFirstFitDecreasing(t *testing.T) {
+	f := fabric(t)
+	// Three jobs totaling 12 hosts = exactly 3 edges; FFD packs the big
+	// job first so everything fits one pod.
+	jobs := []JobReq{{ID: 1, Hosts: 2}, {ID: 2, Hosts: 8}, {ID: 3, Hosts: 2}}
+	s, err := Place(f, jobs, Concentrate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PodsUsed != 1 {
+		t.Errorf("pods used = %d, want 1", s.PodsUsed)
+	}
+	if s.EdgesUsed != 3 {
+		t.Errorf("edges used = %d, want 3", s.EdgesUsed)
+	}
+	// Placement order preserved is by size (FFD), but all jobs present.
+	if len(s.Placements) != 3 {
+		t.Fatalf("placements = %d", len(s.Placements))
+	}
+	seen := map[int]bool{}
+	for _, pl := range s.Placements {
+		seen[pl.Job.ID] = true
+	}
+	if !seen[1] || !seen[2] || !seen[3] {
+		t.Error("missing job placements")
+	}
+}
+
+func TestPlaceCapacityAndValidation(t *testing.T) {
+	f := fabric(t)
+	if _, err := Place(f, nil, Concentrate); err == nil {
+		t.Error("no jobs accepted")
+	}
+	if _, err := Place(f, []JobReq{{ID: 1, Hosts: 0}}, Concentrate); err == nil {
+		t.Error("zero-host job accepted")
+	}
+	// Fabric holds 128 hosts (32 edges x 4).
+	if _, err := Place(f, []JobReq{{ID: 1, Hosts: 129}}, Concentrate); err == nil {
+		t.Error("oversized job accepted")
+	}
+	full, err := Place(f, []JobReq{{ID: 1, Hosts: 128}}, Concentrate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.EdgesUsed != 32 || full.PodsUsed != 8 {
+		t.Errorf("full fabric = %d edges, %d pods", full.EdgesUsed, full.PodsUsed)
+	}
+	if full.OffSwitches() != 0 {
+		t.Errorf("full fabric off = %d, want 0", full.OffSwitches())
+	}
+	if _, err := Place(f, []JobReq{{ID: 1, Hosts: 4}}, Policy(9)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestScheduleEnergyOrdering(t *testing.T) {
+	f := fabric(t)
+	jobs := []JobReq{{ID: 1, Hosts: 8}, {ID: 2, Hosts: 4}}
+	conc, _ := Place(f, jobs, Concentrate)
+	spread, _ := Place(f, jobs, Spread)
+	base := EnergyParams{Horizon: 3600, DutyCycle: 0.1, Proportionality: 0.1, OffSwitchesSleep: true}
+	eConc, err := conc.Energy(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eSpread, err := spread.Energy(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eConc >= eSpread {
+		t.Errorf("concentrate energy %v should beat spread %v", eConc, eSpread)
+	}
+	// Without the ability to power off, concentration saves nothing.
+	noSleep := base
+	noSleep.OffSwitchesSleep = false
+	c2, _ := conc.Energy(noSleep)
+	s2, _ := spread.Energy(noSleep)
+	diff := float64(s2-c2) / float64(s2)
+	if diff > 0.01 {
+		t.Errorf("without sleep, policies should be near-equal (diff %v)", diff)
+	}
+	// Sleeping off-switches always beats not sleeping.
+	if eConc >= c2 {
+		t.Errorf("sleep energy %v should beat no-sleep %v", eConc, c2)
+	}
+}
+
+func TestEnergyValidation(t *testing.T) {
+	f := fabric(t)
+	s, _ := Place(f, []JobReq{{ID: 1, Hosts: 4}}, Concentrate)
+	if _, err := s.Energy(EnergyParams{Horizon: 0, DutyCycle: 0.1, Proportionality: 0.1}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := s.Energy(EnergyParams{Horizon: 1, DutyCycle: 2, Proportionality: 0.1}); err == nil {
+		t.Error("duty cycle > 1 accepted")
+	}
+	if _, err := s.Energy(EnergyParams{Horizon: 1, DutyCycle: 0.1, Proportionality: 2}); err == nil {
+		t.Error("invalid proportionality accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Concentrate.String() != "concentrate" || Spread.String() != "spread" {
+		t.Error("policy names broken")
+	}
+	if Policy(7).String() != "Policy(7)" {
+		t.Error("unknown policy formatting broken")
+	}
+}
+
+// Property: placements conserve hosts, never exceed edge capacity, and
+// Concentrate never uses more edges than Spread.
+func TestPlaceInvariants(t *testing.T) {
+	f, err := ocs.ThreeTierFabric(8, 400*units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(sizes []uint8) bool {
+		var jobs []JobReq
+		total := 0
+		for i, raw := range sizes {
+			h := 1 + int(raw)%10
+			if total+h > 128 {
+				break
+			}
+			jobs = append(jobs, JobReq{ID: i, Hosts: h})
+			total += h
+		}
+		if len(jobs) == 0 {
+			return true
+		}
+		conc, err1 := Place(f, jobs, Concentrate)
+		spread, err2 := Place(f, jobs, Spread)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for _, s := range []Schedule{conc, spread} {
+			perEdge := map[int]int{}
+			for _, pl := range s.Placements {
+				placed := 0
+				for e, n := range pl.HostsPerEdge {
+					placed += n
+					perEdge[e] += n
+				}
+				if placed != pl.Job.Hosts {
+					return false
+				}
+			}
+			for _, n := range perEdge {
+				if n > f.HostsPerEdge() {
+					return false
+				}
+			}
+		}
+		return conc.EdgesUsed <= spread.EdgesUsed && conc.PodsUsed <= spread.PodsUsed
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

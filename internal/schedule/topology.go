@@ -1,0 +1,70 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"netpowerprop/internal/fattree"
+)
+
+// MapToTopology realizes a schedule on an explicit fat-tree topology:
+// each placement's edge indices are mapped to the topology's edge switches
+// (in construction order) and its hosts to concrete host node IDs under
+// those edges. The returned map (job ID → host node IDs) is what the
+// flow-level simulator consumes, closing the loop between the §4.2
+// scheduler and the fabric simulation.
+func (s Schedule) MapToTopology(top *fattree.Topology) (map[int][]int, error) {
+	if top == nil {
+		return nil, fmt.Errorf("schedule: nil topology")
+	}
+	// Collect edge switches in deterministic construction order.
+	var edges []int
+	for _, n := range top.Nodes {
+		if n.Kind == fattree.KindEdge {
+			edges = append(edges, n.ID)
+		}
+	}
+	if len(edges) < s.EdgesUsed {
+		return nil, fmt.Errorf("schedule: schedule uses %d edges but topology has %d", s.EdgesUsed, len(edges))
+	}
+	// Hosts under each edge, in node-ID order.
+	hostsUnder := make(map[int][]int, len(edges))
+	for _, h := range top.Hosts() {
+		e, err := top.EdgeOf(h)
+		if err != nil {
+			return nil, err
+		}
+		hostsUnder[e] = append(hostsUnder[e], h)
+	}
+	for _, hs := range hostsUnder {
+		sort.Ints(hs)
+	}
+
+	// The schedule's abstract edge indices may exceed the topology's edge
+	// count only if the fabric was bigger; require compatibility.
+	next := make(map[int]int) // edge node ID -> next free host slot
+	out := make(map[int][]int, len(s.Placements))
+	for _, pl := range s.Placements {
+		// Deterministic iteration over the placement's edges.
+		idxs := make([]int, 0, len(pl.HostsPerEdge))
+		for e := range pl.HostsPerEdge {
+			idxs = append(idxs, e)
+		}
+		sort.Ints(idxs)
+		for _, abstract := range idxs {
+			if abstract >= len(edges) {
+				return nil, fmt.Errorf("schedule: placement edge %d outside topology's %d edges", abstract, len(edges))
+			}
+			edgeNode := edges[abstract]
+			slots := hostsUnder[edgeNode]
+			need := pl.HostsPerEdge[abstract]
+			if next[edgeNode]+need > len(slots) {
+				return nil, fmt.Errorf("schedule: edge %d over-subscribed (%d+%d > %d hosts)",
+					abstract, next[edgeNode], need, len(slots))
+			}
+			out[pl.Job.ID] = append(out[pl.Job.ID], slots[next[edgeNode]:next[edgeNode]+need]...)
+			next[edgeNode] += need
+		}
+	}
+	return out, nil
+}

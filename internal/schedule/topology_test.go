@@ -1,0 +1,144 @@
+package schedule
+
+import (
+	"testing"
+
+	"netpowerprop/internal/fattree"
+	"netpowerprop/internal/ocs"
+	"netpowerprop/internal/units"
+)
+
+func topo(t *testing.T) *fattree.Topology {
+	t.Helper()
+	top, err := fattree.BuildThreeTier(8, 400*units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestMapToTopologyBasic(t *testing.T) {
+	f, err := ocs.ThreeTierFabric(8, 400*units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := topo(t)
+	jobs := []JobReq{{ID: 1, Hosts: 6}, {ID: 2, Hosts: 3}}
+	s, err := Place(f, jobs, Concentrate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping, err := s.MapToTopology(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mapping) != 2 {
+		t.Fatalf("jobs mapped = %d, want 2", len(mapping))
+	}
+	if len(mapping[1]) != 6 || len(mapping[2]) != 3 {
+		t.Errorf("host counts = %d/%d, want 6/3", len(mapping[1]), len(mapping[2]))
+	}
+	// All mapped IDs are distinct hosts of the topology.
+	seen := map[int]bool{}
+	for _, hosts := range mapping {
+		for _, h := range hosts {
+			if top.Nodes[h].Kind != fattree.KindHost {
+				t.Errorf("node %d is not a host", h)
+			}
+			if seen[h] {
+				t.Errorf("host %d assigned twice", h)
+			}
+			seen[h] = true
+		}
+	}
+	// Concentrated placement lands on few distinct edges.
+	edgeSet := map[int]bool{}
+	for _, hosts := range mapping {
+		for _, h := range hosts {
+			e, _ := top.EdgeOf(h)
+			edgeSet[e] = true
+		}
+	}
+	if len(edgeSet) != s.EdgesUsed {
+		t.Errorf("topology edges used = %d, schedule says %d", len(edgeSet), s.EdgesUsed)
+	}
+}
+
+func TestMapToTopologySpread(t *testing.T) {
+	f, _ := ocs.ThreeTierFabric(8, 400*units.Gbps)
+	top := topo(t)
+	s, err := Place(f, []JobReq{{ID: 1, Hosts: 8}}, Spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping, err := s.MapToTopology(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeSet := map[int]bool{}
+	for _, h := range mapping[1] {
+		e, _ := top.EdgeOf(h)
+		edgeSet[e] = true
+	}
+	if len(edgeSet) != 8 {
+		t.Errorf("spread job on %d edges, want 8", len(edgeSet))
+	}
+}
+
+func TestMapToTopologyErrors(t *testing.T) {
+	f, _ := ocs.ThreeTierFabric(8, 400*units.Gbps)
+	s, err := Place(f, []JobReq{{ID: 1, Hosts: 4}}, Concentrate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MapToTopology(nil); err == nil {
+		t.Error("nil topology accepted")
+	}
+	// A topology smaller than the fabric cannot host the schedule.
+	small, err := fattree.BuildThreeTier(4, 400*units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigFabric, _ := ocs.ThreeTierFabric(16, 400*units.Gbps)
+	bigSched, err := Place(bigFabric, []JobReq{{ID: 1, Hosts: 100}}, Spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bigSched.MapToTopology(small); err == nil {
+		t.Error("oversized schedule accepted on a small topology")
+	}
+	// Over-subscribing one edge: fabricate a schedule whose per-edge count
+	// exceeds the topology's hosts per edge.
+	fake := Schedule{
+		Fabric:     f,
+		Placements: []Placement{{Job: JobReq{ID: 9, Hosts: 10}, HostsPerEdge: map[int]int{0: 10}}},
+		EdgesUsed:  1, PodsUsed: 1,
+	}
+	if _, err := fake.MapToTopology(topo(t)); err == nil {
+		t.Error("over-subscribed edge accepted")
+	}
+}
+
+func TestMapToTopologyDeterministic(t *testing.T) {
+	f, _ := ocs.ThreeTierFabric(8, 400*units.Gbps)
+	top := topo(t)
+	s, _ := Place(f, []JobReq{{ID: 1, Hosts: 5}, {ID: 2, Hosts: 5}}, Concentrate)
+	a, err := s.MapToTopology(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.MapToTopology(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range a {
+		if len(a[id]) != len(b[id]) {
+			t.Fatal("non-deterministic mapping size")
+		}
+		for i := range a[id] {
+			if a[id][i] != b[id][i] {
+				t.Fatal("non-deterministic mapping")
+			}
+		}
+	}
+}

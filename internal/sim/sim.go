@@ -1,0 +1,209 @@
+// Package sim is a minimal discrete-event simulation kernel: a virtual
+// clock and an event queue ordered by time (FIFO among equal times). The
+// §4 mechanism simulators (EEE, rate adaptation, pipeline parking, OCS
+// reconfiguration) all run on this kernel.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"netpowerprop/internal/units"
+)
+
+// Handler is a scheduled callback. It runs with the engine clock set to its
+// event time and may schedule further events.
+type Handler func(e *Engine)
+
+type event struct {
+	at  units.Seconds
+	seq uint64
+	fn  Handler
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Timer identifies a scheduled event so it can be canceled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled timer is a no-op.
+func (t Timer) Cancel() {
+	if t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// Engine is the simulation clock and event queue. The zero value is ready
+// to use at time 0.
+type Engine struct {
+	now   units.Seconds
+	queue eventQueue
+	seq   uint64
+	steps uint64
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() units.Seconds { return e.now }
+
+// Pending returns the number of events still queued (including canceled
+// ones not yet drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Steps returns how many events have been executed.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Schedule runs fn at the given absolute virtual time. Scheduling in the
+// past panics: it indicates a simulator bug, not a recoverable condition.
+func (e *Engine) Schedule(at units.Seconds, fn Handler) Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Timer{ev: ev}
+}
+
+// After runs fn after a non-negative delay.
+func (e *Engine) After(delay units.Seconds, fn Handler) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Step executes the next event. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.steps++
+		ev.fn(e)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events with time ≤ until, then advances the clock to
+// exactly until. Events scheduled during execution are honored.
+func (e *Engine) RunUntil(until units.Seconds) {
+	for len(e.queue) > 0 {
+		// Peek without popping canceled entries permanently out of order.
+		ev := e.queue[0]
+		if ev.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if ev.at > until {
+			break
+		}
+		e.Step()
+	}
+	if until > e.now {
+		e.now = until
+	}
+}
+
+// Run drains the queue completely.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Meter integrates a piecewise-constant power signal into energy. It is the
+// accounting primitive every simulated component uses.
+type Meter struct {
+	lastT  units.Seconds
+	power  units.Power
+	energy units.Energy
+	// busyEnergy accumulates energy drawn while marked busy, for
+	// efficiency reporting.
+	busy       bool
+	busyEnergy units.Energy
+	busyTime   units.Seconds
+}
+
+// NewMeter starts a meter at time t drawing p.
+func NewMeter(t units.Seconds, p units.Power) *Meter {
+	return &Meter{lastT: t, power: p}
+}
+
+// Set records a power change at time t (t must not precede the previous
+// sample). The busy flag tags the energy drawn *since the last sample*
+// retroactively as it was: the meter accumulates at the old power/busy
+// state up to t, then switches.
+func (m *Meter) Set(t units.Seconds, p units.Power, busy bool) {
+	m.accumulate(t)
+	m.power = p
+	m.busy = busy
+}
+
+func (m *Meter) accumulate(t units.Seconds) {
+	d := t - m.lastT
+	if d < 0 {
+		panic(fmt.Sprintf("sim: meter sample at %v before %v", t, m.lastT))
+	}
+	if d > 0 {
+		e := units.EnergyOver(m.power, d)
+		m.energy += e
+		if m.busy {
+			m.busyEnergy += e
+			m.busyTime += d
+		}
+		m.lastT = t
+	}
+}
+
+// Energy returns the total energy consumed up to time t.
+func (m *Meter) Energy(t units.Seconds) units.Energy {
+	m.accumulate(t)
+	return m.energy
+}
+
+// BusyEnergy returns the energy consumed while busy up to time t.
+func (m *Meter) BusyEnergy(t units.Seconds) units.Energy {
+	m.accumulate(t)
+	return m.busyEnergy
+}
+
+// BusyTime returns the total time spent busy up to time t.
+func (m *Meter) BusyTime(t units.Seconds) units.Seconds {
+	m.accumulate(t)
+	return m.busyTime
+}
+
+// Power returns the current power draw.
+func (m *Meter) Power() units.Power { return m.power }
+
+// Efficiency returns busy energy over total energy up to t (0 if no energy).
+func (m *Meter) Efficiency(t units.Seconds) float64 {
+	m.accumulate(t)
+	if m.energy == 0 {
+		return 0
+	}
+	return float64(m.busyEnergy) / float64(m.energy)
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"netpowerprop/internal/units"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(3, func(*Engine) { order = append(order, 3) })
+	e.Schedule(1, func(*Engine) { order = append(order, 1) })
+	e.Schedule(2, func(*Engine) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Errorf("final time = %v, want 3", e.Now())
+	}
+	if e.Steps() != 3 {
+		t.Errorf("steps = %d, want 3", e.Steps())
+	}
+}
+
+func TestEngineFIFOAmongEqualTimes(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	var e Engine
+	var fired []units.Seconds
+	var tick Handler
+	tick = func(en *Engine) {
+		fired = append(fired, en.Now())
+		if en.Now() < 5 {
+			en.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	e.Run()
+	if len(fired) != 5 {
+		t.Fatalf("cascade fired %d times, want 5: %v", len(fired), fired)
+	}
+	for i, at := range fired {
+		if float64(at) != float64(i+1) {
+			t.Errorf("tick %d at %v, want %d", i, at, i+1)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var fired []units.Seconds
+	for _, at := range []units.Seconds{1, 2, 3, 10} {
+		at := at
+		e.Schedule(at, func(en *Engine) { fired = append(fired, en.Now()) })
+	}
+	e.RunUntil(5)
+	if len(fired) != 3 {
+		t.Errorf("RunUntil(5) fired %d events, want 3", len(fired))
+	}
+	if e.Now() != 5 {
+		t.Errorf("time after RunUntil = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(20)
+	if len(fired) != 4 || e.Now() != 20 {
+		t.Errorf("after RunUntil(20): fired=%d now=%v", len(fired), e.Now())
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	tm := e.Schedule(1, func(*Engine) { fired = true })
+	tm.Cancel()
+	tm.Cancel() // double-cancel is a no-op
+	e.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	// Canceled event at the head of the queue is skipped by RunUntil too.
+	tm2 := e.Schedule(e.Now()+1, func(*Engine) { fired = true })
+	e.Schedule(e.Now()+2, func(*Engine) {})
+	tm2.Cancel()
+	e.RunUntil(e.Now() + 3)
+	if fired {
+		t.Error("canceled event fired via RunUntil")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(5, func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	e.Schedule(1, func(*Engine) {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	e.After(-1, func(*Engine) {})
+}
+
+// Property: any set of event times is executed in sorted order.
+func TestEngineSortsArbitraryTimes(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var e Engine
+		var got []float64
+		for _, r := range raw {
+			at := units.Seconds(r)
+			e.Schedule(at, func(en *Engine) { got = append(got, float64(en.Now())) })
+		}
+		e.Run()
+		return sort.Float64sAreSorted(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeterIntegration(t *testing.T) {
+	m := NewMeter(0, 100*units.Watt)
+	m.Set(10, 50*units.Watt, true) // 100 W idle for 10 s
+	m.Set(20, 0, false)            // 50 W busy for 10 s
+	e := m.Energy(30)              // 0 W for 10 s
+	if math.Abs(e.Joules()-1500) > 1e-9 {
+		t.Errorf("energy = %v J, want 1500", e.Joules())
+	}
+	if be := m.BusyEnergy(30); math.Abs(be.Joules()-500) > 1e-9 {
+		t.Errorf("busy energy = %v J, want 500", be.Joules())
+	}
+	if bt := m.BusyTime(30); math.Abs(float64(bt)-10) > 1e-9 {
+		t.Errorf("busy time = %v, want 10", bt)
+	}
+	if eff := m.Efficiency(30); math.Abs(eff-500.0/1500.0) > 1e-12 {
+		t.Errorf("efficiency = %v, want 1/3", eff)
+	}
+	if m.Power() != 0 {
+		t.Errorf("current power = %v, want 0", m.Power())
+	}
+}
+
+func TestMeterIdempotentReads(t *testing.T) {
+	m := NewMeter(0, 10*units.Watt)
+	if e1, e2 := m.Energy(5), m.Energy(5); e1 != e2 {
+		t.Errorf("repeated reads differ: %v vs %v", e1, e2)
+	}
+	// Reading earlier than the last read panics (time went backwards).
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards meter read should panic")
+		}
+	}()
+	m.Energy(1)
+}
+
+func TestMeterZeroEnergyEfficiency(t *testing.T) {
+	m := NewMeter(0, 0)
+	if eff := m.Efficiency(10); eff != 0 {
+		t.Errorf("zero-energy efficiency = %v, want 0", eff)
+	}
+}
+
+// Property: meter energy equals the sum of piecewise power x duration for
+// random step signals, and busy energy never exceeds total.
+func TestMeterConservation(t *testing.T) {
+	f := func(steps []struct {
+		P uint16
+		D uint8
+		B bool
+	}) bool {
+		m := NewMeter(0, 0)
+		var now units.Seconds
+		var want, wantBusy float64
+		cur := 0.0
+		curBusy := false
+		for _, s := range steps {
+			d := units.Seconds(s.D)
+			want += cur * float64(d)
+			if curBusy {
+				wantBusy += cur * float64(d)
+			}
+			now += d
+			m.Set(now, units.Power(s.P), s.B)
+			cur, curBusy = float64(s.P), s.B
+		}
+		got := m.Energy(now)
+		gotBusy := m.BusyEnergy(now)
+		return math.Abs(got.Joules()-want) < 1e-6 &&
+			math.Abs(gotBusy.Joules()-wantBusy) < 1e-6 &&
+			gotBusy <= got+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

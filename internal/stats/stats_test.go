@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLerp(t *testing.T) {
+	tests := []struct{ x0, y0, x1, y1, x, want float64 }{
+		{0, 0, 1, 10, 0.5, 5},
+		{0, 0, 1, 10, 0, 0},
+		{0, 0, 1, 10, 1, 10},
+		{0, 0, 1, 10, 2, 20},   // extrapolation
+		{0, 0, 1, 10, -1, -10}, // extrapolation below
+		{5, 7, 5, 9, 5, 7},     // degenerate segment returns y0
+	}
+	for _, tt := range tests {
+		if got := Lerp(tt.x0, tt.y0, tt.x1, tt.y1, tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Lerp(...%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp broken")
+	}
+}
+
+func TestBisect(t *testing.T) {
+	// Root of x^2 - 2 in [0, 2] is sqrt(2).
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-9 {
+		t.Errorf("Bisect = %v, want sqrt(2)", root)
+	}
+	// Reversed bounds still work.
+	root, err = Bisect(func(x float64) float64 { return x - 1 }, 3, 0, 1e-10)
+	if err != nil || math.Abs(root-1) > 1e-9 {
+		t.Errorf("Bisect reversed = %v, err=%v", root, err)
+	}
+	// Endpoint root.
+	root, err = Bisect(func(x float64) float64 { return x }, 0, 1, 1e-10)
+	if err != nil || root != 0 {
+		t.Errorf("Bisect endpoint = %v, err=%v", root, err)
+	}
+	// No bracket.
+	if _, err := Bisect(func(x float64) float64 { return 1 }, 0, 1, 1e-10); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("expected ErrNoBracket, got %v", err)
+	}
+}
+
+func TestMaximizeGolden(t *testing.T) {
+	// Max of -(x-3)^2 on [0, 10] is at 3.
+	x := MaximizeGolden(func(x float64) float64 { return -(x - 3) * (x - 3) }, 0, 10, 1e-9)
+	if math.Abs(x-3) > 1e-6 {
+		t.Errorf("MaximizeGolden = %v, want 3", x)
+	}
+	// Reversed bounds.
+	x = MaximizeGolden(func(x float64) float64 { return -(x - 3) * (x - 3) }, 10, 0, 1e-9)
+	if math.Abs(x-3) > 1e-6 {
+		t.Errorf("MaximizeGolden reversed = %v, want 3", x)
+	}
+}
+
+func TestMaximizeInt(t *testing.T) {
+	f := func(x int) float64 { return -float64(x-42) * float64(x-42) }
+	got, v := MaximizeInt(f, 0, 1000000)
+	if got != 42 || v != 0 {
+		t.Errorf("MaximizeInt = (%d, %v), want (42, 0)", got, v)
+	}
+	// Small range scan.
+	got, _ = MaximizeInt(f, 40, 45)
+	if got != 42 {
+		t.Errorf("MaximizeInt small = %d, want 42", got)
+	}
+	// Reversed bounds.
+	got, _ = MaximizeInt(f, 45, 40)
+	if got != 42 {
+		t.Errorf("MaximizeInt reversed = %d, want 42", got)
+	}
+	// Max at boundary.
+	inc := func(x int) float64 { return float64(x) }
+	got, _ = MaximizeInt(inc, 0, 100000)
+	if got != 100000 {
+		t.Errorf("MaximizeInt boundary = %d, want 100000", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Sum != 15 {
+		t.Errorf("Summarize basic fields: %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Errorf("Mean = %v, want 3", s.Mean)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Stddev = %v, want sqrt(2.5)", s.Stddev)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %v, want 3", s.P50)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("Summarize(nil) = %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P99 != 7 || one.Stddev != 0 {
+		t.Errorf("single-sample summary: %+v", one)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct{ p, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.5, 40}, {-1, 10},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("Percentile(nil) should be 0")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	if e.Seeded() {
+		t.Error("fresh EWMA should not be seeded")
+	}
+	if got := e.Update(10); got != 10 {
+		t.Errorf("first update seeds: got %v", got)
+	}
+	if got := e.Update(20); math.Abs(got-15) > 1e-12 {
+		t.Errorf("second update = %v, want 15", got)
+	}
+	if e.Value() != 15 {
+		t.Errorf("Value = %v", e.Value())
+	}
+	// Out-of-range alpha falls back to 0.5 rather than corrupting state.
+	bad := EWMA{Alpha: 7}
+	bad.Update(10)
+	if got := bad.Update(20); math.Abs(got-15) > 1e-12 {
+		t.Errorf("fallback alpha update = %v, want 15", got)
+	}
+}
+
+// Property: Lerp at the endpoints returns the endpoint values exactly, and
+// interior points lie between them for monotone segments.
+func TestLerpBounded(t *testing.T) {
+	f := func(y0, y1, tRaw float64) bool {
+		y0 = math.Mod(y0, 1e6)
+		y1 = math.Mod(y1, 1e6)
+		tt := math.Abs(math.Mod(tRaw, 1.0))
+		got := Lerp(0, y0, 1, y1, tt)
+		lo, hi := math.Min(y0, y1), math.Max(y0, y1)
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarize respects Min <= P50 <= Max and Mean within [Min, Max].
+func TestSummaryOrdering(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				xs[i] = 0
+			}
+			xs[i] = math.Mod(xs[i], 1e9)
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.P50+1e-9 && s.P50 <= s.Max+1e-9 &&
+			s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.P50 <= s.P95+1e-9 && s.P95 <= s.P99+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
