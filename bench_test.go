@@ -5,6 +5,7 @@
 package netpowerprop
 
 import (
+	"context"
 	"testing"
 
 	"netpowerprop/internal/asic"
@@ -12,6 +13,7 @@ import (
 	"netpowerprop/internal/chiplet"
 	"netpowerprop/internal/core"
 	"netpowerprop/internal/eee"
+	"netpowerprop/internal/engine"
 	"netpowerprop/internal/fattree"
 	"netpowerprop/internal/netsim"
 	"netpowerprop/internal/ocs"
@@ -469,6 +471,44 @@ func BenchmarkClusterConstruction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.New(cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineCacheHit measures the query engine's hot serving path:
+// the same normalized request answered from the sharded LRU cache.
+func BenchmarkEngineCacheHit(b *testing.B) {
+	e := engine.New(engine.Options{})
+	ctx := context.Background()
+	req := engine.Request{Op: engine.OpTable3}
+	if _, _, err := e.Do(ctx, req); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, cached, err := e.Do(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cached {
+			b.Fatal("expected cache hit")
+		}
+	}
+}
+
+// BenchmarkEngineCacheMiss measures the cold path: normalize, singleflight,
+// worker pool, and one full whatif computation per distinct request.
+func BenchmarkEngineCacheMiss(b *testing.B) {
+	e := engine.New(engine.Options{CacheSize: 1 << 20})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, cached, err := e.Do(ctx, engine.Request{Op: engine.OpWhatIf, GPUs: 1024 + i})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cached {
+			b.Fatal("unexpected cache hit")
 		}
 	}
 }

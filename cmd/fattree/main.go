@@ -5,6 +5,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,12 +24,33 @@ func main() {
 	}
 }
 
+// sizing is the JSON form of one fat-tree design point.
+type sizing struct {
+	Hosts            int     `json:"hosts"`
+	Bandwidth        string  `json:"bw"`
+	Interp           string  `json:"interp"`
+	Radix            int     `json:"radix"`
+	Stages           float64 `json:"stages"`
+	Switches         float64 `json:"switches"`
+	Links            float64 `json:"links"`
+	Transceivers     float64 `json:"transceivers"`
+	NetworkMaxPowerW float64 `json:"network_max_power_w"`
+	NetworkMaxPower  string  `json:"network_max_power"`
+}
+
+// sizingOutput is the full -format json document.
+type sizingOutput struct {
+	Sizing sizing   `json:"sizing"`
+	Sweep  []sizing `json:"sweep,omitempty"`
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("fattree", flag.ContinueOnError)
 	hosts := fs.Int("hosts", 15360, "host (GPU) count")
 	bw := fs.String("bw", "400G", "bandwidth per host")
 	interp := fs.String("interp", "absolute", "interpolation mode (absolute|perhost)")
 	sweep := fs.Bool("sweep", false, "also print the Table 2 bandwidth sweep")
+	format := fs.String("format", "text", "output format (text|json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,6 +62,13 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	switch *format {
+	case "text":
+	case "json":
+		return runJSON(w, *hosts, b, mode, *sweep)
+	default:
+		return fmt.Errorf("unknown format %q (text|json)", *format)
+	}
 	if err := describe(w, *hosts, b, mode); err != nil {
 		return err
 	}
@@ -50,45 +79,79 @@ func run(args []string, w io.Writer) error {
 			Headers: []string{"bandwidth", "radix", "stages", "switches", "links", "net max power"},
 		}
 		for _, s := range device.RatedSpeeds() {
-			ports, err := device.SwitchPorts(s)
+			sz, err := sizeAt(*hosts, s, mode)
 			if err != nil {
 				return err
 			}
-			d, err := fattree.Size(*hosts, ports, mode)
-			if err != nil {
-				return err
-			}
-			p, err := networkMaxPower(*hosts, s, d)
-			if err != nil {
-				return err
-			}
-			tb.AddRow(s.String(), fmt.Sprintf("%d", ports), fmt.Sprintf("%.3f", d.Stages),
-				fmt.Sprintf("%.1f", d.Switches), fmt.Sprintf("%.1f", d.InterSwitchLinks), p.String())
+			tb.AddRow(s.String(), fmt.Sprintf("%d", sz.Radix), fmt.Sprintf("%.3f", sz.Stages),
+				fmt.Sprintf("%.1f", sz.Switches), fmt.Sprintf("%.1f", sz.Links), sz.NetworkMaxPower)
 		}
 		return tb.Write(w)
 	}
 	return nil
 }
 
-func describe(w io.Writer, hosts int, b units.Bandwidth, mode fattree.InterpMode) error {
-	ports, err := device.SwitchPorts(b)
+// runJSON emits the sizing (and optional sweep) as an indented JSON
+// document for machine consumption.
+func runJSON(w io.Writer, hosts int, b units.Bandwidth, mode fattree.InterpMode, sweep bool) error {
+	sz, err := sizeAt(hosts, b, mode)
 	if err != nil {
 		return err
+	}
+	out := sizingOutput{Sizing: sz}
+	if sweep {
+		for _, s := range device.RatedSpeeds() {
+			row, err := sizeAt(hosts, s, mode)
+			if err != nil {
+				return err
+			}
+			out.Sweep = append(out.Sweep, row)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// sizeAt evaluates the §2.4 sizing model at one bandwidth.
+func sizeAt(hosts int, b units.Bandwidth, mode fattree.InterpMode) (sizing, error) {
+	ports, err := device.SwitchPorts(b)
+	if err != nil {
+		return sizing{}, err
 	}
 	d, err := fattree.Size(hosts, ports, mode)
 	if err != nil {
-		return err
+		return sizing{}, err
 	}
 	p, err := networkMaxPower(hosts, b, d)
+	if err != nil {
+		return sizing{}, err
+	}
+	return sizing{
+		Hosts:            hosts,
+		Bandwidth:        b.String(),
+		Interp:           mode.String(),
+		Radix:            ports,
+		Stages:           d.Stages,
+		Switches:         d.Switches,
+		Links:            d.InterSwitchLinks,
+		Transceivers:     d.Transceivers(),
+		NetworkMaxPowerW: float64(p),
+		NetworkMaxPower:  p.String(),
+	}, nil
+}
+
+func describe(w io.Writer, hosts int, b units.Bandwidth, mode fattree.InterpMode) error {
+	sz, err := sizeAt(hosts, b, mode)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "fat-tree sizing — %d hosts at %v (interp %v)\n\n", hosts, b, mode)
-	fmt.Fprintf(w, "switch radix:        %d ports (51.2 Tbps / %v)\n", ports, b)
-	fmt.Fprintf(w, "effective stages:    %.4f\n", d.Stages)
-	fmt.Fprintf(w, "switches:            %.1f\n", d.Switches)
-	fmt.Fprintf(w, "inter-switch links:  %.1f (x2 optical transceivers)\n", d.InterSwitchLinks)
-	fmt.Fprintf(w, "network max power:   %v\n", p)
+	fmt.Fprintf(w, "switch radix:        %d ports (51.2 Tbps / %v)\n", sz.Radix, b)
+	fmt.Fprintf(w, "effective stages:    %.4f\n", sz.Stages)
+	fmt.Fprintf(w, "switches:            %.1f\n", sz.Switches)
+	fmt.Fprintf(w, "inter-switch links:  %.1f (x2 optical transceivers)\n", sz.Links)
+	fmt.Fprintf(w, "network max power:   %s\n", sz.NetworkMaxPower)
 	return nil
 }
 

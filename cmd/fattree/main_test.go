@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -40,12 +41,57 @@ func TestCustomArgs(t *testing.T) {
 	}
 }
 
+func TestJSONFormat(t *testing.T) {
+	out := runOK(t, "-format", "json")
+	var doc struct {
+		Sizing struct {
+			Hosts           int     `json:"hosts"`
+			Bandwidth       string  `json:"bw"`
+			Radix           int     `json:"radix"`
+			Switches        float64 `json:"switches"`
+			NetworkMaxPower string  `json:"network_max_power"`
+		} `json:"sizing"`
+		Sweep []json.RawMessage `json:"sweep"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-format json emitted invalid JSON: %v\n%s", err, out)
+	}
+	if doc.Sizing.Hosts != 15360 || doc.Sizing.Bandwidth != "400 Gbps" || doc.Sizing.Radix != 128 {
+		t.Errorf("unexpected sizing: %+v", doc.Sizing)
+	}
+	if doc.Sizing.NetworkMaxPower != "1.057 MW" {
+		t.Errorf("network max power = %q, want 1.057 MW", doc.Sizing.NetworkMaxPower)
+	}
+	if len(doc.Sweep) != 0 {
+		t.Errorf("sweep present without -sweep: %d rows", len(doc.Sweep))
+	}
+}
+
+func TestJSONSweep(t *testing.T) {
+	out := runOK(t, "-format", "json", "-sweep")
+	var doc struct {
+		Sweep []struct {
+			Bandwidth string `json:"bw"`
+		} `json:"sweep"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-format json -sweep emitted invalid JSON: %v\n%s", err, out)
+	}
+	if len(doc.Sweep) < 4 {
+		t.Fatalf("sweep too short: %d rows", len(doc.Sweep))
+	}
+	if doc.Sweep[0].Bandwidth != "100 Gbps" {
+		t.Errorf("first sweep row bandwidth = %q, want 100 Gbps", doc.Sweep[0].Bandwidth)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-bw", "bogus"},
 		{"-interp", "bogus"},
 		{"-hosts", "0"},
 		{"-bw", "40T"},
+		{"-format", "bogus"},
 		{"-nosuchflag"},
 	} {
 		var sb strings.Builder

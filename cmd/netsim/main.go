@@ -9,27 +9,26 @@
 //
 // Scenarios: gating, ocs, rateadapt, parking, eee, ratelink, scheduler,
 // fabric, chiplet, backbone
+//
+// The single-table scenarios route through internal/engine — the same
+// registry cmd/serve exposes at /v1/scenarios/<name> — so CLI and server
+// produce identical numbers. ocs, fabric, and backbone have multi-section
+// output and drive their simulators directly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"netpowerprop/internal/asic"
 	"netpowerprop/internal/backbone"
-	"netpowerprop/internal/chiplet"
-	"netpowerprop/internal/core"
-	"netpowerprop/internal/eee"
+	"netpowerprop/internal/engine"
 	"netpowerprop/internal/fattree"
 	"netpowerprop/internal/netsim"
 	"netpowerprop/internal/ocs"
-	"netpowerprop/internal/parking"
-	"netpowerprop/internal/powergate"
-	"netpowerprop/internal/rateadapt"
 	"netpowerprop/internal/report"
-	"netpowerprop/internal/schedule"
 	"netpowerprop/internal/traffic"
 	"netpowerprop/internal/units"
 )
@@ -73,107 +72,46 @@ func run(args []string, w io.Writer) error {
 	}
 }
 
+// runScenario routes a §4 scenario through the shared engine and renders
+// the resulting table exactly as the direct simulation used to print it.
+func runScenario(w io.Writer, name, bw string, params map[string]float64) error {
+	req := engine.Request{Op: engine.OpScenario, Scenario: name, Bandwidth: bw, Params: params}
+	res, _, err := engine.Default().Do(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	return renderTable(w, res.Table)
+}
+
+// renderTable prints an engine table followed by its note lines.
+func renderTable(w io.Writer, t *engine.Table) error {
+	tb := report.Table{Title: t.Title, Headers: t.Headers}
+	for _, row := range t.Rows {
+		tb.AddRow(row...)
+	}
+	if err := tb.Write(w); err != nil {
+		return err
+	}
+	if len(t.Notes) > 0 {
+		fmt.Fprintln(w)
+		for _, n := range t.Notes {
+			fmt.Fprintln(w, n)
+		}
+	}
+	return nil
+}
+
 // cmdSummary closes the loop between §4 and §3: each mechanism's simulated
 // switch-level savings are converted into an effective power
-// proportionality (the p that a two-state switch on the same duty cycle
-// would need to match the mechanism's energy), which the §3 cluster model
-// then prices at baseline-cluster scale.
+// proportionality, which the §3 cluster model then prices at
+// baseline-cluster scale.
 func cmdSummary(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
 	ratio := fs.Float64("ratio", 0.1, "communication ratio")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *ratio <= 0 || *ratio >= 1 {
-		return fmt.Errorf("ratio %v outside (0,1)", *ratio)
-	}
-	idleShare := 1 - *ratio
-
-	// ML load trace shared by the mechanism sims: the whole switch busy at
-	// 80% during the communication window.
-	prof, err := traffic.MLPeriodic(*ratio, 10, 0.8)
-	if err != nil {
-		return err
-	}
-	const n = 400
-	times := make([]units.Seconds, n)
-	demand := make([]float64, n)
-	for i := range times {
-		times[i] = units.Seconds(i) * 0.5
-		demand[i] = prof(times[i])
-	}
-
-	type mech struct {
-		name    string
-		savings float64
-	}
-	var mechs []mech
-
-	// §4.3: per-pipeline rate adaptation + SerDes gating. All four
-	// pipelines carry the load during bursts.
-	cfg := asic.DefaultConfig()
-	utils := make([][]float64, cfg.Pipelines)
-	for p := range utils {
-		utils[p] = demand
-	}
-	ra, err := rateadapt.Simulate(cfg, times, utils, mkReactive, rateadapt.Options{GateIdleSerDes: true})
-	if err != nil {
-		return err
-	}
-	mechs = append(mechs, mech{"§4.3 rate adaptation + SerDes gating", ra.Savings})
-
-	// §4.4: scheduled pipeline parking.
-	pcfg := parking.DefaultConfig()
-	sched, err := parking.NewScheduled(10, units.Seconds(10**ratio), 0.2, pcfg.MinActive, pcfg.ASIC.Pipelines)
-	if err != nil {
-		return err
-	}
-	pk, err := parking.Simulate(pcfg, times, demand, sched)
-	if err != nil {
-		return err
-	}
-	mechs = append(mechs, mech{"§4.4 scheduled pipeline parking", pk.Savings})
-
-	// §4.5: 64-chiplet redesign with co-packaged optics.
-	rows, err := chiplet.Sweep([]chiplet.Design{chiplet.Chiplets(64)}, times, demand)
-	if err != nil {
-		return err
-	}
-	mechs = append(mechs, mech{"§4.5 64-chiplet redesign + CPO", rows[0].SavingsVsToday})
-
-	tb := report.Table{
-		Title: fmt.Sprintf("§4 -> §3 synthesis — switch-level savings priced at baseline-cluster scale (%s comm ratio)",
-			report.Percent(*ratio)),
-		Headers: []string{"mechanism", "switch savings", "effective prop", "cluster savings", "$/year"},
-	}
-	cost := core.DefaultCostModel()
-	for _, m := range mechs {
-		// A two-state switch with proportionality p on this duty cycle
-		// saves p*(idleShare) vs always-on; invert to get the effective p.
-		pEff := m.savings / idleShare
-		if pEff > 1 {
-			pEff = 1
-		}
-		grid, err := core.ComputeSavingsGrid(core.Baseline(),
-			[]units.Bandwidth{400 * units.Gbps}, []float64{pEff}, 0.10)
-		if err != nil {
-			return err
-		}
-		cell := grid.Cell(0, 0)
-		dollars, err := cost.Annualize(cell.SavedPower)
-		if err != nil {
-			return err
-		}
-		tb.AddRow(m.name, report.Percent(m.savings), report.Percent(pEff),
-			report.Percent(cell.Savings), report.Dollars(dollars.Total()))
-	}
-	if err := tb.Write(w); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "\nnote: cluster savings are negative when a mechanism's effective")
-	fmt.Fprintln(w, "proportionality falls below today's 10% baseline; the conversion")
-	fmt.Fprintln(w, "assumes the mechanism applies to switches, NICs, and transceivers alike.")
-	return nil
+	return runScenario(w, "summary", "", map[string]float64{"ratio": *ratio})
 }
 
 func cmdBackbone(args []string, w io.Writer) error {
@@ -227,43 +165,13 @@ func cmdGating(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := asic.DefaultConfig()
-	if *usedPorts < 0 || *usedPorts > cfg.Ports {
-		return fmt.Errorf("ports %d outside [0,%d]", *usedPorts, cfg.Ports)
+	l3v := 0.0
+	if *l3 {
+		l3v = 1
 	}
-	ports := make([]int, *usedPorts)
-	for i := range ports {
-		ports[i] = i
-	}
-	d := powergate.Deployment{
-		UsedPorts:   ports,
-		NeedsL3:     *l3,
-		FIBFraction: *fib,
-		WakeBudget:  units.Seconds(*wake),
-	}
-	reports, err := powergate.Evaluate(cfg, d)
-	if err != nil {
-		return err
-	}
-	tb := report.Table{
-		Title: fmt.Sprintf("§4.1 — power-gating modes (%d/%d ports, L3=%v, FIB %s, wake budget %vs)",
-			*usedPorts, cfg.Ports, *l3, report.Percent(*fib), *wake),
-		Headers: []string{"mode", "power", "savings", "wake", "allowed", "description"},
-	}
-	for _, r := range reports {
-		tb.AddRow(r.Mode.Name, r.Power.String(), report.Percent(r.Savings),
-			fmt.Sprintf("%gs", float64(r.Mode.WakeLatency)),
-			fmt.Sprintf("%v", r.Allowed), r.Mode.Description)
-	}
-	if err := tb.Write(w); err != nil {
-		return err
-	}
-	best, err := powergate.Best(reports)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "\ngovernor picks %s: %v (%s saved)\n", best.Mode.Name, best.Power, report.Percent(best.Savings))
-	return nil
+	return runScenario(w, "gating", "", map[string]float64{
+		"ports": float64(*usedPorts), "l3": l3v, "fib": *fib, "wake": *wake,
+	})
 }
 
 func cmdOCS(args []string, w io.Writer) error {
@@ -347,74 +255,9 @@ func cmdRateAdapt(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := asic.DefaultConfig()
-	if *busy < 0 || *busy > cfg.Pipelines {
-		return fmt.Errorf("busy %d outside [0,%d]", *busy, cfg.Pipelines)
-	}
-	prof, err := traffic.MLPeriodic(*ratio, 10, *level)
-	if err != nil {
-		return err
-	}
-	times := make([]units.Seconds, *samples)
-	utils := make([][]float64, cfg.Pipelines)
-	for p := range utils {
-		utils[p] = make([]float64, *samples)
-	}
-	for i := range times {
-		times[i] = units.Seconds(i) * 0.5
-		for p := 0; p < *busy; p++ {
-			utils[p][i] = prof(times[i])
-		}
-	}
-	type variant struct {
-		name string
-		mk   func() rateadapt.Controller
-		opts rateadapt.Options
-	}
-	// Delay model: per-pipeline capacity is a quarter of the 51.2T chip.
-	delay := rateadapt.Options{PipelineCapacity: 12.8 * units.Tbps, FrameBits: 12000}
-	withDelay := func(o rateadapt.Options) rateadapt.Options {
-		o.PipelineCapacity, o.FrameBits = delay.PipelineCapacity, delay.FrameBits
-		return o
-	}
-	variants := []variant{
-		{"static (today)", func() rateadapt.Controller { return rateadapt.Static{} }, withDelay(rateadapt.Options{})},
-		{"global reactive", mkReactive, withDelay(rateadapt.Options{Global: true})},
-		{"per-pipeline reactive", mkReactive, withDelay(rateadapt.Options{})},
-		{"per-pipeline predictive", mkPredictive, withDelay(rateadapt.Options{})},
-		{"per-pipeline reactive + SerDes gating", mkReactive, withDelay(rateadapt.Options{GateIdleSerDes: true})},
-	}
-	tb := report.Table{
-		Title: fmt.Sprintf("§4.3 — rate adaptation (%d/%d busy pipelines, %s duty cycle at %s load)",
-			*busy, cfg.Pipelines, report.Percent(*ratio), report.Percent(*level)),
-		Headers: []string{"variant", "energy", "savings", "mean freq", "shortfall", "queue delay"},
-	}
-	for _, v := range variants {
-		res, err := rateadapt.Simulate(cfg, times, utils, v.mk, v.opts)
-		if err != nil {
-			return err
-		}
-		tb.AddRow(v.name, res.Energy.String(), report.Percent(res.Savings),
-			fmt.Sprintf("%.2f", res.MeanFreq), fmt.Sprintf("%gs", float64(res.ShortfallTime)),
-			fmt.Sprintf("%.1fns", float64(res.MeanQueueingDelay)*1e9))
-	}
-	return tb.Write(w)
-}
-
-func mkReactive() rateadapt.Controller {
-	c, err := rateadapt.NewReactive(1.1, 0.2, 0.1)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
-func mkPredictive() rateadapt.Controller {
-	c, err := rateadapt.NewPredictive(1.1, 0.2, 0.3)
-	if err != nil {
-		panic(err)
-	}
-	return c
+	return runScenario(w, "rateadapt", "", map[string]float64{
+		"busy": float64(*busy), "ratio": *ratio, "level": *level, "samples": float64(*samples),
+	})
 }
 
 func cmdParking(args []string, w io.Writer) error {
@@ -426,48 +269,9 @@ func cmdParking(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := parking.DefaultConfig()
-	prof, err := traffic.MLPeriodic(*ratio, units.Seconds(*period), *level)
-	if err != nil {
-		return err
-	}
-	times := make([]units.Seconds, *samples)
-	demand := make([]float64, *samples)
-	for i := range times {
-		times[i] = units.Seconds(i) * 0.05
-		demand[i] = prof(times[i])
-	}
-	reactive, err := parking.NewReactive(cfg.ASIC.Pipelines, cfg.MinActive, 0.8, 0.5)
-	if err != nil {
-		return err
-	}
-	sched, err := parking.NewScheduled(units.Seconds(*period), units.Seconds(*period**ratio), 0.1, cfg.MinActive, cfg.ASIC.Pipelines)
-	if err != nil {
-		return err
-	}
-	policies := []parking.Policy{
-		parking.AlwaysOn{Pipelines: cfg.ASIC.Pipelines},
-		reactive,
-		sched,
-	}
-	tb := report.Table{
-		Title: fmt.Sprintf("§4.4 — pipeline parking behind a circuit switch (duty %s at %s load, wake %gs)",
-			report.Percent(*ratio), report.Percent(*level), float64(cfg.WakeLatency)),
-		Headers: []string{"policy", "energy", "savings", "mean active", "reconfigs", "max backlog", "max delay", "dropped"},
-	}
-	for _, pol := range policies {
-		res, err := parking.Simulate(cfg, times, demand, pol)
-		if err != nil {
-			return err
-		}
-		tb.AddRow(pol.Name(), res.Energy.String(), report.Percent(res.Savings),
-			fmt.Sprintf("%.2f", res.MeanActive),
-			fmt.Sprintf("%d", res.Reconfigurations),
-			fmt.Sprintf("%.0f b", res.MaxBacklogBits),
-			fmt.Sprintf("%.2gs", float64(res.MaxDelay)),
-			fmt.Sprintf("%.0f b", res.DroppedBits))
-	}
-	return tb.Write(w)
+	return runScenario(w, "parking", "", map[string]float64{
+		"ratio": *ratio, "level": *level, "period": *period, "samples": float64(*samples),
+	})
 }
 
 func cmdEEE(args []string, w io.Writer) error {
@@ -479,30 +283,9 @@ func cmdEEE(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cap, err := units.ParseBandwidth(*speed)
-	if err != nil {
-		return err
-	}
-	params := eee.DefaultParams(cap, units.Power(*active))
-	tb := report.Table{
-		Title:   fmt.Sprintf("802.3az EEE baseline — %v link, Poisson traffic", cap),
-		Headers: []string{"utilization", "savings", "mean delay", "max delay", "LPI share"},
-	}
-	for _, util := range []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9} {
-		pkts, err := eee.PoissonPackets(*seed, cap, util, 12000, units.Seconds(*horizon))
-		if err != nil {
-			return err
-		}
-		res, err := eee.Simulate(params, pkts)
-		if err != nil {
-			return err
-		}
-		tb.AddRow(report.Percent(util), report.Percent(res.Savings),
-			fmt.Sprintf("%.2gus", float64(res.MeanDelay)*1e6),
-			fmt.Sprintf("%.2gus", float64(res.MaxDelay)*1e6),
-			report.Percent(float64(res.LPITime)/float64(res.Horizon)))
-	}
-	return tb.Write(w)
+	return runScenario(w, "eee", *speed, map[string]float64{
+		"active": *active, "horizon": *horizon, "seed": float64(*seed),
+	})
 }
 
 func cmdRateLink(args []string, w io.Writer) error {
@@ -514,35 +297,9 @@ func cmdRateLink(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cap, err := units.ParseBandwidth(*speed)
-	if err != nil {
-		return err
-	}
-	lpi := eee.DefaultParams(cap, units.Power(*active))
-	rate := eee.DefaultRateParams(cap, units.Power(*active))
-	tb := report.Table{
-		Title:   fmt.Sprintf("NSDI'08 sleeping vs. rate adaptation — %v link, Poisson traffic", cap),
-		Headers: []string{"utilization", "sleep savings", "sleep delay", "rate savings", "rate delay", "mean speed"},
-	}
-	for _, util := range []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9} {
-		pkts, err := eee.PoissonPackets(*seed, cap, util, 12000, units.Seconds(*horizon))
-		if err != nil {
-			return err
-		}
-		sres, err := eee.Simulate(lpi, pkts)
-		if err != nil {
-			return err
-		}
-		rres, err := eee.SimulateRate(rate, pkts)
-		if err != nil {
-			return err
-		}
-		tb.AddRow(report.Percent(util),
-			report.Percent(sres.Savings), fmt.Sprintf("%.2gus", float64(sres.MeanDelay)*1e6),
-			report.Percent(rres.Savings), fmt.Sprintf("%.2gus", float64(rres.MeanDelay)*1e6),
-			rres.MeanSpeed.String())
-	}
-	return tb.Write(w)
+	return runScenario(w, "ratelink", *speed, map[string]float64{
+		"active": *active, "horizon": *horizon, "seed": float64(*seed),
+	})
 }
 
 func cmdChiplet(args []string, w io.Writer) error {
@@ -552,39 +309,7 @@ func cmdChiplet(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	prof, err := traffic.MLPeriodic(*ratio, 10, *level)
-	if err != nil {
-		return err
-	}
-	const n = 400
-	times := make([]units.Seconds, n)
-	loads := make([]float64, n)
-	for i := range times {
-		times[i] = units.Seconds(i) * 0.5
-		loads[i] = prof(times[i])
-	}
-	designs := []chiplet.Design{
-		chiplet.Today(),
-		chiplet.Gateable(),
-		chiplet.Chiplets(4),
-		chiplet.Chiplets(16),
-		chiplet.Chiplets(64),
-		chiplet.Chiplets(256),
-	}
-	rows, err := chiplet.Sweep(designs, times, loads)
-	if err != nil {
-		return err
-	}
-	tb := report.Table{
-		Title: fmt.Sprintf("§4.5 — ASIC redesign space on ML traffic (%s duty at %s load)",
-			report.Percent(*ratio), report.Percent(*level)),
-		Headers: []string{"design", "max power", "proportionality", "energy", "savings vs today"},
-	}
-	for _, r := range rows {
-		tb.AddRow(r.Design.Name, r.MaxPower.String(), report.Percent(r.Proportionality),
-			r.Energy.String(), report.Percent(r.SavingsVsToday))
-	}
-	return tb.Write(w)
+	return runScenario(w, "chiplet", "", map[string]float64{"ratio": *ratio, "level": *level})
 }
 
 func cmdScheduler(args []string, w io.Writer) error {
@@ -593,32 +318,7 @@ func cmdScheduler(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f, err := ocs.ThreeTierFabric(*radix, 400*units.Gbps)
-	if err != nil {
-		return err
-	}
-	jobs := []schedule.JobReq{{ID: 1, Hosts: 8}, {ID: 2, Hosts: 6}, {ID: 3, Hosts: 2}}
-	tb := report.Table{
-		Title:   fmt.Sprintf("§4.2 — network-aware job scheduling (k=%d fabric, 3 jobs, 16 hosts)", *radix),
-		Headers: []string{"policy", "edges used", "pods used", "active switches", "energy (1h, off=sleep)", "energy (1h, off=idle)"},
-	}
-	for _, pol := range []schedule.Policy{schedule.Spread, schedule.Concentrate} {
-		s, err := schedule.Place(f, jobs, pol)
-		if err != nil {
-			return err
-		}
-		sleep, err := s.Energy(schedule.EnergyParams{Horizon: 3600, DutyCycle: 0.1, Proportionality: 0.1, OffSwitchesSleep: true})
-		if err != nil {
-			return err
-		}
-		idle, err := s.Energy(schedule.EnergyParams{Horizon: 3600, DutyCycle: 0.1, Proportionality: 0.1})
-		if err != nil {
-			return err
-		}
-		tb.AddRow(pol.String(), fmt.Sprintf("%d", s.EdgesUsed), fmt.Sprintf("%d", s.PodsUsed),
-			fmt.Sprintf("%d", s.ActiveSwitches()), sleep.String(), idle.String())
-	}
-	return tb.Write(w)
+	return runScenario(w, "scheduler", "", map[string]float64{"radix": float64(*radix)})
 }
 
 func cmdFabric(args []string, w io.Writer) error {

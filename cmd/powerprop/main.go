@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,11 +26,19 @@ import (
 
 	"netpowerprop/internal/core"
 	"netpowerprop/internal/device"
+	"netpowerprop/internal/engine"
 	"netpowerprop/internal/fattree"
 	"netpowerprop/internal/report"
 	"netpowerprop/internal/units"
 	"netpowerprop/internal/workload"
 )
+
+// query routes a request through the shared engine, so this CLI and
+// cmd/serve are guaranteed to produce identical numbers.
+func query(req engine.Request) (*engine.Result, error) {
+	res, _, err := engine.Default().Do(context.Background(), req)
+	return res, err
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -170,12 +179,12 @@ func cmdReport(args []string, w io.Writer) error {
 
 func cmdScaling(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("scaling", flag.ContinueOnError)
-	cfgOf := baseFlags(fs)
+	f := baseFlags(fs)
 	csv := fs.Bool("csv", false, "emit CSV")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := cfgOf()
+	cfg, err := f.Config()
 	if err != nil {
 		return err
 	}
@@ -243,41 +252,69 @@ func cmdSensitivity(args []string, w io.Writer) error {
 	return tb.Write(w)
 }
 
-// baseFlags declares the flags shared by the scenario subcommands and
-// returns a closure resolving them into a Config.
-func baseFlags(fs *flag.FlagSet) func() (core.Config, error) {
-	gpus := fs.Int("gpus", 15360, "cluster size in GPUs")
-	bw := fs.String("bw", "400G", "network bandwidth per GPU")
-	ratio := fs.Float64("ratio", 0.10, "communication ratio of the baseline workload")
-	netProp := fs.Float64("netprop", 0.10, "network power proportionality")
-	compProp := fs.Float64("compprop", 0.85, "compute power proportionality")
-	interp := fs.String("interp", "absolute", "fat-tree interpolation mode (absolute|perhost)")
-	overlap := fs.Float64("overlap", 0, "fraction of communication hidden behind computation (§3.4)")
-	return func() (core.Config, error) {
-		b, err := units.ParseBandwidth(*bw)
-		if err != nil {
-			return core.Config{}, err
-		}
-		mode, err := fattree.ParseInterpMode(*interp)
-		if err != nil {
-			return core.Config{}, err
-		}
-		if *ratio <= 0 || *ratio >= 1 {
-			return core.Config{}, fmt.Errorf("ratio %v outside (0,1)", *ratio)
-		}
-		wl, err := workload.New(units.Seconds(1-*ratio), units.Seconds(*ratio), *gpus, b)
-		if err != nil {
-			return core.Config{}, err
-		}
-		return core.Config{
-			GPUs:                   *gpus,
-			Bandwidth:              b,
-			Workload:               wl,
-			ComputeProportionality: *compProp,
-			NetworkProportionality: *netProp,
-			Interp:                 mode,
-			Overlap:                *overlap,
-		}, nil
+// scenarioFlags holds the flags shared by the scenario subcommands.
+type scenarioFlags struct {
+	gpus              *int
+	bw, interp        *string
+	ratio, netProp    *float64
+	compProp, overlap *float64
+}
+
+// baseFlags declares the shared scenario flags on a FlagSet.
+func baseFlags(fs *flag.FlagSet) *scenarioFlags {
+	return &scenarioFlags{
+		gpus:     fs.Int("gpus", 15360, "cluster size in GPUs"),
+		bw:       fs.String("bw", "400G", "network bandwidth per GPU"),
+		ratio:    fs.Float64("ratio", 0.10, "communication ratio of the baseline workload"),
+		netProp:  fs.Float64("netprop", 0.10, "network power proportionality"),
+		compProp: fs.Float64("compprop", 0.85, "compute power proportionality"),
+		interp:   fs.String("interp", "absolute", "fat-tree interpolation mode (absolute|perhost)"),
+		overlap:  fs.Float64("overlap", 0, "fraction of communication hidden behind computation (§3.4)"),
+	}
+}
+
+// Config resolves the flags into a core.Config for the subcommands that
+// drive the model directly.
+func (f *scenarioFlags) Config() (core.Config, error) {
+	b, err := units.ParseBandwidth(*f.bw)
+	if err != nil {
+		return core.Config{}, err
+	}
+	mode, err := fattree.ParseInterpMode(*f.interp)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if *f.ratio <= 0 || *f.ratio >= 1 {
+		return core.Config{}, fmt.Errorf("ratio %v outside (0,1)", *f.ratio)
+	}
+	wl, err := workload.New(units.Seconds(1-*f.ratio), units.Seconds(*f.ratio), *f.gpus, b)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		GPUs:                   *f.gpus,
+		Bandwidth:              b,
+		Workload:               wl,
+		ComputeProportionality: *f.compProp,
+		NetworkProportionality: *f.netProp,
+		Interp:                 mode,
+		Overlap:                *f.overlap,
+	}, nil
+}
+
+// Request resolves the flags into an engine request for the subcommands
+// routed through the query engine.
+func (f *scenarioFlags) Request(op engine.Op) engine.Request {
+	netProp, compProp := *f.netProp, *f.compProp
+	return engine.Request{
+		Op:                     op,
+		GPUs:                   *f.gpus,
+		Bandwidth:              *f.bw,
+		CommRatio:              *f.ratio,
+		NetworkProportionality: &netProp,
+		ComputeProportionality: &compProp,
+		Interp:                 *f.interp,
+		Overlap:                *f.overlap,
 	}
 }
 
@@ -303,12 +340,12 @@ func cmdFig1(args []string, w io.Writer) error {
 
 func cmdFig2(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("fig2", flag.ContinueOnError)
-	cfgOf := baseFlags(fs)
+	f := baseFlags(fs)
 	csv := fs.Bool("csv", false, "emit CSV")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := cfgOf()
+	cfg, err := f.Config()
 	if err != nil {
 		return err
 	}
@@ -368,31 +405,28 @@ func cmdFig2(args []string, w io.Writer) error {
 
 func cmdTable3(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("table3", flag.ContinueOnError)
-	cfgOf := baseFlags(fs)
+	f := baseFlags(fs)
 	csv := fs.Bool("csv", false, "emit CSV")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := cfgOf()
+	res, err := query(f.Request(engine.OpTable3))
 	if err != nil {
 		return err
 	}
-	grid, err := core.ComputeSavingsGrid(cfg, core.Table3Bandwidths(), core.Table3Proportionalities(), cfg.NetworkProportionality)
-	if err != nil {
-		return err
-	}
+	grid := res.Grid
 	tb := report.Table{
-		Title: fmt.Sprintf("Table 3 — total-cluster power savings vs. %s-proportional network (interp %v)",
-			report.Percent(grid.RefProportionality), cfg.Interp),
+		Title: fmt.Sprintf("Table 3 — total-cluster power savings vs. %s-proportional network (interp %s)",
+			report.Percent(grid.RefProportionality), grid.Interp),
 		Headers: []string{"bandwidth"},
 	}
 	for _, p := range grid.Proportionalities {
 		tb.Headers = append(tb.Headers, report.Percent(p))
 	}
 	for i, bw := range grid.Bandwidths {
-		row := []string{bw.String()}
+		row := []string{bw.Label}
 		for j := range grid.Proportionalities {
-			row = append(row, report.Percent(grid.Cell(i, j).Savings))
+			row = append(row, report.Percent(grid.Cells[i][j].Savings))
 		}
 		tb.AddRow(row...)
 	}
@@ -402,7 +436,7 @@ func cmdTable3(args []string, w io.Writer) error {
 	return tb.Write(w)
 }
 
-func speedupOutput(w io.Writer, title string, curves []core.SpeedupCurve, csv bool) error {
+func speedupOutput(w io.Writer, title string, curves []engine.Curve, csv bool) error {
 	tb := report.Table{Title: title, Headers: []string{"bandwidth"}}
 	if len(curves) == 0 {
 		return fmt.Errorf("no curves")
@@ -415,7 +449,7 @@ func speedupOutput(w io.Writer, title string, curves []core.SpeedupCurve, csv bo
 	chart.XLabel = "proportionality"
 	chart.YLabel = "speedup %"
 	for _, c := range curves {
-		row := []string{c.Bandwidth.String()}
+		row := []string{c.Bandwidth.Label}
 		var xs, ys []float64
 		for _, pt := range c.Points {
 			row = append(row, report.Percent(pt.Speedup))
@@ -423,7 +457,7 @@ func speedupOutput(w io.Writer, title string, curves []core.SpeedupCurve, csv bo
 			ys = append(ys, pt.Speedup*100)
 		}
 		tb.AddRow(row...)
-		chart.Series = append(chart.Series, report.Series{Name: c.Bandwidth.String(), X: xs, Y: ys})
+		chart.Series = append(chart.Series, report.Series{Name: c.Bandwidth.Label, X: xs, Y: ys})
 	}
 	if csv {
 		return tb.WriteCSV(w)
@@ -435,42 +469,34 @@ func speedupOutput(w io.Writer, title string, curves []core.SpeedupCurve, csv bo
 	return chart.Write(w)
 }
 
+// coarseProps is the fast 5-point proportionality grid behind -coarse.
+var coarseProps = []float64{0, 0.25, 0.5, 0.75, 1}
+
 func cmdFig3(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("fig3", flag.ContinueOnError)
-	cfgOf := baseFlags(fs)
+	f := baseFlags(fs)
 	budget := fs.String("budget", "avg", "power budget kind (avg|peak)")
 	csv := fs.Bool("csv", false, "emit CSV")
 	coarse := fs.Bool("coarse", false, "coarse proportionality grid (faster)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := cfgOf()
-	if err != nil {
-		return err
-	}
-	kind, err := core.ParseBudgetKind(*budget)
-	if err != nil {
-		return err
-	}
-	props := core.FigProportionalities()
+	req := f.Request(engine.OpFig3)
+	req.Budget = *budget
 	if *coarse {
-		props = []float64{0, 0.25, 0.5, 0.75, 1}
+		req.Proportionalities = coarseProps
 	}
-	curves, err := core.Fig3Parallel(cfg, core.Table3Bandwidths(), props, kind, 0)
+	res, err := query(req)
 	if err != nil {
 		return err
 	}
 	if err := speedupOutput(w,
-		fmt.Sprintf("Fig. 3 — fixed workload: speedup vs. the baseline under a fixed %s-power budget", kind),
-		curves, *csv); err != nil {
+		fmt.Sprintf("Fig. 3 — fixed workload: speedup vs. the baseline under a fixed %s-power budget", res.Request.Budget),
+		res.Curves, *csv); err != nil {
 		return err
 	}
 	if *csv {
 		return nil
-	}
-	cross, err := core.BestBandwidth(curves)
-	if err != nil {
-		return err
 	}
 	fmt.Fprintln(w)
 	tb := report.Table{
@@ -478,8 +504,8 @@ func cmdFig3(args []string, w io.Writer) error {
 		Headers: []string{"proportionality", "best bandwidth", "speedup"},
 	}
 	prev := ""
-	for _, c := range cross {
-		name := c.Best.String()
+	for _, c := range res.Crossovers {
+		name := c.Best.Label
 		if name == prev {
 			continue // only print rows where the winner changes
 		}
@@ -491,7 +517,7 @@ func cmdFig3(args []string, w io.Writer) error {
 
 func cmdFig4(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("fig4", flag.ContinueOnError)
-	cfgOf := baseFlags(fs)
+	f := baseFlags(fs)
 	budget := fs.String("budget", "avg", "power budget kind (avg|peak)")
 	ratio := fs.Float64("fixedratio", 0.10, "pinned communication ratio")
 	csv := fs.Bool("csv", false, "emit CSV")
@@ -499,26 +525,20 @@ func cmdFig4(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := cfgOf()
-	if err != nil {
-		return err
-	}
-	kind, err := core.ParseBudgetKind(*budget)
-	if err != nil {
-		return err
-	}
-	props := core.FigProportionalities()
+	req := f.Request(engine.OpFig4)
+	req.Budget = *budget
+	req.FixedCommRatio = *ratio
 	if *coarse {
-		props = []float64{0, 0.25, 0.5, 0.75, 1}
+		req.Proportionalities = coarseProps
 	}
-	curves, err := core.Fig4Parallel(cfg, core.Table3Bandwidths(), props, *ratio, kind, 0)
+	res, err := query(req)
 	if err != nil {
 		return err
 	}
 	return speedupOutput(w,
 		fmt.Sprintf("Fig. 4 — fixed %s comm ratio: speedup vs. a zero-proportionality network (%s budget)",
-			report.Percent(*ratio), kind),
-		curves, *csv)
+			report.Percent(res.Request.FixedCommRatio), res.Request.Budget),
+		res.Curves, *csv)
 }
 
 func cmdCost(args []string, w io.Writer) error {
@@ -529,28 +549,28 @@ func cmdCost(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	grid, err := core.ComputeSavingsGrid(core.Baseline(),
-		[]units.Bandwidth{400 * units.Gbps}, []float64{*prop}, 0.10)
+	res, err := query(engine.Request{
+		Op:                     engine.OpCost,
+		NetworkProportionality: prop,
+		Price:                  price,
+		Cooling:                cooling,
+	})
 	if err != nil {
 		return err
 	}
-	saved := grid.Cell(0, 0).SavedPower
-	model := core.CostModel{PricePerKWh: *price, CoolingOverhead: *cooling}
-	s, err := model.Annualize(saved)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "§3.2 — baseline 400G cluster, network proportionality 10%% -> %s\n\n", report.Percent(*prop))
-	fmt.Fprintf(w, "average power saved:    %s  (paper: ~365 kW at 50%%)\n", saved)
-	fmt.Fprintf(w, "electricity per year:   %s  (paper: ~$416k)\n", report.Dollars(s.ElectricityPerYear))
-	fmt.Fprintf(w, "cooling per year:       %s  (paper: ~$125k)\n", report.Dollars(s.CoolingPerYear))
-	fmt.Fprintf(w, "total per year:         %s\n", report.Dollars(s.Total()))
+	c := res.Cost
+	fmt.Fprintf(w, "§3.2 — baseline 400G cluster, network proportionality %s -> %s\n\n",
+		report.Percent(c.RefProportionality), report.Percent(c.Proportionality))
+	fmt.Fprintf(w, "average power saved:    %s  (paper: ~365 kW at 50%%)\n", c.SavedPower.Label)
+	fmt.Fprintf(w, "electricity per year:   %s  (paper: ~$416k)\n", report.Dollars(c.ElectricityPerYear))
+	fmt.Fprintf(w, "cooling per year:       %s  (paper: ~$125k)\n", report.Dollars(c.CoolingPerYear))
+	fmt.Fprintf(w, "total per year:         %s\n", report.Dollars(c.TotalPerYear))
 	return nil
 }
 
 func cmdSweep(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
-	cfgOf := baseFlags(fs)
+	f := baseFlags(fs)
 	steps := fs.Int("steps", 10, "proportionality steps between 0 and 1")
 	csv := fs.Bool("csv", false, "emit CSV")
 	if err := fs.Parse(args); err != nil {
@@ -559,31 +579,21 @@ func cmdSweep(args []string, w io.Writer) error {
 	if *steps < 1 {
 		return fmt.Errorf("steps %d must be positive", *steps)
 	}
-	cfg, err := cfgOf()
+	req := f.Request(engine.OpSweep)
+	req.Steps = *steps
+	res, err := query(req)
 	if err != nil {
 		return err
 	}
 	tb := report.Table{
-		Title: fmt.Sprintf("Proportionality sweep — %d GPUs at %v (ratio %s)",
-			cfg.GPUs, cfg.Bandwidth, report.Percent(cfg.Workload.CommRatio())),
+		Title: fmt.Sprintf("Proportionality sweep — %d GPUs at %s (ratio %s)",
+			res.Request.GPUs, res.Request.Bandwidth, report.Percent(res.Request.CommRatio)),
 		Headers: []string{"prop", "avg power", "peak power", "net share", "net efficiency", "savings"},
 	}
-	var refPower units.Power
-	for i := 0; i <= *steps; i++ {
-		p := float64(i) / float64(*steps)
-		c := cfg
-		c.NetworkProportionality = p
-		cl, err := core.New(c)
-		if err != nil {
-			return err
-		}
-		avg := cl.AveragePower()
-		if i == 0 {
-			refPower = avg
-		}
-		tb.AddRow(report.Percent(p), avg.String(), cl.PeakPower().String(),
-			report.Percent(cl.NetworkShare()), report.Percent(cl.NetworkEfficiency()),
-			report.Percent(float64(refPower-avg)/float64(refPower)))
+	for _, pt := range res.Sweep {
+		tb.AddRow(report.Percent(pt.Proportionality), pt.AveragePower.Label, pt.PeakPower.Label,
+			report.Percent(pt.NetworkShare), report.Percent(pt.NetworkEfficiency),
+			report.Percent(pt.Savings))
 	}
 	if *csv {
 		return tb.WriteCSV(w)

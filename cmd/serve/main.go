@@ -1,0 +1,317 @@
+// Command serve exposes the what-if query engine as an HTTP JSON API, so
+// the paper's tables, figures, and §4 mechanism simulations can be served
+// to many clients with result caching instead of re-running a CLI.
+//
+// Endpoints:
+//
+//	GET/POST /v1/whatif            cluster power/efficiency summary
+//	GET/POST /v1/table3            Table 3 savings grid
+//	GET/POST /v1/fig3              fixed-workload speedup curves
+//	GET/POST /v1/fig4              fixed-comm-ratio speedup curves
+//	GET/POST /v1/sweep             proportionality sweep
+//	GET/POST /v1/cost              §3.2 annualized cost savings
+//	GET      /v1/scenarios         list §4 mechanism scenarios
+//	GET/POST /v1/scenarios/{name}  run a §4 mechanism scenario
+//	GET      /healthz              liveness probe
+//	GET      /metrics              cache/latency counters (text format)
+//
+// GET requests take query parameters named after the JSON request fields
+// (gpus, bw, ratio, netprop, compprop, interp, overlap, budget, props,
+// fixedratio, steps, price, cooling); POST requests take the same fields
+// as a JSON body. Identical queries are answered from a sharded LRU cache
+// and concurrent identical queries collapse into one computation.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"netpowerprop/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache", 4096, "result cache capacity (entries)")
+	shards := flag.Int("shards", 16, "result cache shards")
+	workers := flag.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request computation timeout")
+	flag.Parse()
+
+	eng := engine.New(engine.Options{CacheSize: *cacheSize, CacheShards: *shards, Workers: *workers})
+	srv := newServer(eng, *timeout)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serve: listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("serve: shutdown: %v", err)
+	}
+}
+
+// server routes API requests into the engine.
+type server struct {
+	eng      *engine.Engine
+	timeout  time.Duration
+	mux      *http.ServeMux
+	requests atomic.Uint64
+}
+
+func newServer(eng *engine.Engine, timeout time.Duration) *server {
+	s := &server{eng: eng, timeout: timeout, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for _, op := range []engine.Op{engine.OpWhatIf, engine.OpTable3, engine.OpFig3,
+		engine.OpFig4, engine.OpSweep, engine.OpCost} {
+		s.mux.HandleFunc("/v1/"+string(op), s.handleOp(op))
+	}
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
+	s.mux.HandleFunc("/v1/scenarios/{name}", s.handleScenario)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiResponse wraps a result with its serving metadata.
+type apiResponse struct {
+	Cached    bool           `json:"cached"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	Result    *engine.Result `json:"result"`
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// decodeRequest builds an engine.Request from either a JSON POST body or
+// GET query parameters.
+func decodeRequest(r *http.Request) (engine.Request, error) {
+	var req engine.Request
+	if r.Method == http.MethodPost {
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return engine.Request{}, fmt.Errorf("decode request body: %w", err)
+		}
+		return req, nil
+	}
+	return parseQuery(r)
+}
+
+// parseQuery maps query parameters onto the request fields.
+func parseQuery(r *http.Request) (engine.Request, error) {
+	var req engine.Request
+	q := r.URL.Query()
+	var err error
+	intField := func(name string, dst *int) {
+		if err != nil || !q.Has(name) {
+			return
+		}
+		var v int
+		if v, err = strconv.Atoi(q.Get(name)); err == nil {
+			*dst = v
+		} else {
+			err = fmt.Errorf("parameter %s: %w", name, err)
+		}
+	}
+	floatField := func(name string, dst *float64) {
+		if err != nil || !q.Has(name) {
+			return
+		}
+		var v float64
+		if v, err = strconv.ParseFloat(q.Get(name), 64); err == nil {
+			*dst = v
+		} else {
+			err = fmt.Errorf("parameter %s: %w", name, err)
+		}
+	}
+	optFloatField := func(name string, dst **float64) {
+		if err != nil || !q.Has(name) {
+			return
+		}
+		var v float64
+		if v, err = strconv.ParseFloat(q.Get(name), 64); err == nil {
+			*dst = &v
+		} else {
+			err = fmt.Errorf("parameter %s: %w", name, err)
+		}
+	}
+	intField("gpus", &req.GPUs)
+	req.Bandwidth = q.Get("bw")
+	floatField("ratio", &req.CommRatio)
+	optFloatField("netprop", &req.NetworkProportionality)
+	// /v1/cost mirrors the CLI's -prop flag name too.
+	optFloatField("prop", &req.NetworkProportionality)
+	optFloatField("compprop", &req.ComputeProportionality)
+	req.Interp = q.Get("interp")
+	floatField("overlap", &req.Overlap)
+	req.Budget = q.Get("budget")
+	floatField("fixedratio", &req.FixedCommRatio)
+	intField("steps", &req.Steps)
+	optFloatField("price", &req.Price)
+	optFloatField("cooling", &req.Cooling)
+	if err != nil {
+		return engine.Request{}, err
+	}
+	if s := q.Get("props"); s != "" {
+		for _, part := range strings.Split(s, ",") {
+			v, perr := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if perr != nil {
+				return engine.Request{}, fmt.Errorf("parameter props: %w", perr)
+			}
+			req.Proportionalities = append(req.Proportionalities, v)
+		}
+	}
+	return req, nil
+}
+
+// serve answers one request through the engine.
+func (s *server) serve(w http.ResponseWriter, r *http.Request, req engine.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	start := time.Now()
+	res, cached, err := s.eng.Do(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if cached {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	writeJSON(w, http.StatusOK, apiResponse{
+		Cached:    cached,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Result:    res,
+	})
+}
+
+func (s *server) handleOp(op engine.Op) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		req, err := decodeRequest(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		req.Op = op
+		s.serve(w, r, req)
+	}
+}
+
+func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	req := engine.Request{Op: engine.OpScenario, Scenario: r.PathValue("name")}
+	if r.Method == http.MethodPost {
+		var err error
+		if req, err = decodeRequest(r); err != nil {
+			writeError(w, err)
+			return
+		}
+		req.Op = engine.OpScenario
+		req.Scenario = r.PathValue("name")
+	} else {
+		params := make(map[string]float64)
+		for name, vals := range r.URL.Query() {
+			if len(vals) == 0 {
+				continue
+			}
+			if name == "bw" || name == "speed" {
+				req.Bandwidth = vals[0]
+				continue
+			}
+			v, err := strconv.ParseFloat(vals[0], 64)
+			if err != nil {
+				writeError(w, fmt.Errorf("parameter %s: %w", name, err))
+				return
+			}
+			params[name] = v
+		}
+		if len(params) > 0 {
+			req.Params = params
+		}
+	}
+	s.serve(w, r, req)
+}
+
+func (s *server) handleScenarioList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"scenarios": engine.ScenarioNames()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders the engine counters in Prometheus text format.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.eng.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "engine_cache_hits_total %d\n", m.Hits)
+	fmt.Fprintf(w, "engine_cache_misses_total %d\n", m.Misses)
+	fmt.Fprintf(w, "engine_singleflight_shared_total %d\n", m.Shared)
+	fmt.Fprintf(w, "engine_computations_total %d\n", m.Computations)
+	fmt.Fprintf(w, "engine_errors_total %d\n", m.Errors)
+	fmt.Fprintf(w, "engine_cache_evictions_total %d\n", m.Evictions)
+	fmt.Fprintf(w, "engine_cache_entries %d\n", m.CacheEntries)
+	fmt.Fprintf(w, "engine_inflight %d\n", m.InFlight)
+	fmt.Fprintf(w, "engine_compute_seconds_total %g\n", m.ComputeSeconds)
+	fmt.Fprintf(w, "http_requests_total %d\n", s.requests.Load())
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// cache is a sharded LRU over canonical request keys. Sharding keeps the
+// hot serving path from serializing on one mutex; each shard holds its own
+// recency list, so eviction is LRU per shard (and therefore approximately
+// LRU overall).
+type cache struct {
+	shards []*cacheShard
+}
+
+type cacheShard struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions atomic.Uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// newCache builds a cache with the given total capacity split across
+// shards. Each shard holds at least one entry.
+func newCache(capacity, shards int) *cache {
+	if shards < 1 {
+		shards = 1
+	}
+	if capacity < shards {
+		capacity = shards
+	}
+	per := (capacity + shards - 1) / shards
+	c := &cache{shards: make([]*cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			capacity: per,
+			ll:       list.New(),
+			items:    make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[int(h.Sum32())%len(c.shards)]
+}
+
+// Get returns the cached result for key, refreshing its recency.
+func (c *cache) Get(key string) (*Result, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Add inserts (or refreshes) a result, evicting the shard's least
+// recently used entry when over capacity.
+func (c *cache) Add(key string, res *Result) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, res: res})
+	for s.ll.Len() > s.capacity {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
+		s.evictions.Add(1)
+	}
+}
+
+// Len returns the number of cached entries across all shards.
+func (c *cache) Len() int {
+	var n int
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Evictions returns the total entries evicted across all shards.
+func (c *cache) Evictions() uint64 {
+	var n uint64
+	for _, s := range c.shards {
+		n += s.evictions.Load()
+	}
+	return n
+}

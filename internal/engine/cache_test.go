@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheGetAdd(t *testing.T) {
+	c := newCache(4, 2)
+	if _, ok := c.Get("a"); ok {
+		t.Error("Get on empty cache returned a value")
+	}
+	r := &Result{Op: OpWhatIf}
+	c.Add("a", r)
+	got, ok := c.Get("a")
+	if !ok || got != r {
+		t.Errorf("Get(a) = %v, %v", got, ok)
+	}
+	// Re-adding the same key refreshes, not duplicates.
+	c.Add("a", &Result{Op: OpTable3})
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after refresh, want 1", c.Len())
+	}
+	if got, _ := c.Get("a"); got.Op != OpTable3 {
+		t.Errorf("refresh did not replace value: %v", got.Op)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := newCache(2, 1)
+	c.Add("a", &Result{})
+	c.Add("b", &Result{})
+	// Touch "a" so "b" is the LRU victim.
+	c.Get("a")
+	c.Add("c", &Result{})
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU victim b still cached")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("new entry c missing")
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", c.Evictions())
+	}
+}
+
+func TestCacheShardBounds(t *testing.T) {
+	// Degenerate parameters still give a working cache.
+	c := newCache(0, 0)
+	c.Add("a", &Result{})
+	if _, ok := c.Get("a"); !ok {
+		t.Error("degenerate cache lost its entry")
+	}
+	// Population never exceeds (per-shard capacity) x shards.
+	c = newCache(10, 4)
+	for i := 0; i < 100; i++ {
+		c.Add(fmt.Sprintf("k%d", i), &Result{})
+	}
+	if c.Len() > 12 { // ceil(10/4)=3 per shard x 4 shards
+		t.Errorf("Len = %d exceeds sharded capacity", c.Len())
+	}
+}
+
+func TestFlightGroupCollapse(t *testing.T) {
+	g := newFlightGroup()
+	var calls, entered, sharedCount atomic.Int32
+	block := make(chan struct{})
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			entered.Add(1)
+			res, shared, err := g.do(context.Background(), "k", func() (*Result, error) {
+				calls.Add(1)
+				<-block
+				return &Result{Op: OpWhatIf}, nil
+			})
+			if err != nil || res == nil {
+				t.Errorf("do: res=%v err=%v", res, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Release the leader only once every goroutine is about to enter (or
+	// already parked in) the flight group, so the calls collapse.
+	for entered.Load() < n {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(block)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("fn ran %d times, want 1", calls.Load())
+	}
+	if sharedCount.Load() != n-1 {
+		t.Errorf("shared count = %d, want %d", sharedCount.Load(), n-1)
+	}
+}
+
+func TestFlightGroupWaiterCancel(t *testing.T) {
+	g := newFlightGroup()
+	block := make(chan struct{})
+	leaderIn := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.do(context.Background(), "k", func() (*Result, error) {
+			close(leaderIn)
+			<-block
+			return &Result{}, nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, err := g.do(ctx, "k", func() (*Result, error) {
+		t.Error("follower ran fn")
+		return nil, nil
+	})
+	if err == nil || !shared {
+		t.Errorf("canceled waiter: shared=%v err=%v", shared, err)
+	}
+	close(block)
+	<-done
+}

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"fmt"
+
+	"netpowerprop/internal/core"
+	"netpowerprop/internal/units"
+)
+
+// compute dispatches one normalized request to the model code. Every
+// branch reproduces the corresponding CLI computation exactly.
+func compute(req Request) (*Result, error) {
+	res := &Result{Op: req.Op, Request: req}
+	switch req.Op {
+	case OpWhatIf:
+		cfg, err := req.config()
+		if err != nil {
+			return nil, err
+		}
+		cl, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Cluster = summarize(cl)
+	case OpTable3:
+		cfg, err := req.config()
+		if err != nil {
+			return nil, err
+		}
+		grid, err := core.ComputeSavingsGrid(cfg, core.Table3Bandwidths(),
+			core.Table3Proportionalities(), cfg.NetworkProportionality)
+		if err != nil {
+			return nil, err
+		}
+		res.Grid = gridOf(grid, req.Interp)
+	case OpFig3:
+		cfg, err := req.config()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := core.ParseBudgetKind(req.Budget)
+		if err != nil {
+			return nil, err
+		}
+		curves, err := core.Fig3Parallel(cfg, core.Table3Bandwidths(), req.Proportionalities, kind, 0)
+		if err != nil {
+			return nil, err
+		}
+		cross, err := core.BestBandwidth(curves)
+		if err != nil {
+			return nil, err
+		}
+		res.Curves = curvesOf(curves)
+		res.Crossovers = crossoversOf(cross)
+	case OpFig4:
+		cfg, err := req.config()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := core.ParseBudgetKind(req.Budget)
+		if err != nil {
+			return nil, err
+		}
+		curves, err := core.Fig4Parallel(cfg, core.Table3Bandwidths(), req.Proportionalities,
+			req.FixedCommRatio, kind, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Curves = curvesOf(curves)
+	case OpSweep:
+		pts, err := computeSweep(req)
+		if err != nil {
+			return nil, err
+		}
+		res.Sweep = pts
+	case OpCost:
+		c, err := computeCost(req)
+		if err != nil {
+			return nil, err
+		}
+		res.Cost = c
+	case OpScenario:
+		table, err := scenarios[req.Scenario].run(req)
+		if err != nil {
+			return nil, err
+		}
+		res.Table = table
+	default:
+		return nil, fmt.Errorf("engine: unknown op %q", req.Op)
+	}
+	return res, nil
+}
+
+// computeSweep evaluates the proportionality sweep: steps+1 clusters from
+// 0 to 1, savings relative to the proportionality-0 row.
+func computeSweep(req Request) ([]SweepPoint, error) {
+	cfg, err := req.config()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, 0, req.Steps+1)
+	var refPower units.Power
+	for i := 0; i <= req.Steps; i++ {
+		p := float64(i) / float64(req.Steps)
+		c := cfg
+		c.NetworkProportionality = p
+		cl, err := core.New(c)
+		if err != nil {
+			return nil, err
+		}
+		avg := cl.AveragePower()
+		if i == 0 {
+			refPower = avg
+		}
+		out = append(out, SweepPoint{
+			Proportionality:   p,
+			AveragePower:      powerQ(avg),
+			PeakPower:         powerQ(cl.PeakPower()),
+			NetworkShare:      cl.NetworkShare(),
+			NetworkEfficiency: cl.NetworkEfficiency(),
+			Savings:           float64(refPower-avg) / float64(refPower),
+		})
+	}
+	return out, nil
+}
+
+// computeCost reproduces §3.2: the power saved by lifting the scenario's
+// network proportionality from the 10% baseline to the requested value,
+// annualized with the given cost model.
+func computeCost(req Request) (*CostResult, error) {
+	const refProp = 0.10
+	cfg, err := req.config()
+	if err != nil {
+		return nil, err
+	}
+	prop := *req.NetworkProportionality
+	grid, err := core.ComputeSavingsGrid(cfg, []units.Bandwidth{cfg.Bandwidth}, []float64{prop}, refProp)
+	if err != nil {
+		return nil, err
+	}
+	saved := grid.Cell(0, 0).SavedPower
+	model := core.CostModel{PricePerKWh: *req.Price, CoolingOverhead: *req.Cooling}
+	s, err := model.Annualize(saved)
+	if err != nil {
+		return nil, err
+	}
+	return &CostResult{
+		Proportionality:    prop,
+		RefProportionality: refProp,
+		SavedPower:         powerQ(saved),
+		ElectricityPerYear: s.ElectricityPerYear,
+		CoolingPerYear:     s.CoolingPerYear,
+		TotalPerYear:       s.Total(),
+	}, nil
+}

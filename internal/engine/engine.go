@@ -1,0 +1,180 @@
+// Package engine is the concurrent what-if query service over the cluster
+// model: it wraps core, fattree, device, and the §4 mechanism simulations
+// behind a typed request/response API with a canonical request-key
+// normalizer, a sharded LRU result cache, singleflight deduplication of
+// concurrent identical queries, and a bounded worker pool with
+// per-request context cancellation. cmd/powerprop, cmd/netsim, and
+// cmd/serve all route through this package, so CLI and server are
+// guaranteed to produce identical numbers.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures an Engine. Zero values select sensible defaults.
+type Options struct {
+	// CacheSize is the total result-cache capacity in entries
+	// (default 1024).
+	CacheSize int
+	// CacheShards is the number of LRU shards (default 16).
+	CacheShards int
+	// Workers bounds concurrently computing requests (default GOMAXPROCS).
+	// Queued requests honor their context while waiting for a slot.
+	Workers int
+}
+
+// Engine answers what-if requests, memoizing results by canonical key.
+type Engine struct {
+	cache  *cache
+	flight *flightGroup
+	sem    chan struct{}
+
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	shared       atomic.Uint64
+	computations atomic.Uint64
+	errors       atomic.Uint64
+	inFlight     atomic.Int64
+	computeNanos atomic.Int64
+}
+
+// New builds an engine.
+func New(opts Options) *Engine {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 1024
+	}
+	if opts.CacheShards <= 0 {
+		opts.CacheShards = 16
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		cache:  newCache(opts.CacheSize, opts.CacheShards),
+		flight: newFlightGroup(),
+		sem:    make(chan struct{}, opts.Workers),
+	}
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the process-wide engine the CLIs share.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New(Options{}) })
+	return defaultEngine
+}
+
+// Do answers a request: normalize, consult the cache, collapse concurrent
+// identical queries, and compute at most Workers requests at once. cached
+// reports whether the result was served from the cache without waiting on
+// any computation.
+func (e *Engine) Do(ctx context.Context, req Request) (res *Result, cached bool, err error) {
+	norm, err := req.Normalize()
+	if err != nil {
+		e.errors.Add(1)
+		return nil, false, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	key := norm.Key()
+	if res, ok := e.cache.Get(key); ok {
+		e.hits.Add(1)
+		return res, true, nil
+	}
+	e.misses.Add(1)
+	res, shared, err := e.flight.do(ctx, key, func() (*Result, error) {
+		return e.computeAndCache(ctx, key, norm)
+	})
+	if shared {
+		e.shared.Add(1)
+	}
+	if err != nil {
+		e.errors.Add(1)
+		return nil, false, err
+	}
+	return res, false, nil
+}
+
+// computeAndCache runs one computation under the worker pool. The caller's
+// context is honored both while queued and while computing; a computation
+// that outlives its requester still completes and populates the cache, so
+// the work is not wasted.
+func (e *Engine) computeAndCache(ctx context.Context, key string, req Request) (*Result, error) {
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			ch <- outcome{nil, ctx.Err()}
+			return
+		}
+		defer func() { <-e.sem }()
+		e.inFlight.Add(1)
+		start := time.Now()
+		res, err := compute(req)
+		e.computeNanos.Add(int64(time.Since(start)))
+		e.inFlight.Add(-1)
+		e.computations.Add(1)
+		if err == nil {
+			e.cache.Add(key, res)
+		}
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Metrics is a point-in-time snapshot of the engine's counters.
+type Metrics struct {
+	// Hits counts requests answered from the cache.
+	Hits uint64
+	// Misses counts requests that had to wait on a computation.
+	Misses uint64
+	// Shared counts misses that piggybacked on another request's
+	// in-flight computation (singleflight).
+	Shared uint64
+	// Computations counts computations actually run.
+	Computations uint64
+	// Errors counts failed requests (bad input or canceled).
+	Errors uint64
+	// Evictions counts cache entries displaced by LRU pressure.
+	Evictions uint64
+	// InFlight is the number of computations running right now.
+	InFlight int64
+	// CacheEntries is the current cache population.
+	CacheEntries int
+	// ComputeSeconds is the cumulative computation time.
+	ComputeSeconds float64
+}
+
+// Metrics snapshots the engine's counters.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		Hits:           e.hits.Load(),
+		Misses:         e.misses.Load(),
+		Shared:         e.shared.Load(),
+		Computations:   e.computations.Load(),
+		Errors:         e.errors.Load(),
+		Evictions:      e.cache.Evictions(),
+		InFlight:       e.inFlight.Load(),
+		CacheEntries:   e.cache.Len(),
+		ComputeSeconds: float64(e.computeNanos.Load()) / 1e9,
+	}
+}

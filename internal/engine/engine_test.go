@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"netpowerprop/internal/core"
+)
+
+func do(t *testing.T, e *Engine, req Request) *Result {
+	t.Helper()
+	res, _, err := e.Do(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Do(%+v): %v", req, err)
+	}
+	return res
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	n, err := Request{Op: OpWhatIf}.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if n.GPUs != 15360 || n.Bandwidth != "400 Gbps" || n.CommRatio != 0.10 {
+		t.Errorf("unexpected defaults: %+v", n)
+	}
+	if *n.NetworkProportionality != 0.10 || *n.ComputeProportionality != 0.85 {
+		t.Errorf("unexpected proportionality defaults: %+v", n)
+	}
+	if n.Interp != "absolute" {
+		t.Errorf("interp = %q, want absolute", n.Interp)
+	}
+	// OpCost defaults to the paper's §3.2 scenario: 50% proportionality.
+	c, err := Request{Op: OpCost}.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize cost: %v", err)
+	}
+	if *c.NetworkProportionality != 0.50 || *c.Price != 0.13 || *c.Cooling != 0.30 {
+		t.Errorf("unexpected cost defaults: %+v", c)
+	}
+}
+
+// TestKeyCanonical checks that a request spelled with explicit defaults and
+// one spelled with zero values share a cache key.
+func TestKeyCanonical(t *testing.T) {
+	a, err := Request{Op: OpWhatIf}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Request{
+		Op:                     OpWhatIf,
+		GPUs:                   15360,
+		Bandwidth:              "400G",
+		CommRatio:              0.10,
+		NetworkProportionality: ptr(0.10),
+		ComputeProportionality: ptr(0.85),
+		Interp:                 "absolute",
+	}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ:\n%s\n%s", a.Key(), b.Key())
+	}
+	// A different scenario gets a different key.
+	c, err := Request{Op: OpWhatIf, GPUs: 1024}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() == c.Key() {
+		t.Errorf("distinct requests share key %s", a.Key())
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	bad := []Request{
+		{Op: "bogus"},
+		{Op: OpWhatIf, Bandwidth: "nonsense"},
+		{Op: OpWhatIf, CommRatio: 1.5},
+		{Op: OpWhatIf, GPUs: -1},
+		{Op: OpWhatIf, NetworkProportionality: ptr(2.0)},
+		{Op: OpWhatIf, Interp: "bogus"},
+		{Op: OpWhatIf, Overlap: 1.0},
+		{Op: OpFig3, Budget: "bogus"},
+		{Op: OpFig3, Proportionalities: []float64{-0.5}},
+		{Op: OpFig4, FixedCommRatio: 2},
+		{Op: OpSweep, Steps: -3},
+		{Op: OpCost, Price: ptr(-1.0)},
+		{Op: OpScenario, Scenario: "bogus"},
+		{Op: OpScenario, Scenario: "gating", Params: map[string]float64{"nosuch": 1}},
+	}
+	for _, req := range bad {
+		if _, err := req.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v): expected error", req)
+		}
+	}
+}
+
+// TestWhatIfMatchesCore pins the engine's whatif summary to the model's
+// baseline cluster, so the server serves exactly the CLI's numbers.
+func TestWhatIfMatchesCore(t *testing.T) {
+	cl, err := core.New(core.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := do(t, New(Options{}), Request{Op: OpWhatIf})
+	s := res.Cluster
+	if s == nil {
+		t.Fatal("no cluster summary")
+	}
+	if s.AveragePower.Value != float64(cl.AveragePower()) {
+		t.Errorf("average power %v != core %v", s.AveragePower.Value, float64(cl.AveragePower()))
+	}
+	if s.NetworkShare != cl.NetworkShare() {
+		t.Errorf("network share %v != core %v", s.NetworkShare, cl.NetworkShare())
+	}
+	if s.NetworkEfficiency != cl.NetworkEfficiency() {
+		t.Errorf("network efficiency %v != core %v", s.NetworkEfficiency, cl.NetworkEfficiency())
+	}
+	if s.AveragePower.Label != cl.AveragePower().String() {
+		t.Errorf("average power label %q != core %q", s.AveragePower.Label, cl.AveragePower().String())
+	}
+}
+
+// TestTable3MatchesCore pins the engine's grid to core.Table3 cell by cell.
+func TestTable3MatchesCore(t *testing.T) {
+	want, err := core.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := do(t, New(Options{}), Request{Op: OpTable3})
+	g := res.Grid
+	if g == nil {
+		t.Fatal("no grid")
+	}
+	if len(g.Cells) != len(want.Bandwidths) {
+		t.Fatalf("grid rows %d != %d", len(g.Cells), len(want.Bandwidths))
+	}
+	for i := range want.Bandwidths {
+		for j := range want.Proportionalities {
+			if g.Cells[i][j].Savings != want.Cell(i, j).Savings {
+				t.Errorf("cell (%d,%d) savings %v != core %v",
+					i, j, g.Cells[i][j].Savings, want.Cell(i, j).Savings)
+			}
+		}
+	}
+}
+
+// TestCostMatchesSection32 pins the engine's §3.2 analysis to the model's.
+func TestCostMatchesSection32(t *testing.T) {
+	want, err := core.Section32(0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := do(t, New(Options{}), Request{Op: OpCost})
+	c := res.Cost
+	if c == nil {
+		t.Fatal("no cost result")
+	}
+	if c.SavedPower.Value != float64(want.SavedPower) {
+		t.Errorf("saved power %v != core %v", c.SavedPower.Value, float64(want.SavedPower))
+	}
+	if c.ElectricityPerYear != want.ElectricityPerYear {
+		t.Errorf("electricity %v != core %v", c.ElectricityPerYear, want.ElectricityPerYear)
+	}
+	if c.CoolingPerYear != want.CoolingPerYear {
+		t.Errorf("cooling %v != core %v", c.CoolingPerYear, want.CoolingPerYear)
+	}
+}
+
+func TestScenario(t *testing.T) {
+	res := do(t, New(Options{}), Request{Op: OpScenario, Scenario: "gating"})
+	if res.Table == nil {
+		t.Fatal("no table")
+	}
+	if !strings.Contains(res.Table.Title, "§4.1") {
+		t.Errorf("unexpected title %q", res.Table.Title)
+	}
+	if len(res.Table.Rows) == 0 || len(res.Table.Notes) == 0 {
+		t.Errorf("table missing rows or notes: %+v", res.Table)
+	}
+	names := ScenarioNames()
+	if len(names) != len(scenarios) {
+		t.Errorf("ScenarioNames() = %v", names)
+	}
+}
+
+// TestCacheHit checks that a repeated identical request is served from the
+// cache and increments the hit counter.
+func TestCacheHit(t *testing.T) {
+	e := New(Options{})
+	req := Request{Op: OpWhatIf}
+	if _, cached, err := e.Do(context.Background(), req); err != nil || cached {
+		t.Fatalf("first Do: cached=%v err=%v", cached, err)
+	}
+	res, cached, err := e.Do(context.Background(), req)
+	if err != nil || !cached {
+		t.Fatalf("second Do: cached=%v err=%v", cached, err)
+	}
+	if res == nil {
+		t.Fatal("nil cached result")
+	}
+	m := e.Metrics()
+	if m.Hits != 1 || m.Misses != 1 || m.Computations != 1 {
+		t.Errorf("metrics = %+v, want 1 hit / 1 miss / 1 computation", m)
+	}
+}
+
+// TestSingleflightCollapse launches N concurrent identical requests on a
+// fresh engine and checks that exactly one computation ran.
+func TestSingleflightCollapse(t *testing.T) {
+	e := New(Options{})
+	const n = 16
+	req := Request{Op: OpTable3}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, _, errs[i] = e.Do(context.Background(), req)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	m := e.Metrics()
+	if m.Computations != 1 {
+		t.Errorf("computations = %d, want 1 (singleflight should collapse identical queries)", m.Computations)
+	}
+	if m.Hits+m.Misses != n {
+		t.Errorf("hits %d + misses %d != %d requests", m.Hits, m.Misses, n)
+	}
+}
+
+// TestLRUEvictionBound checks that the cache population never exceeds its
+// configured capacity.
+func TestLRUEvictionBound(t *testing.T) {
+	e := New(Options{CacheSize: 4, CacheShards: 1})
+	for i := 0; i < 10; i++ {
+		do(t, e, Request{Op: OpWhatIf, GPUs: 1024 + 128*i})
+	}
+	m := e.Metrics()
+	if m.CacheEntries > 4 {
+		t.Errorf("cache entries %d exceed capacity 4", m.CacheEntries)
+	}
+	if m.Evictions < 6 {
+		t.Errorf("evictions = %d, want >= 6", m.Evictions)
+	}
+	if m.Computations != 10 {
+		t.Errorf("computations = %d, want 10", m.Computations)
+	}
+}
+
+func TestContextCanceled(t *testing.T) {
+	e := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := e.Do(ctx, Request{Op: OpWhatIf}); err == nil {
+		t.Error("Do with canceled context: expected error")
+	}
+}
+
+func TestDoInvalidRequest(t *testing.T) {
+	e := New(Options{})
+	if _, _, err := e.Do(context.Background(), Request{Op: "bogus"}); err == nil {
+		t.Error("expected error for unknown op")
+	}
+	if m := e.Metrics(); m.Errors != 1 {
+		t.Errorf("errors = %d, want 1", m.Errors)
+	}
+}
+
+// TestStress hammers one small engine from many goroutines over a working
+// set larger than the cache, so the race detector sees concurrent hits,
+// misses, singleflight sharing, and evictions on every shard.
+func TestStress(t *testing.T) {
+	e := New(Options{CacheSize: 8, CacheShards: 2, Workers: 4})
+	const (
+		goroutines = 8
+		iters      = 50
+		keys       = 16
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				req := Request{Op: OpWhatIf, GPUs: 512 * ((g+i)%keys + 1)}
+				if _, _, err := e.Do(context.Background(), req); err != nil {
+					t.Errorf("goroutine %d iter %d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	m := e.Metrics()
+	if m.Hits+m.Misses != goroutines*iters {
+		t.Errorf("hits %d + misses %d != %d requests", m.Hits, m.Misses, goroutines*iters)
+	}
+	if m.CacheEntries > 8 {
+		t.Errorf("cache entries %d exceed capacity 8", m.CacheEntries)
+	}
+	if m.InFlight != 0 {
+		t.Errorf("in-flight = %d after quiescence", m.InFlight)
+	}
+}
