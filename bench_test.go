@@ -321,6 +321,28 @@ func BenchmarkFabricSim(b *testing.B) {
 	}
 }
 
+// BenchmarkRunParallel is BenchmarkFabricSim's workload through the
+// parallel interval fan-out at GOMAXPROCS workers.
+func BenchmarkRunParallel(b *testing.B) {
+	top, err := fattree.BuildThreeTier(8, 100*units.Gbps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	job := traffic.Job{ID: 1, Hosts: top.Hosts(), Period: 1, CommRatio: 0.1,
+		Rate: 50 * units.Gbps, Pattern: traffic.Ring}
+	flows, err := job.Flows(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := netsim.New(top)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunParallel(flows, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMaxMin measures the fairness solver on a contended instance.
 func BenchmarkMaxMin(b *testing.B) {
 	const flows = 256
@@ -337,6 +359,30 @@ func BenchmarkMaxMin(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := netsim.MaxMin(demands, paths, caps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaxMinDense measures the same contended instance through a
+// reused dense Solver — the allocation-free path the simulator hot loop
+// takes.
+func BenchmarkMaxMinDense(b *testing.B) {
+	const flows = 256
+	demands := make([]float64, flows)
+	paths := make([][]int, flows)
+	caps := make([]float64, 64)
+	for l := range caps {
+		caps[l] = 100
+	}
+	for i := range demands {
+		demands[i] = float64(10 + i%50)
+		paths[i] = []int{i % 64, (i * 7) % 64, (i * 13) % 64}
+	}
+	var s netsim.Solver
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(demands, paths, caps); err != nil {
 			b.Fatal(err)
 		}
 	}

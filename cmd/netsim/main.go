@@ -349,7 +349,7 @@ func cmdFabric(args []string, w io.Writer) error {
 		return err
 	}
 	s := netsim.New(top)
-	res, err := s.Run(flows)
+	res, err := s.RunParallel(flows, 0)
 	if err != nil {
 		return err
 	}

@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -313,5 +314,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "engine_cache_entries %d\n", m.CacheEntries)
 	fmt.Fprintf(w, "engine_inflight %d\n", m.InFlight)
 	fmt.Fprintf(w, "engine_compute_seconds_total %g\n", m.ComputeSeconds)
+	ops := make([]string, 0, len(m.PerOp))
+	for op := range m.PerOp {
+		ops = append(ops, string(op))
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		st := m.PerOp[engine.Op(op)]
+		fmt.Fprintf(w, "engine_compute_duration_seconds_count{op=%q} %d\n", op, st.Count)
+		fmt.Fprintf(w, "engine_compute_duration_seconds_sum{op=%q} %g\n", op, st.Seconds)
+	}
 	fmt.Fprintf(w, "http_requests_total %d\n", s.requests.Load())
 }

@@ -132,6 +132,9 @@ func TestCacheHit(t *testing.T) {
 		"engine_cache_hits_total 1",
 		"engine_cache_misses_total 1",
 		"engine_computations_total 1",
+		`engine_compute_duration_seconds_count{op="whatif"} 1`,
+		`engine_compute_duration_seconds_sum{op="whatif"} `,
+		`engine_compute_duration_seconds_count{op="table3"} 0`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)

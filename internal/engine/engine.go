@@ -41,7 +41,20 @@ type Engine struct {
 	errors       atomic.Uint64
 	inFlight     atomic.Int64
 	computeNanos atomic.Int64
+	// opStats breaks computation count and time down by operation. The map
+	// is built once in New (one entry per registered Op) and never written
+	// afterwards, so lookups are safe without a lock.
+	opStats map[Op]*opStat
 }
+
+// opStat accumulates per-operation compute counters.
+type opStat struct {
+	count atomic.Uint64
+	nanos atomic.Int64
+}
+
+// allOps lists every registered operation, for per-op metric setup.
+var allOps = []Op{OpWhatIf, OpTable3, OpFig3, OpFig4, OpSweep, OpCost, OpScenario}
 
 // New builds an engine.
 func New(opts Options) *Engine {
@@ -54,10 +67,15 @@ func New(opts Options) *Engine {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	stats := make(map[Op]*opStat, len(allOps))
+	for _, op := range allOps {
+		stats[op] = new(opStat)
+	}
 	return &Engine{
-		cache:  newCache(opts.CacheSize, opts.CacheShards),
-		flight: newFlightGroup(),
-		sem:    make(chan struct{}, opts.Workers),
+		cache:   newCache(opts.CacheSize, opts.CacheShards),
+		flight:  newFlightGroup(),
+		sem:     make(chan struct{}, opts.Workers),
+		opStats: stats,
 	}
 }
 
@@ -125,7 +143,12 @@ func (e *Engine) computeAndCache(ctx context.Context, key string, req Request) (
 		e.inFlight.Add(1)
 		start := time.Now()
 		res, err := compute(req)
-		e.computeNanos.Add(int64(time.Since(start)))
+		elapsed := int64(time.Since(start))
+		e.computeNanos.Add(elapsed)
+		if st := e.opStats[req.Op]; st != nil {
+			st.count.Add(1)
+			st.nanos.Add(elapsed)
+		}
 		e.inFlight.Add(-1)
 		e.computations.Add(1)
 		if err == nil {
@@ -162,10 +185,28 @@ type Metrics struct {
 	CacheEntries int
 	// ComputeSeconds is the cumulative computation time.
 	ComputeSeconds float64
+	// PerOp breaks Computations and ComputeSeconds down by operation.
+	// Every registered op has an entry, even if never exercised.
+	PerOp map[Op]OpMetrics
+}
+
+// OpMetrics is the per-operation slice of the compute counters.
+type OpMetrics struct {
+	// Count is how many computations ran for this op.
+	Count uint64
+	// Seconds is the cumulative computation time for this op.
+	Seconds float64
 }
 
 // Metrics snapshots the engine's counters.
 func (e *Engine) Metrics() Metrics {
+	perOp := make(map[Op]OpMetrics, len(e.opStats))
+	for op, st := range e.opStats {
+		perOp[op] = OpMetrics{
+			Count:   st.count.Load(),
+			Seconds: float64(st.nanos.Load()) / 1e9,
+		}
+	}
 	return Metrics{
 		Hits:           e.hits.Load(),
 		Misses:         e.misses.Load(),
@@ -176,5 +217,6 @@ func (e *Engine) Metrics() Metrics {
 		InFlight:       e.inFlight.Load(),
 		CacheEntries:   e.cache.Len(),
 		ComputeSeconds: float64(e.computeNanos.Load()) / 1e9,
+		PerOp:          perOp,
 	}
 }

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"netpowerprop/internal/asic"
 	"netpowerprop/internal/chiplet"
@@ -63,6 +65,46 @@ var scenarios = map[string]scenarioSpec{
 		defaults: map[string]float64{"ratio": 0.1},
 		run:      runSummary,
 	},
+}
+
+// parallelRows computes n independent table rows concurrently, bounded by
+// GOMAXPROCS, and returns them in index order: the assembled table is
+// byte-identical to a serial loop, errors surface lowest-index first. The
+// row function must not share mutable state across indices.
+func parallelRows(n int, row func(i int) ([]string, error)) ([][]string, error) {
+	rows := make([][]string, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			r, err := row(i)
+			if err != nil {
+				return nil, err
+			}
+			rows[i] = r
+		}
+		return rows, nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				rows[i], errs[i] = row(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
 }
 
 // mlTrace samples an ML periodic load profile every `step` seconds.
@@ -187,15 +229,20 @@ func runRateAdapt(req Request) (*Table, error) {
 			busy, cfg.Pipelines, report.Percent(ratio), report.Percent(level)),
 		Headers: []string{"variant", "energy", "savings", "mean freq", "shortfall", "queue delay"},
 	}
-	for _, v := range variants {
+	rows, err := parallelRows(len(variants), func(i int) ([]string, error) {
+		v := variants[i]
 		res, err := rateadapt.Simulate(cfg, times, utils, v.mk, v.opts)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(v.name, res.Energy.String(), report.Percent(res.Savings),
+		return []string{v.name, res.Energy.String(), report.Percent(res.Savings),
 			fmt.Sprintf("%.2f", res.MeanFreq), fmt.Sprintf("%gs", float64(res.ShortfallTime)),
-			fmt.Sprintf("%.1fns", float64(res.MeanQueueingDelay)*1e9))
+			fmt.Sprintf("%.1fns", float64(res.MeanQueueingDelay)*1e9)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -228,18 +275,23 @@ func runParking(req Request) (*Table, error) {
 			report.Percent(ratio), report.Percent(level), float64(cfg.WakeLatency)),
 		Headers: []string{"policy", "energy", "savings", "mean active", "reconfigs", "max backlog", "max delay", "dropped"},
 	}
-	for _, pol := range policies {
+	rows, err := parallelRows(len(policies), func(i int) ([]string, error) {
+		pol := policies[i]
 		res, err := parking.Simulate(cfg, times, demand, pol)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(pol.Name(), res.Energy.String(), report.Percent(res.Savings),
+		return []string{pol.Name(), res.Energy.String(), report.Percent(res.Savings),
 			fmt.Sprintf("%.2f", res.MeanActive),
 			fmt.Sprintf("%d", res.Reconfigurations),
 			fmt.Sprintf("%.0f b", res.MaxBacklogBits),
 			fmt.Sprintf("%.2gs", float64(res.MaxDelay)),
-			fmt.Sprintf("%.0f b", res.DroppedBits))
+			fmt.Sprintf("%.0f b", res.DroppedBits)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -261,7 +313,8 @@ func runEEE(req Request) (*Table, error) {
 		Title:   fmt.Sprintf("802.3az EEE baseline — %v link, Poisson traffic", cap),
 		Headers: []string{"utilization", "savings", "mean delay", "max delay", "LPI share"},
 	}
-	for _, util := range eeeUtilizations {
+	rows, err := parallelRows(len(eeeUtilizations), func(i int) ([]string, error) {
+		util := eeeUtilizations[i]
 		pkts, err := eee.PoissonPackets(seed, cap, util, 12000, units.Seconds(horizon))
 		if err != nil {
 			return nil, err
@@ -270,11 +323,15 @@ func runEEE(req Request) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(report.Percent(util), report.Percent(res.Savings),
+		return []string{report.Percent(util), report.Percent(res.Savings),
 			fmt.Sprintf("%.2gus", float64(res.MeanDelay)*1e6),
 			fmt.Sprintf("%.2gus", float64(res.MaxDelay)*1e6),
-			report.Percent(float64(res.LPITime)/float64(res.Horizon)))
+			report.Percent(float64(res.LPITime) / float64(res.Horizon))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -293,7 +350,8 @@ func runRateLink(req Request) (*Table, error) {
 		Title:   fmt.Sprintf("NSDI'08 sleeping vs. rate adaptation — %v link, Poisson traffic", cap),
 		Headers: []string{"utilization", "sleep savings", "sleep delay", "rate savings", "rate delay", "mean speed"},
 	}
-	for _, util := range eeeUtilizations {
+	rows, err := parallelRows(len(eeeUtilizations), func(i int) ([]string, error) {
+		util := eeeUtilizations[i]
 		pkts, err := eee.PoissonPackets(seed, cap, util, 12000, units.Seconds(horizon))
 		if err != nil {
 			return nil, err
@@ -306,11 +364,15 @@ func runRateLink(req Request) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(report.Percent(util),
+		return []string{report.Percent(util),
 			report.Percent(sres.Savings), fmt.Sprintf("%.2gus", float64(sres.MeanDelay)*1e6),
 			report.Percent(rres.Savings), fmt.Sprintf("%.2gus", float64(rres.MeanDelay)*1e6),
-			rres.MeanSpeed.String())
+			rres.MeanSpeed.String()}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

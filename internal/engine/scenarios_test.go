@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestParallelRowsMatchesSerial: the concurrent row builder must assemble
+// exactly the table a serial loop would, for row counts below, at, and
+// above the worker count.
+func TestParallelRowsMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 17, 64} {
+		row := func(i int) ([]string, error) {
+			return []string{fmt.Sprintf("row-%d", i), fmt.Sprintf("%d", i*i)}, nil
+		}
+		want := make([][]string, n)
+		for i := 0; i < n; i++ {
+			want[i], _ = row(i)
+		}
+		got, err := parallelRows(n, row)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("n=%d: parallel rows differ from serial:\ngot  %v\nwant %v", n, got, want)
+		}
+	}
+}
+
+// TestParallelRowsErrorOrder: when several rows fail, the lowest-index
+// error is reported, matching what a serial loop would surface.
+func TestParallelRowsErrorOrder(t *testing.T) {
+	errLow := errors.New("row 2 failed")
+	errHigh := errors.New("row 9 failed")
+	_, err := parallelRows(12, func(i int) ([]string, error) {
+		switch i {
+		case 2:
+			return nil, errLow
+		case 9:
+			return nil, errHigh
+		}
+		return []string{"ok"}, nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Errorf("error = %v, want lowest-index error %v", err, errLow)
+	}
+}
+
+// TestScenariosParallelDeterministic: every registered scenario must
+// produce identical tables across repeated runs — the parallel row fan-out
+// may not perturb row order or contents.
+func TestScenariosParallelDeterministic(t *testing.T) {
+	for name := range scenarios {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			req, err := Request{Op: OpScenario, Scenario: name}.Normalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := compute(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := compute(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, second) {
+				t.Errorf("scenario %q is not deterministic across runs", name)
+			}
+		})
+	}
+}
+
+// TestPerOpMetrics: computations are attributed to their op, and every
+// registered op has an entry even when idle.
+func TestPerOpMetrics(t *testing.T) {
+	e := New(Options{})
+	if _, _, err := e.Do(context.Background(), Request{Op: OpWhatIf}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Do(context.Background(), Request{Op: OpWhatIf}); err != nil {
+		t.Fatal(err) // cache hit: must not count as a computation
+	}
+	if _, _, err := e.Do(context.Background(), Request{Op: OpCost}); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if len(m.PerOp) != len(allOps) {
+		t.Errorf("PerOp has %d entries, want %d", len(m.PerOp), len(allOps))
+	}
+	if got := m.PerOp[OpWhatIf].Count; got != 1 {
+		t.Errorf("whatif count = %d, want 1", got)
+	}
+	if got := m.PerOp[OpCost].Count; got != 1 {
+		t.Errorf("cost count = %d, want 1", got)
+	}
+	if got := m.PerOp[OpTable3].Count; got != 0 {
+		t.Errorf("idle table3 count = %d, want 0", got)
+	}
+	if m.PerOp[OpWhatIf].Seconds < 0 {
+		t.Errorf("negative whatif seconds %v", m.PerOp[OpWhatIf].Seconds)
+	}
+	var sum uint64
+	for _, st := range m.PerOp {
+		sum += st.Count
+	}
+	if sum != m.Computations {
+		t.Errorf("per-op counts sum to %d, total computations %d", sum, m.Computations)
+	}
+}

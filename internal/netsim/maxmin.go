@@ -17,7 +17,26 @@ import (
 // satisfy: no link exceeds its capacity, no flow exceeds its demand, and
 // no flow's rate can be increased without decreasing a flow of equal or
 // smaller rate (progressive filling).
+//
+// This entry point runs the dense Solver through a pool, so one-shot
+// callers get the allocation-free hot path too; the original map-based
+// implementation is retained as maxMinReference for differential testing.
 func MaxMin(demands []float64, paths [][]int, capacity map[int]float64) ([]float64, error) {
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
+	rates, err := s.SolveMap(demands, paths, capacity)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rates))
+	copy(out, rates)
+	return out, nil
+}
+
+// maxMinReference is the original map-based progressive-filling solver,
+// kept verbatim as the oracle the fuzz differential test compares the
+// dense Solver against.
+func maxMinReference(demands []float64, paths [][]int, capacity map[int]float64) ([]float64, error) {
 	n := len(demands)
 	if len(paths) != n {
 		return nil, fmt.Errorf("netsim: %d demands but %d paths", n, len(paths))
@@ -65,7 +84,7 @@ func MaxMin(demands []float64, paths [][]int, capacity map[int]float64) ([]float
 			// non-empty paths, but guard anyway): give them their demand.
 			for i := 0; i < n; i++ {
 				if !frozen[i] {
-					freeze(i, demands[i], rates, frozen, paths, remaining, count)
+					freezeRef(i, demands[i], rates, frozen, paths, remaining, count)
 					unfrozen--
 				}
 			}
@@ -76,7 +95,7 @@ func MaxMin(demands []float64, paths [][]int, capacity map[int]float64) ([]float
 		progressed := false
 		for i := 0; i < n; i++ {
 			if !frozen[i] && demands[i] <= share+1e-12 {
-				freeze(i, demands[i], rates, frozen, paths, remaining, count)
+				freezeRef(i, demands[i], rates, frozen, paths, remaining, count)
 				unfrozen--
 				progressed = true
 			}
@@ -96,7 +115,7 @@ func MaxMin(demands []float64, paths [][]int, capacity map[int]float64) ([]float
 					}
 					for _, pl := range paths[i] {
 						if pl == l {
-							freeze(i, share, rates, frozen, paths, remaining, count)
+							freezeRef(i, share, rates, frozen, paths, remaining, count)
 							unfrozen--
 							break
 						}
@@ -108,7 +127,7 @@ func MaxMin(demands []float64, paths [][]int, capacity map[int]float64) ([]float
 	return rates, nil
 }
 
-func freeze(i int, rate float64, rates []float64, frozen []bool, paths [][]int, remaining map[int]float64, count map[int]int) {
+func freezeRef(i int, rate float64, rates []float64, frozen []bool, paths [][]int, remaining map[int]float64, count map[int]int) {
 	rates[i] = rate
 	frozen[i] = true
 	for _, l := range paths[i] {

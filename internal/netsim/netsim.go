@@ -2,8 +2,9 @@ package netsim
 
 import (
 	"fmt"
-	"hash/fnv"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 
 	"netpowerprop/internal/device"
 	"netpowerprop/internal/fattree"
@@ -53,6 +54,29 @@ type Sim struct {
 	// usedSwitches tracks switches already chosen by ConcentrateRouting
 	// within one Run.
 	usedSwitches map[int]bool
+
+	// pathCache memoizes the ECMP path enumeration (and the switches each
+	// path visits) per (src,dst) pair: the enumeration depends only on the
+	// topology, never on seed, routing mode, or capacity overrides, so it
+	// survives across Run calls.
+	pathCache map[[2]int]*pathSet
+
+	// Scratch reused by the serial run path so repeated Runs on one Sim
+	// allocate nothing in the solve loop.
+	scratch runScratch
+}
+
+// pathSet is one (src,dst) pair's cached ECMP choices.
+type pathSet struct {
+	paths    [][]int
+	switches [][]int // switches visited by paths[i], in path order
+}
+
+// runScratch is the per-worker solve state.
+type runScratch struct {
+	solver  Solver
+	demands []float64
+	paths   [][]int
 }
 
 // New returns a simulator over a topology.
@@ -80,42 +104,62 @@ type Result struct {
 	Flows       []FlowStat
 }
 
-// pathFor picks one path per the routing policy.
-func (s *Sim) pathFor(f traffic.Flow) ([]int, error) {
-	paths, err := s.Top.Paths(f.Src, f.Dst)
+// pathsFor returns the cached path set for a pair, enumerating on first use.
+func (s *Sim) pathsFor(src, dst int) (*pathSet, error) {
+	key := [2]int{src, dst}
+	if ps, ok := s.pathCache[key]; ok {
+		return ps, nil
+	}
+	paths, err := s.Top.Paths(src, dst)
 	if err != nil {
 		return nil, err
 	}
+	ps := &pathSet{paths: paths, switches: make([][]int, len(paths))}
+	for i, p := range paths {
+		ps.switches[i] = s.switchesOn(p, src)
+	}
+	if s.pathCache == nil {
+		s.pathCache = make(map[[2]int]*pathSet)
+	}
+	s.pathCache[key] = ps
+	return ps, nil
+}
+
+// pathFor picks one path (and its switch sequence) per the routing policy.
+func (s *Sim) pathFor(f traffic.Flow) ([]int, []int, error) {
+	ps, err := s.pathsFor(f.Src, f.Dst)
+	if err != nil {
+		return nil, nil, err
+	}
 	if s.Routing == ConcentrateRouting {
-		best, bestNew := paths[0], len(s.Top.Nodes)+1
-		for _, p := range paths {
+		best, bestNew := 0, len(s.Top.Nodes)+1
+		for i := range ps.paths {
 			newSwitches := 0
-			for _, sw := range s.switchesOn(p, f.Src) {
+			for _, sw := range ps.switches[i] {
 				if !s.usedSwitches[sw] {
 					newSwitches++
 				}
 			}
 			if newSwitches < bestNew {
-				best, bestNew = p, newSwitches
+				best, bestNew = i, newSwitches
 			}
 		}
-		for _, sw := range s.switchesOn(best, f.Src) {
+		for _, sw := range ps.switches[best] {
 			s.usedSwitches[sw] = true
 		}
-		return best, nil
+		return ps.paths[best], ps.switches[best], nil
 	}
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v uint64) {
+	// Inline FNV-1a over (src, dst, seed) in little-endian order — the
+	// same bytes the hash.Hash64 version fed, without its allocation.
+	h := uint64(14695981039346656037)
+	for _, v := range [3]uint64{uint64(f.Src), uint64(f.Dst), s.ECMPSeed} {
 		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= 1099511628211
 		}
-		h.Write(buf[:])
 	}
-	put(uint64(f.Src))
-	put(uint64(f.Dst))
-	put(s.ECMPSeed)
-	return paths[h.Sum64()%uint64(len(paths))], nil
+	i := h % uint64(len(ps.paths))
+	return ps.paths[i], ps.switches[i], nil
 }
 
 // capacityOf resolves a link's effective capacity.
@@ -128,9 +172,39 @@ func (s *Sim) capacityOf(l fattree.Link) units.Bandwidth {
 	return l.Speed
 }
 
+// flowState is one flow's routing decision and running account.
+type flowState struct {
+	spec      traffic.Flow
+	path      []int
+	switches  []int
+	delivered float64
+}
+
+// interval is one constant-rate span of the sweep: the flows active during
+// [t0,t1) live at activeIdx[off:off+n].
+type interval struct {
+	t0, t1 units.Seconds
+	off, n int
+}
+
 // Run simulates the flows and returns utilization traces. The horizon is
 // the latest flow end time (0 horizon is an error: nothing to simulate).
 func (s *Sim) Run(flows []traffic.Flow) (*Result, error) {
+	return s.run(flows, 1)
+}
+
+// RunParallel is Run with the per-interval fairness solves fanned across a
+// worker pool (workers <= 0 selects GOMAXPROCS). Interval solves are
+// independent; delivered bits, rate sums, and traces are still accumulated
+// serially in time order, so the output is byte-identical to Run.
+func (s *Sim) RunParallel(flows []traffic.Flow, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return s.run(flows, workers)
+}
+
+func (s *Sim) run(flows []traffic.Flow, workers int) (*Result, error) {
 	if s.Top == nil {
 		return nil, fmt.Errorf("netsim: nil topology")
 	}
@@ -138,14 +212,7 @@ func (s *Sim) Run(flows []traffic.Flow) (*Result, error) {
 		return nil, fmt.Errorf("netsim: no flows")
 	}
 	s.usedSwitches = make(map[int]bool)
-	type flowState struct {
-		spec traffic.Flow
-		path []int
-		// switches crossed, derived from the path once.
-		switches  []int
-		delivered float64
-	}
-	states := make([]*flowState, len(flows))
+	states := make([]flowState, len(flows))
 	var horizon units.Seconds
 	for i, f := range flows {
 		if f.End <= f.Start {
@@ -154,87 +221,177 @@ func (s *Sim) Run(flows []traffic.Flow) (*Result, error) {
 		if f.Demand <= 0 {
 			return nil, fmt.Errorf("netsim: flow %d non-positive demand %v", i, f.Demand)
 		}
-		path, err := s.pathFor(f)
+		path, switches, err := s.pathFor(f)
 		if err != nil {
 			return nil, fmt.Errorf("netsim: flow %d: %w", i, err)
 		}
-		states[i] = &flowState{spec: f, path: path, switches: s.switchesOn(path, f.Src)}
+		states[i] = flowState{spec: f, path: path, switches: switches}
 		if f.End > horizon {
 			horizon = f.End
 		}
 	}
 
-	// Event times: every flow boundary plus 0 and horizon.
-	timeSet := map[units.Seconds]struct{}{0: {}, horizon: {}}
-	for _, st := range states {
-		timeSet[st.spec.Start] = struct{}{}
-		timeSet[st.spec.End] = struct{}{}
+	// Event times: every flow boundary plus 0 and horizon, sorted unique.
+	times := make([]units.Seconds, 0, 2*len(states)+2)
+	times = append(times, 0, horizon)
+	for i := range states {
+		times = append(times, states[i].spec.Start, states[i].spec.End)
 	}
-	times := make([]units.Seconds, 0, len(timeSet))
-	for t := range timeSet {
-		times = append(times, t)
-	}
-	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	slices.Sort(times)
+	times = slices.Compact(times)
 
-	caps := make(map[int]float64, len(s.Top.Links))
+	// Sweep the sorted start/end events once to snapshot each interval's
+	// active flows, replacing the O(intervals × flows) rescan. Flow order
+	// within an interval is (start, input index) — deterministic.
+	byStart := make([]int, len(states))
+	for i := range byStart {
+		byStart[i] = i
+	}
+	slices.SortStableFunc(byStart, func(a, b int) int {
+		sa, sb := states[a].spec.Start, states[b].spec.Start
+		switch {
+		case sa < sb:
+			return -1
+		case sa > sb:
+			return 1
+		default:
+			return 0
+		}
+	})
+	intervals := make([]interval, 0, len(times)-1)
+	var activeIdx []int // arena: every interval's active-flow snapshot
+	cur := make([]int, 0, len(states))
+	next := 0
+	for ti := 0; ti+1 < len(times); ti++ {
+		t0, t1 := times[ti], times[ti+1]
+		for next < len(byStart) && states[byStart[next]].spec.Start <= t0 {
+			cur = append(cur, byStart[next])
+			next++
+		}
+		k := 0
+		for _, fi := range cur {
+			if states[fi].spec.End > t0 {
+				cur[k] = fi
+				k++
+			}
+		}
+		cur = cur[:k]
+		intervals = append(intervals, interval{t0: t0, t1: t1, off: len(activeIdx), n: len(cur)})
+		activeIdx = append(activeIdx, cur...)
+	}
+
+	caps := make([]float64, len(s.Top.Links))
 	for _, l := range s.Top.Links {
 		caps[l.ID] = float64(s.capacityOf(l))
 	}
 
+	// Solve every interval's fairness problem. rateArena mirrors activeIdx:
+	// the rate of activeIdx[i]'s flow during its interval lands in
+	// rateArena[i], so workers write disjoint ranges.
+	rateArena := make([]float64, len(activeIdx))
+	solve := func(sc *runScratch, iv interval) error {
+		if iv.n == 0 {
+			return nil
+		}
+		idxs := activeIdx[iv.off : iv.off+iv.n]
+		if cap(sc.demands) < iv.n {
+			sc.demands = make([]float64, iv.n)
+			sc.paths = make([][]int, iv.n)
+		}
+		sc.demands = sc.demands[:iv.n]
+		sc.paths = sc.paths[:iv.n]
+		for j, fi := range idxs {
+			sc.demands[j] = float64(states[fi].spec.Demand)
+			sc.paths[j] = states[fi].path
+		}
+		rates, err := sc.solver.Solve(sc.demands, sc.paths, caps)
+		if err != nil {
+			return err
+		}
+		copy(rateArena[iv.off:iv.off+iv.n], rates)
+		return nil
+	}
+	if workers <= 1 || len(intervals) <= 1 {
+		for _, iv := range intervals {
+			if err := solve(&s.scratch, iv); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if workers > len(intervals) {
+			workers = len(intervals)
+		}
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var sc runScratch
+				for k := w; k < len(intervals); k += workers {
+					if err := solve(&sc, intervals[k]); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Accumulate delivered bits, per-link and per-switch rate sums, and
+	// traces serially in time order: the summation order is identical for
+	// every worker count, keeping serial and parallel output byte-identical.
 	res := &Result{
 		Horizon:     horizon,
 		LinkTrace:   make(map[int]Trace, len(s.Top.Links)),
 		SwitchTrace: make(map[int]Trace),
 	}
+	switchIDs := s.Top.SwitchIDs()
 	for _, l := range s.Top.Links {
 		res.LinkTrace[l.ID] = nil
 	}
-	for _, sw := range s.Top.SwitchIDs() {
+	for _, sw := range switchIDs {
 		res.SwitchTrace[sw] = nil
 	}
-
-	for ti := 0; ti+1 < len(times); ti++ {
-		t0, t1 := times[ti], times[ti+1]
-		// Active flows during [t0, t1).
-		var active []*flowState
-		for _, st := range states {
-			if st.spec.Start <= t0 && st.spec.End >= t1 {
-				active = append(active, st)
+	linkRate := make([]float64, len(s.Top.Links))
+	switchRate := make([]float64, len(s.Top.Nodes))
+	for _, iv := range intervals {
+		for i := range linkRate {
+			linkRate[i] = 0
+		}
+		for i := range switchRate {
+			switchRate[i] = 0
+		}
+		dt := float64(iv.t1 - iv.t0)
+		for j := 0; j < iv.n; j++ {
+			fi := activeIdx[iv.off+j]
+			rate := rateArena[iv.off+j]
+			st := &states[fi]
+			st.delivered += rate * dt
+			for _, l := range st.path {
+				linkRate[l] += rate
+			}
+			for _, sw := range st.switches {
+				switchRate[sw] += rate
 			}
 		}
-		linkRate := make(map[int]float64)
-		switchRate := make(map[int]float64)
-		if len(active) > 0 {
-			demands := make([]float64, len(active))
-			paths := make([][]int, len(active))
-			for i, st := range active {
-				demands[i] = float64(st.spec.Demand)
-				paths[i] = st.path
-			}
-			rates, err := MaxMin(demands, paths, caps)
-			if err != nil {
-				return nil, err
-			}
-			for i, st := range active {
-				st.delivered += rates[i] * float64(t1-t0)
-				for _, l := range st.path {
-					linkRate[l] += rates[i]
-				}
-				for _, sw := range st.switches {
-					switchRate[sw] += rates[i]
-				}
-			}
+		for _, l := range s.Top.Links {
+			res.LinkTrace[l.ID] = res.LinkTrace[l.ID].append(iv.t0, iv.t1, units.Bandwidth(linkRate[l.ID]))
 		}
-		for id := range res.LinkTrace {
-			res.LinkTrace[id] = res.LinkTrace[id].append(t0, t1, units.Bandwidth(linkRate[id]))
-		}
-		for id := range res.SwitchTrace {
-			res.SwitchTrace[id] = res.SwitchTrace[id].append(t0, t1, units.Bandwidth(switchRate[id]))
+		for _, sw := range switchIDs {
+			res.SwitchTrace[sw] = res.SwitchTrace[sw].append(iv.t0, iv.t1, units.Bandwidth(switchRate[sw]))
 		}
 	}
 
 	res.Flows = make([]FlowStat, len(states))
-	for i, st := range states {
+	for i := range states {
+		st := &states[i]
 		life := float64(st.spec.End - st.spec.Start)
 		res.Flows[i] = FlowStat{
 			Flow:          st.spec,

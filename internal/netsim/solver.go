@@ -1,0 +1,270 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Solver computes demand-bounded max-min fair allocations over dense
+// link-ID-indexed capacity slices. All scratch state — remaining capacity,
+// unfrozen-flow counts, frozen flags, the active-link worklist, and the
+// link→flow index — is reused across calls, so the simulation hot path
+// allocates nothing once the solver is warm. A Solver is not safe for
+// concurrent use; give each worker its own.
+type Solver struct {
+	rates    []float64
+	frozen   []bool
+	unfrozen []int // flow indices not yet frozen, ascending
+
+	remaining []float64
+	count     []int
+	active    []int // link IDs still carrying unfrozen flows, ascending
+
+	// CSR link→flow index: flows crossing link l are
+	// csrFlows[csrOff[l]:csrOff[l+1]].
+	csrOff   []int
+	csrFlows []int
+	cursor   []int
+
+	// Map-keyed inputs (the MaxMin compatibility path) are densified into
+	// these buffers: link IDs are assigned dense indices in first-seen
+	// order over the flows' paths, which keeps the solve deterministic.
+	idx        map[int]int
+	denseCap   []float64
+	densePaths [][]int
+	pathArena  []int
+}
+
+// Solve computes the max-min fair rates for the flows. demands[i] is flow
+// i's offered rate, paths[i] the link IDs it traverses, and capacity[l]
+// the capacity of link ID l; every path entry must index into capacity.
+// The returned slice is owned by the solver and valid until the next call.
+func (s *Solver) Solve(demands []float64, paths [][]int, capacity []float64) ([]float64, error) {
+	n, nl := len(demands), len(capacity)
+	if len(paths) != n {
+		return nil, fmt.Errorf("netsim: %d demands but %d paths", n, len(paths))
+	}
+	s.rates = resizeFloats(s.rates, n)
+	s.frozen = resizeBools(s.frozen, n)
+	s.remaining = append(s.remaining[:0], capacity...)
+	s.count = resizeInts(s.count, nl)
+
+	total := 0
+	for i := 0; i < n; i++ {
+		if demands[i] < 0 {
+			return nil, fmt.Errorf("netsim: flow %d negative demand %v", i, demands[i])
+		}
+		if len(paths[i]) == 0 {
+			return nil, fmt.Errorf("netsim: flow %d has empty path", i)
+		}
+		for _, l := range paths[i] {
+			if l < 0 || l >= nl {
+				return nil, fmt.Errorf("netsim: flow %d crosses unknown link %d", i, l)
+			}
+			if capacity[l] < 0 {
+				return nil, fmt.Errorf("netsim: link %d negative capacity %v", l, capacity[l])
+			}
+			s.count[l]++
+		}
+		total += len(paths[i])
+	}
+
+	// Build the link→flow index while counts are still pristine.
+	s.csrOff = resizeInts(s.csrOff, nl+1)
+	s.cursor = resizeInts(s.cursor, nl)
+	off := 0
+	for l := 0; l < nl; l++ {
+		s.csrOff[l] = off
+		s.cursor[l] = off
+		off += s.count[l]
+	}
+	s.csrOff[nl] = off
+	if cap(s.csrFlows) < total {
+		s.csrFlows = make([]int, total)
+	}
+	s.csrFlows = s.csrFlows[:total]
+	for i := 0; i < n; i++ {
+		for _, l := range paths[i] {
+			s.csrFlows[s.cursor[l]] = i
+			s.cursor[l]++
+		}
+	}
+
+	s.active = s.active[:0]
+	for l := 0; l < nl; l++ {
+		if s.count[l] > 0 {
+			s.active = append(s.active, l)
+		}
+	}
+	s.unfrozen = s.unfrozen[:0]
+	for i := 0; i < n; i++ {
+		s.unfrozen = append(s.unfrozen, i)
+	}
+
+	for len(s.unfrozen) > 0 {
+		// Minimum fair share across links still carrying unfrozen flows,
+		// compacting drained links out of the worklist as we scan.
+		share := math.Inf(1)
+		k := 0
+		for _, l := range s.active {
+			c := s.count[l]
+			if c == 0 {
+				continue
+			}
+			s.active[k] = l
+			k++
+			if v := s.remaining[l] / float64(c); v < share {
+				share = v
+			}
+		}
+		s.active = s.active[:k]
+		if math.IsInf(share, 1) {
+			// No link constrains the remaining flows (cannot happen with
+			// non-empty paths, but guard anyway): give them their demand.
+			for _, i := range s.unfrozen {
+				s.freeze(i, demands[i], paths)
+			}
+			s.unfrozen = s.unfrozen[:0]
+			break
+		}
+		// Freeze demand-limited flows first: any unfrozen flow whose demand
+		// is at or below the current share can take exactly its demand.
+		progressed := false
+		k = 0
+		for _, i := range s.unfrozen {
+			if demands[i] <= share+1e-12 {
+				s.freeze(i, demands[i], paths)
+				progressed = true
+			} else {
+				s.unfrozen[k] = i
+				k++
+			}
+		}
+		s.unfrozen = s.unfrozen[:k]
+		if progressed {
+			continue
+		}
+		// Otherwise freeze the flows crossing a bottleneck link at the share.
+		for _, l := range s.active {
+			c := s.count[l]
+			if c == 0 {
+				continue
+			}
+			if s.remaining[l]/float64(c) <= share+1e-12 {
+				for _, i := range s.csrFlows[s.csrOff[l]:s.csrOff[l+1]] {
+					if !s.frozen[i] {
+						s.freeze(i, share, paths)
+					}
+				}
+			}
+		}
+		k = 0
+		for _, i := range s.unfrozen {
+			if !s.frozen[i] {
+				s.unfrozen[k] = i
+				k++
+			}
+		}
+		s.unfrozen = s.unfrozen[:k]
+	}
+	return s.rates, nil
+}
+
+func (s *Solver) freeze(i int, rate float64, paths [][]int) {
+	s.rates[i] = rate
+	s.frozen[i] = true
+	for _, l := range paths[i] {
+		s.remaining[l] -= rate
+		if s.remaining[l] < 0 {
+			s.remaining[l] = 0 // numerical guard
+		}
+		s.count[l]--
+	}
+}
+
+// SolveMap answers a map-keyed instance (arbitrary link IDs) by assigning
+// dense indices in first-seen order over the flows' paths, then running
+// the dense solve. Capacity entries no flow crosses are ignored, exactly
+// as in the reference solver. The returned slice is owned by the solver.
+func (s *Solver) SolveMap(demands []float64, paths [][]int, capacity map[int]float64) ([]float64, error) {
+	n := len(demands)
+	if len(paths) != n {
+		return nil, fmt.Errorf("netsim: %d demands but %d paths", n, len(paths))
+	}
+	if s.idx == nil {
+		s.idx = make(map[int]int, len(capacity))
+	} else {
+		clear(s.idx)
+	}
+	s.denseCap = s.denseCap[:0]
+	s.pathArena = s.pathArena[:0]
+	for i := 0; i < n; i++ {
+		if demands[i] < 0 {
+			return nil, fmt.Errorf("netsim: flow %d negative demand %v", i, demands[i])
+		}
+		if len(paths[i]) == 0 {
+			return nil, fmt.Errorf("netsim: flow %d has empty path", i)
+		}
+		for _, l := range paths[i] {
+			d, ok := s.idx[l]
+			if !ok {
+				c, known := capacity[l]
+				if !known {
+					return nil, fmt.Errorf("netsim: flow %d crosses unknown link %d", i, l)
+				}
+				if c < 0 {
+					return nil, fmt.Errorf("netsim: link %d negative capacity %v", l, c)
+				}
+				d = len(s.denseCap)
+				s.idx[l] = d
+				s.denseCap = append(s.denseCap, c)
+			}
+			s.pathArena = append(s.pathArena, d)
+		}
+	}
+	// Subslice the arena only after it stopped growing (appends above may
+	// have reallocated it).
+	s.densePaths = s.densePaths[:0]
+	off := 0
+	for i := 0; i < n; i++ {
+		s.densePaths = append(s.densePaths, s.pathArena[off:off+len(paths[i])])
+		off += len(paths[i])
+	}
+	return s.Solve(demands, s.densePaths, s.denseCap)
+}
+
+var solverPool = sync.Pool{New: func() any { return new(Solver) }}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}

@@ -21,6 +21,10 @@ type event struct {
 	fn  Handler
 	// canceled events stay in the heap but are skipped when popped.
 	canceled bool
+	// gen increments each time the event object is recycled through the
+	// engine free list, so a stale Timer cannot cancel the object's next
+	// incarnation.
+	gen uint64
 }
 
 type eventQueue []*event
@@ -44,12 +48,17 @@ func (q *eventQueue) Pop() any {
 }
 
 // Timer identifies a scheduled event so it can be canceled.
-type Timer struct{ ev *event }
+type Timer struct {
+	ev  *event
+	gen uint64
+}
 
 // Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled timer is a no-op.
+// already-canceled timer is a no-op (a fired event's object may already
+// be serving a later Schedule call; the generation check keeps the stale
+// timer from touching it).
 func (t Timer) Cancel() {
-	if t.ev != nil {
+	if t.ev != nil && t.ev.gen == t.gen {
 		t.ev.canceled = true
 	}
 }
@@ -61,6 +70,10 @@ type Engine struct {
 	queue eventQueue
 	seq   uint64
 	steps uint64
+	// free is the event free list: fired and drained-canceled events are
+	// recycled here instead of left to the garbage collector, so long §4
+	// runs stop allocating one heap object per scheduled event.
+	free []*event
 }
 
 // Now returns the current virtual time.
@@ -79,10 +92,26 @@ func (e *Engine) Schedule(at units.Seconds, fn Handler) Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = at, e.seq, fn
+	} else {
+		ev = &event{at: at, seq: e.seq, fn: fn}
+	}
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return Timer{ev: ev}
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// recycle returns a popped event to the free list for the next Schedule.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.canceled = false
+	e.free = append(e.free, ev)
 }
 
 // After runs fn after a non-negative delay.
@@ -98,11 +127,16 @@ func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*event)
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.steps++
-		ev.fn(e)
+		fn := ev.fn
+		// Recycle before running: fn may schedule new events, and the hot
+		// schedule-one-fire-one pattern then reuses this object directly.
+		e.recycle(ev)
+		fn(e)
 		return true
 	}
 	return false
@@ -115,7 +149,7 @@ func (e *Engine) RunUntil(until units.Seconds) {
 		// Peek without popping canceled entries permanently out of order.
 		ev := e.queue[0]
 		if ev.canceled {
-			heap.Pop(&e.queue)
+			e.recycle(heap.Pop(&e.queue).(*event))
 			continue
 		}
 		if ev.at > until {

@@ -222,3 +222,71 @@ func TestMeterConservation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEventRecycleStaleCancel: a timer for an already-fired event must not
+// cancel the recycled event object's next incarnation.
+func TestEventRecycleStaleCancel(t *testing.T) {
+	var e Engine
+	t1 := e.Schedule(1, func(*Engine) {})
+	e.Run() // fires and recycles t1's event object
+	fired := false
+	t2 := e.Schedule(2, func(*Engine) { fired = true })
+	t1.Cancel() // stale: must be a no-op on the reused object
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed a recycled event")
+	}
+	t2.Cancel() // after firing: also a no-op
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+// TestEventRecycleCanceledDrain: canceled events drained by Step and
+// RunUntil return to the free list and are reused.
+func TestEventRecycleCanceledDrain(t *testing.T) {
+	var e Engine
+	a := e.Schedule(1, func(*Engine) { t.Fatal("canceled event ran") })
+	a.Cancel()
+	e.RunUntil(2)
+	if got := len(e.free); got != 1 {
+		t.Fatalf("free list = %d events, want 1", got)
+	}
+	ran := false
+	e.Schedule(3, func(*Engine) { ran = true })
+	if got := len(e.free); got != 0 {
+		t.Fatalf("free list = %d events after reuse, want 0", got)
+	}
+	e.Run()
+	if !ran {
+		t.Fatal("reused event never ran")
+	}
+}
+
+// TestScheduleAllocFree guards the free-list pool: once warm, the
+// schedule-fire cycle performs no heap allocations per event.
+func TestScheduleAllocFree(t *testing.T) {
+	var e Engine
+	nop := func(*Engine) {}
+	e.After(1, nop)
+	e.Step() // warm the free list
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(1, nop)
+		e.Step()
+	})
+	if allocs > 0.01 {
+		t.Errorf("schedule+step allocates %.3f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSchedule measures the event-queue hot cycle; allocs/op is the
+// headline (free-list pool target: 0).
+func BenchmarkSchedule(b *testing.B) {
+	var e Engine
+	nop := func(*Engine) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, nop)
+		e.Step()
+	}
+}

@@ -1,0 +1,54 @@
+#!/bin/sh
+# bench.sh runs the simulator hot-path benchmarks and writes
+# BENCH_netsim.json at the repo root: current ns/op, B/op, and allocs/op
+# for each benchmark, alongside the frozen pre-optimization seed numbers
+# so the speedup is visible without digging through git history.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_netsim.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "running root benchmarks..." >&2
+go test -run=NONE -benchmem \
+	-bench 'BenchmarkFabricSim$|BenchmarkRunParallel$|BenchmarkMaxMin$|BenchmarkMaxMinDense$|BenchmarkTable3$|BenchmarkFig2$' \
+	. >>"$tmp"
+echo "running event-queue benchmark..." >&2
+go test -run=NONE -benchmem -bench 'BenchmarkSchedule$' ./internal/sim >>"$tmp"
+
+# The seed baselines below were measured on this repo at the commit before
+# the dense-solver/path-cache/free-list optimizations, same machine class.
+awk -v out="$out" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) {
+		if ($(i+1) == "ns/op") ns[name] = $i
+		if ($(i+1) == "B/op") bytes[name] = $i
+		if ($(i+1) == "allocs/op") allocs[name] = $i
+	}
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+	base["BenchmarkFabricSim"] = "{\"ns_per_op\": 577161, \"bytes_per_op\": 385824, \"allocs_per_op\": 3824}"
+	base["BenchmarkMaxMin"] = "{\"ns_per_op\": 62429, \"bytes_per_op\": 9104, \"allocs_per_op\": 14}"
+	printf "{\n  \"benchmarks\": {\n" > out
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "    \"%s\": {\n", name >> out
+		printf "      \"current\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+			ns[name], bytes[name], allocs[name] >> out
+		if (name in base) printf ",\n      \"seed\": %s\n", base[name] >> out
+		else printf "\n" >> out
+		printf "    }%s\n", (i < n ? "," : "") >> out
+	}
+	printf "  },\n" >> out
+	printf "  \"notes\": \"seed = pre-optimization baseline (map-based MaxMin, per-run path enumeration, per-event heap allocation); current = dense Solver + path cache + event free list. Regenerate with scripts/bench.sh.\"\n" >> out
+	printf "}\n" >> out
+}
+' "$tmp"
+
+echo "wrote $out" >&2
