@@ -42,11 +42,13 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing scenario (gating ocs rateadapt parking eee ratelink scheduler fabric chiplet backbone summary)")
+		return fmt.Errorf("missing scenario (gating ocs rateadapt parking eee ratelink scheduler fabric chiplet backbone summary faults)")
 	}
 	switch args[0] {
 	case "gating":
 		return cmdGating(args[1:], w)
+	case "faults":
+		return cmdFaults(args[1:], w)
 	case "ocs":
 		return cmdOCS(args[1:], w)
 	case "rateadapt":
@@ -171,6 +173,32 @@ func cmdGating(args []string, w io.Writer) error {
 	}
 	return runScenario(w, "gating", "", map[string]float64{
 		"ports": float64(*usedPorts), "l3": l3v, "fib": *fib, "wake": *wake,
+	})
+}
+
+// cmdFaults sweeps failure rate × core gating level on the flow-level
+// fabric simulator under a seeded fault trace, comparing job slowdown and
+// recovery time for a gated vs. fully-powered fat tree.
+func cmdFaults(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("faults", flag.ContinueOnError)
+	radix := fs.Int("radix", 4, "fat-tree radix k")
+	iters := fs.Int("iters", 4, "training iterations to simulate")
+	seed := fs.Uint64("seed", 1, "fault trace seed")
+	flaps := fs.Int("flaps", 6, "base transient link outages (scaled by the sweep)")
+	mttr := fs.Float64("mttr", 0.3, "mean link repair time (s)")
+	stuckProb := fs.Float64("stuckprob", 0.25, "probability a link wake misses its deadline")
+	stuckExtra := fs.Float64("stuckextra", 0.5, "mean extra latency of a stuck wake (s)")
+	reconfig := fs.Float64("reconfig", 0.2, "nominal OCS reconfiguration latency (s)")
+	slowProb := fs.Float64("slowprob", 0.25, "probability a reconfiguration is slow")
+	failProb := fs.Float64("failprob", 0.1, "probability a reconfiguration attempt fails")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return runScenario(w, "faults", "", map[string]float64{
+		"radix": float64(*radix), "iters": float64(*iters), "seed": float64(*seed),
+		"flaps": float64(*flaps), "mttr": *mttr,
+		"stuckprob": *stuckProb, "stuckextra": *stuckExtra,
+		"reconfig": *reconfig, "slowprob": *slowProb, "failprob": *failProb,
 	})
 }
 

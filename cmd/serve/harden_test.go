@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"netpowerprop/internal/engine"
+)
+
+// An injected panic in a scenario computation must come back as a 500 with
+// a JSON error body, bump the panic metric, and leave the server serving —
+// the process survives its own worst request.
+func TestPanicReturns500AndServerSurvives(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/scenarios/chaos?panic=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type = %q, want JSON", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	if !strings.Contains(body.Error, "panicked") {
+		t.Errorf("error body %q does not mention the panic", body.Error)
+	}
+	// The panic shows on /metrics and the process keeps answering.
+	metrics := getText(t, srv.URL+"/metrics")
+	if !strings.Contains(metrics, "engine_panics_total 1") {
+		t.Errorf("metrics missing engine_panics_total 1:\n%s", metrics)
+	}
+	ok, err := http.Get(srv.URL + "/v1/scenarios/chaos")
+	if err != nil {
+		t.Fatalf("server dead after panic: %v", err)
+	}
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Errorf("follow-up status = %d, want 200", ok.StatusCode)
+	}
+}
+
+// A panic in the HTTP layer itself (not the engine) is also contained.
+func TestHandlerPanicContained(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	s := newServer(eng, time.Minute)
+	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("handler boom")
+	})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if metrics := getText(t, srv.URL+"/metrics"); !strings.Contains(metrics, "http_panics_total 1") {
+		t.Errorf("metrics missing http_panics_total 1:\n%s", metrics)
+	}
+}
+
+// A request outlasting its deadline answers 504 and counts on /metrics.
+func TestDeadlineReturns504(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	srv := httptest.NewServer(newServer(eng, 30*time.Millisecond))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/scenarios/chaos?sleep=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	if metrics := getText(t, srv.URL+"/metrics"); !strings.Contains(metrics, "engine_deadline_total 1") {
+		t.Errorf("metrics missing engine_deadline_total 1:\n%s", metrics)
+	}
+}
+
+// When the bounded queue is full, requests shed with 503 + Retry-After.
+func TestOverloadReturns503(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 1, MaxQueue: 0})
+	// MaxQueue 0 normalizes to 4×workers; fill worker + queue with slow
+	// distinct requests, then expect a shed.
+	srv := httptest.NewServer(newServer(eng, time.Minute))
+	defer srv.Close()
+	// Use distinct sleep values for distinct cache keys.
+	done := make(chan struct{}, 5)
+	for i := 0; i < 5; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			resp, err := http.Get(srv.URL + "/v1/scenarios/chaos?sleep=0.2" + strings.Repeat("0", i) + "1")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	// Wait for saturation (pending == 5), then one more request must shed.
+	deadline := time.After(5 * time.Second)
+	for eng.Metrics().Pending < 5 {
+		select {
+		case <-deadline:
+			t.Fatalf("pending = %d, want 5", eng.Metrics().Pending)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/scenarios/chaos?sleep=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 carries no Retry-After header")
+	}
+	if metrics := getText(t, srv.URL+"/metrics"); !strings.Contains(metrics, "engine_shed_total 1") {
+		t.Errorf("metrics missing engine_shed_total 1:\n%s", metrics)
+	}
+	for i := 0; i < 5; i++ {
+		<-done
+	}
+}
+
+// /healthz reports ok when idle and degraded (with a reason) after a panic.
+func TestHealthzDegradedAfterPanic(t *testing.T) {
+	srv := newTestServer(t)
+	var h struct {
+		Status string `json:"status"`
+		Reason string `json:"reason"`
+	}
+	getJSON(t, srv.URL+"/healthz", &h)
+	if h.Status != "ok" {
+		t.Fatalf("idle health = %+v, want ok", h)
+	}
+	resp, err := http.Get(srv.URL + "/v1/scenarios/chaos?panic=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	getJSON(t, srv.URL+"/healthz", &h)
+	if h.Status != "degraded" || !strings.Contains(h.Reason, "panic") {
+		t.Errorf("health after panic = %+v, want degraded with panic reason", h)
+	}
+}
+
+func getText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(b)
+}

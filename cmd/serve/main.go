@@ -12,8 +12,8 @@
 //	GET/POST /v1/cost              §3.2 annualized cost savings
 //	GET      /v1/scenarios         list §4 mechanism scenarios
 //	GET/POST /v1/scenarios/{name}  run a §4 mechanism scenario
-//	GET      /healthz              liveness probe
-//	GET      /metrics              cache/latency counters (text format)
+//	GET      /healthz              health JSON (ok, or degraded + reason)
+//	GET      /metrics              cache/latency/robustness counters (text format)
 //
 // GET requests take query parameters named after the JSON request fields
 // (gpus, bw, ratio, netprop, compprop, interp, overlap, budget, props,
@@ -47,10 +47,12 @@ func main() {
 	cacheSize := flag.Int("cache", 4096, "result cache capacity (entries)")
 	shards := flag.Int("shards", 16, "result cache shards")
 	workers := flag.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max queued computations before shedding (0 = 4x workers, negative = unbounded)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request computation timeout")
 	flag.Parse()
 
-	eng := engine.New(engine.Options{CacheSize: *cacheSize, CacheShards: *shards, Workers: *workers})
+	eng := engine.New(engine.Options{CacheSize: *cacheSize, CacheShards: *shards,
+		Workers: *workers, MaxQueue: *queue})
 	srv := newServer(eng, *timeout)
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -75,6 +77,11 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("serve: shutdown: %v", err)
 	}
+	// Drain in-flight engine computations so nothing is cut off mid-solve;
+	// bounded by the same shutdown deadline.
+	if err := eng.Drain(shutdownCtx); err != nil {
+		log.Printf("serve: drain: %v", err)
+	}
 }
 
 // server routes API requests into the engine.
@@ -83,6 +90,8 @@ type server struct {
 	timeout  time.Duration
 	mux      *http.ServeMux
 	requests atomic.Uint64
+	// panics counts HTTP handler panics recovered by ServeHTTP.
+	panics atomic.Uint64
 }
 
 func newServer(eng *engine.Engine, timeout time.Duration) *server {
@@ -98,8 +107,22 @@ func newServer(eng *engine.Engine, timeout time.Duration) *server {
 	return s
 }
 
+// ServeHTTP counts the request and contains handler panics: a panicking
+// handler answers 500 JSON and bumps a counter instead of killing the
+// process. (Engine-side panics are already converted to errors by the
+// engine; this guards the serving path itself.)
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			log.Printf("serve: panic in %s %s: %v", r.Method, r.URL.Path, v)
+			// Best-effort: if the handler already wrote a response this
+			// header write is a no-op error, not a crash.
+			writeJSON(w, http.StatusInternalServerError,
+				apiError{Error: fmt.Sprintf("internal error: %v", v)})
+		}
+	}()
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -125,7 +148,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
+	var pe *engine.PanicError
 	switch {
+	case errors.Is(err, engine.ErrOverloaded):
+		// Shed load: tell clients when to come back.
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
+	case errors.As(err, &pe):
+		status = http.StatusInternalServerError
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -296,9 +326,16 @@ func (s *server) handleScenarioList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"scenarios": engine.ScenarioNames()})
 }
 
+// healthPanicWindow is how long a recovered panic keeps /healthz degraded.
+const healthPanicWindow = time.Minute
+
+// handleHealthz reports serving fitness as JSON: status "ok", or
+// "degraded" with a reason when the worker pool is saturated or a panic
+// was recovered recently. The status code stays 200 either way — degraded
+// means "alive but impaired", and probes that only check the code keep
+// working.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain")
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, s.eng.Health(healthPanicWindow))
 }
 
 // handleMetrics renders the engine counters in Prometheus text format.
@@ -313,6 +350,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "engine_cache_evictions_total %d\n", m.Evictions)
 	fmt.Fprintf(w, "engine_cache_entries %d\n", m.CacheEntries)
 	fmt.Fprintf(w, "engine_inflight %d\n", m.InFlight)
+	fmt.Fprintf(w, "engine_pending %d\n", m.Pending)
+	fmt.Fprintf(w, "engine_panics_total %d\n", m.Panics)
+	fmt.Fprintf(w, "engine_shed_total %d\n", m.Sheds)
+	fmt.Fprintf(w, "engine_deadline_total %d\n", m.Deadlines)
 	fmt.Fprintf(w, "engine_compute_seconds_total %g\n", m.ComputeSeconds)
 	ops := make([]string, 0, len(m.PerOp))
 	for op := range m.PerOp {
@@ -325,4 +366,5 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "engine_compute_duration_seconds_sum{op=%q} %g\n", op, st.Seconds)
 	}
 	fmt.Fprintf(w, "http_requests_total %d\n", s.requests.Load())
+	fmt.Fprintf(w, "http_panics_total %d\n", s.panics.Load())
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"netpowerprop/internal/core"
@@ -8,8 +9,12 @@ import (
 )
 
 // compute dispatches one normalized request to the model code. Every
-// branch reproduces the corresponding CLI computation exactly.
-func compute(req Request) (*Result, error) {
+// branch reproduces the corresponding CLI computation exactly. The context
+// carries the request deadline; long scenarios check it between rows.
+func compute(ctx context.Context, req Request) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := &Result{Op: req.Op, Request: req}
 	switch req.Op {
 	case OpWhatIf:
@@ -80,7 +85,7 @@ func compute(req Request) (*Result, error) {
 		}
 		res.Cost = c
 	case OpScenario:
-		table, err := scenarios[req.Scenario].run(req)
+		table, err := scenarios[req.Scenario].run(ctx, req)
 		if err != nil {
 			return nil, err
 		}

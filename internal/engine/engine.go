@@ -10,6 +10,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,13 +27,20 @@ type Options struct {
 	// Workers bounds concurrently computing requests (default GOMAXPROCS).
 	// Queued requests honor their context while waiting for a slot.
 	Workers int
+	// MaxQueue bounds requests waiting for a worker slot: once
+	// Workers+MaxQueue requests are pending, further misses are shed with
+	// ErrOverloaded instead of queuing without bound. Zero selects
+	// 4×Workers; negative disables shedding.
+	MaxQueue int
 }
 
 // Engine answers what-if requests, memoizing results by canonical key.
 type Engine struct {
-	cache  *cache
-	flight *flightGroup
-	sem    chan struct{}
+	cache    *cache
+	flight   *flightGroup
+	sem      chan struct{}
+	workers  int
+	maxQueue int // negative: unbounded
 
 	hits         atomic.Uint64
 	misses       atomic.Uint64
@@ -41,6 +49,14 @@ type Engine struct {
 	errors       atomic.Uint64
 	inFlight     atomic.Int64
 	computeNanos atomic.Int64
+	// pending counts admitted computations (queued or running); it gates
+	// load shedding and Drain. panics/sheds/deadlines are the robustness
+	// counters surfaced on /metrics; lastPanic (UnixNano) feeds Health.
+	pending   atomic.Int64
+	panics    atomic.Uint64
+	sheds     atomic.Uint64
+	deadlines atomic.Uint64
+	lastPanic atomic.Int64
 	// opStats breaks computation count and time down by operation. The map
 	// is built once in New (one entry per registered Op) and never written
 	// afterwards, so lookups are safe without a lock.
@@ -67,15 +83,20 @@ func New(opts Options) *Engine {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.MaxQueue == 0 {
+		opts.MaxQueue = 4 * opts.Workers
+	}
 	stats := make(map[Op]*opStat, len(allOps))
 	for _, op := range allOps {
 		stats[op] = new(opStat)
 	}
 	return &Engine{
-		cache:   newCache(opts.CacheSize, opts.CacheShards),
-		flight:  newFlightGroup(),
-		sem:     make(chan struct{}, opts.Workers),
-		opStats: stats,
+		cache:    newCache(opts.CacheSize, opts.CacheShards),
+		flight:   newFlightGroup(),
+		sem:      make(chan struct{}, opts.Workers),
+		workers:  opts.Workers,
+		maxQueue: opts.MaxQueue,
+		opStats:  stats,
 	}
 }
 
@@ -117,6 +138,9 @@ func (e *Engine) Do(ctx context.Context, req Request) (res *Result, cached bool,
 	}
 	if err != nil {
 		e.errors.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			e.deadlines.Add(1)
+		}
 		return nil, false, err
 	}
 	return res, false, nil
@@ -125,14 +149,22 @@ func (e *Engine) Do(ctx context.Context, req Request) (res *Result, cached bool,
 // computeAndCache runs one computation under the worker pool. The caller's
 // context is honored both while queued and while computing; a computation
 // that outlives its requester still completes and populates the cache, so
-// the work is not wasted.
+// the work is not wasted. Admission is bounded: when Workers+MaxQueue
+// computations are already pending, the request is shed immediately with
+// ErrOverloaded rather than queued without limit.
 func (e *Engine) computeAndCache(ctx context.Context, key string, req Request) (*Result, error) {
+	if p := e.pending.Add(1); e.maxQueue >= 0 && p > int64(e.workers+e.maxQueue) {
+		e.pending.Add(-1)
+		e.sheds.Add(1)
+		return nil, ErrOverloaded
+	}
 	type outcome struct {
 		res *Result
 		err error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
+		defer e.pending.Add(-1)
 		select {
 		case e.sem <- struct{}{}:
 		case <-ctx.Done():
@@ -142,7 +174,7 @@ func (e *Engine) computeAndCache(ctx context.Context, key string, req Request) (
 		defer func() { <-e.sem }()
 		e.inFlight.Add(1)
 		start := time.Now()
-		res, err := compute(req)
+		res, err := e.safeCompute(ctx, req)
 		elapsed := int64(time.Since(start))
 		e.computeNanos.Add(elapsed)
 		if st := e.opStats[req.Op]; st != nil {
@@ -181,6 +213,14 @@ type Metrics struct {
 	Evictions uint64
 	// InFlight is the number of computations running right now.
 	InFlight int64
+	// Pending counts admitted computations, queued or running.
+	Pending int64
+	// Panics counts computations that panicked and were recovered.
+	Panics uint64
+	// Sheds counts requests rejected by the bounded queue (ErrOverloaded).
+	Sheds uint64
+	// Deadlines counts requests that failed with a deadline exceeded.
+	Deadlines uint64
 	// CacheEntries is the current cache population.
 	CacheEntries int
 	// ComputeSeconds is the cumulative computation time.
@@ -215,6 +255,10 @@ func (e *Engine) Metrics() Metrics {
 		Errors:         e.errors.Load(),
 		Evictions:      e.cache.Evictions(),
 		InFlight:       e.inFlight.Load(),
+		Pending:        e.pending.Load(),
+		Panics:         e.panics.Load(),
+		Sheds:          e.sheds.Load(),
+		Deadlines:      e.deadlines.Load(),
 		CacheEntries:   e.cache.Len(),
 		ComputeSeconds: float64(e.computeNanos.Load()) / 1e9,
 		PerOp:          perOp,

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// ErrOverloaded is returned (without computing anything) when the engine's
+// pending-request count exceeds the worker pool plus its bounded queue.
+// Servers should map it to 503 with a Retry-After hint.
+var ErrOverloaded = errors.New("engine: overloaded")
+
+// PanicError is a panic recovered from a computation, surfaced as an
+// ordinary error so one poisoned request cannot take the process down.
+type PanicError struct {
+	// Val is the value passed to panic; Stack is the goroutine stack at
+	// recovery time.
+	Val   any
+	Stack []byte
+}
+
+// Error describes the recovered panic.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("engine: computation panicked: %v", p.Val)
+}
+
+// safeCompute runs compute with panic containment: a panic on the compute
+// goroutine (or one surfaced as a PanicError by a row worker) becomes an
+// error and bumps the panic counters.
+func (e *Engine) safeCompute(ctx context.Context, req Request) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &PanicError{Val: r, Stack: debug.Stack()}
+		}
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			e.panics.Add(1)
+			e.lastPanic.Store(time.Now().UnixNano())
+		}
+	}()
+	return compute(ctx, req)
+}
+
+// safeRow contains a panic from one table-row computation, so scenario
+// fan-out workers cannot crash the process either.
+func safeRow(row func(i int) ([]string, error), i int) (r []string, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			r, err = nil, &PanicError{Val: v, Stack: debug.Stack()}
+		}
+	}()
+	return row(i)
+}
+
+// Health is a point-in-time serving-fitness classification.
+type Health struct {
+	// Status is "ok" or "degraded".
+	Status string `json:"status"`
+	// Reason explains a degraded status; empty when ok.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Health reports degraded when the worker pool is saturated (more requests
+// pending than workers) or a panic was recovered within the given window.
+func (e *Engine) Health(panicWindow time.Duration) Health {
+	if p := e.pending.Load(); p > int64(e.workers) {
+		return Health{
+			Status: "degraded",
+			Reason: fmt.Sprintf("worker pool saturated: %d pending on %d workers", p, e.workers),
+		}
+	}
+	if last := e.lastPanic.Load(); last != 0 && panicWindow > 0 {
+		if age := time.Since(time.Unix(0, last)); age < panicWindow {
+			return Health{
+				Status: "degraded",
+				Reason: fmt.Sprintf("panic recovered %s ago", age.Round(time.Millisecond)),
+			}
+		}
+	}
+	return Health{Status: "ok"}
+}
+
+// Drain blocks until every admitted computation has finished (queued or
+// running), or the context expires — the graceful-shutdown hook: stop
+// admitting requests, then Drain before exiting.
+func (e *Engine) Drain(ctx context.Context) error {
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if e.pending.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// runChaos is the fault-injection scenario for the serving path itself: it
+// panics, sleeps (honoring the request deadline), or fails on demand, so
+// the panic-recovery, deadline, and load-shedding machinery can be
+// exercised end to end — through the real registry, cache, and HTTP stack.
+func runChaos(ctx context.Context, req Request) (*Table, error) {
+	if req.Params["panic"] != 0 {
+		panic("chaos scenario: injected panic")
+	}
+	if d := req.Params["sleep"]; d > 0 {
+		select {
+		case <-time.After(time.Duration(d * float64(time.Second))):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if req.Params["fail"] != 0 {
+		return nil, fmt.Errorf("chaos scenario: injected failure")
+	}
+	t := &Table{
+		Title:   "chaos — serving-path fault injection",
+		Headers: []string{"outcome"},
+		Notes:   []string{"set panic=1, fail=1, or sleep=<seconds> to misbehave"},
+	}
+	t.AddRow("ok")
+	return t, nil
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -26,7 +27,7 @@ import (
 type scenarioSpec struct {
 	defaults  map[string]float64
 	bandwidth string
-	run       func(req Request) (*Table, error)
+	run       func(ctx context.Context, req Request) (*Table, error)
 }
 
 // scenarios is the registry behind OpScenario and /v1/scenarios/<name>.
@@ -65,6 +66,18 @@ var scenarios = map[string]scenarioSpec{
 		defaults: map[string]float64{"ratio": 0.1},
 		run:      runSummary,
 	},
+	"faults": {
+		defaults: map[string]float64{
+			"radix": 4, "iters": 4, "seed": 1,
+			"flaps": 6, "mttr": 0.3, "stuckprob": 0.25, "stuckextra": 0.5,
+			"reconfig": 0.2, "slowprob": 0.25, "failprob": 0.1,
+		},
+		run: runFaults,
+	},
+	"chaos": {
+		defaults: map[string]float64{"panic": 0, "sleep": 0, "fail": 0},
+		run:      runChaos,
+	},
 }
 
 // parallelRows computes n independent table rows concurrently, bounded by
@@ -79,7 +92,7 @@ func parallelRows(n int, row func(i int) ([]string, error)) ([][]string, error) 
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			r, err := row(i)
+			r, err := safeRow(row, i)
 			if err != nil {
 				return nil, err
 			}
@@ -94,7 +107,7 @@ func parallelRows(n int, row func(i int) ([]string, error)) ([][]string, error) 
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < n; i += workers {
-				rows[i], errs[i] = row(i)
+				rows[i], errs[i] = safeRow(row, i)
 			}
 		}(w)
 	}
@@ -139,7 +152,7 @@ func mkPredictive() rateadapt.Controller {
 }
 
 // runGating evaluates the §4.1 power-gating modes for a deployment.
-func runGating(req Request) (*Table, error) {
+func runGating(ctx context.Context, req Request) (*Table, error) {
 	usedPorts := int(req.Params["ports"])
 	l3 := req.Params["l3"] != 0
 	fib := req.Params["fib"]
@@ -182,7 +195,7 @@ func runGating(req Request) (*Table, error) {
 
 // runRateAdapt compares the §4.3 rate-adaptation variants on a periodic
 // ML load.
-func runRateAdapt(req Request) (*Table, error) {
+func runRateAdapt(ctx context.Context, req Request) (*Table, error) {
 	busy := int(req.Params["busy"])
 	ratio := req.Params["ratio"]
 	level := req.Params["level"]
@@ -247,7 +260,7 @@ func runRateAdapt(req Request) (*Table, error) {
 }
 
 // runParking compares the §4.4 pipeline-parking policies.
-func runParking(req Request) (*Table, error) {
+func runParking(ctx context.Context, req Request) (*Table, error) {
 	ratio := req.Params["ratio"]
 	level := req.Params["level"]
 	period := req.Params["period"]
@@ -300,7 +313,7 @@ func runParking(req Request) (*Table, error) {
 var eeeUtilizations = []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9}
 
 // runEEE simulates the 802.3az LPI baseline across utilizations.
-func runEEE(req Request) (*Table, error) {
+func runEEE(ctx context.Context, req Request) (*Table, error) {
 	cap, err := units.ParseBandwidth(req.Bandwidth)
 	if err != nil {
 		return nil, err
@@ -336,7 +349,7 @@ func runEEE(req Request) (*Table, error) {
 }
 
 // runRateLink compares NSDI'08 link sleeping against rate adaptation.
-func runRateLink(req Request) (*Table, error) {
+func runRateLink(ctx context.Context, req Request) (*Table, error) {
 	cap, err := units.ParseBandwidth(req.Bandwidth)
 	if err != nil {
 		return nil, err
@@ -377,7 +390,7 @@ func runRateLink(req Request) (*Table, error) {
 }
 
 // runChiplet sweeps the §4.5 ASIC redesign space on ML traffic.
-func runChiplet(req Request) (*Table, error) {
+func runChiplet(ctx context.Context, req Request) (*Table, error) {
 	ratio := req.Params["ratio"]
 	level := req.Params["level"]
 	times, loads, err := mlTrace(ratio, 10, level, 400, 0.5)
@@ -410,7 +423,7 @@ func runChiplet(req Request) (*Table, error) {
 
 // runScheduler compares spread vs. concentrate placement on a k-ary
 // fabric (§4.2).
-func runScheduler(req Request) (*Table, error) {
+func runScheduler(ctx context.Context, req Request) (*Table, error) {
 	radix := int(req.Params["radix"])
 	f, err := ocs.ThreeTierFabric(radix, 400*units.Gbps)
 	if err != nil {
@@ -445,7 +458,7 @@ func runScheduler(req Request) (*Table, error) {
 // proportionality (the p that a two-state switch on the same duty cycle
 // would need to match the mechanism's energy), which the §3 cluster model
 // then prices at baseline-cluster scale.
-func runSummary(req Request) (*Table, error) {
+func runSummary(ctx context.Context, req Request) (*Table, error) {
 	ratio := req.Params["ratio"]
 	if ratio <= 0 || ratio >= 1 {
 		return nil, fmt.Errorf("ratio %v outside (0,1)", ratio)

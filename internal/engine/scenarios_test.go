@@ -61,11 +61,11 @@ func TestScenariosParallelDeterministic(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			first, err := compute(req)
+			first, err := compute(context.Background(), req)
 			if err != nil {
 				t.Fatal(err)
 			}
-			second, err := compute(req)
+			second, err := compute(context.Background(), req)
 			if err != nil {
 				t.Fatal(err)
 			}

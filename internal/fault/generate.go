@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"netpowerprop/internal/units"
+)
+
+// GenConfig parameterizes the seeded fault generator.
+type GenConfig struct {
+	// Horizon bounds event times: every primary failure starts within
+	// [0, Horizon). Repairs may land beyond it (and are then dropped at
+	// compile time).
+	Horizon units.Seconds
+	// Links are the candidate link IDs for flaps and permanent failures.
+	Links []int
+	// Flaps is the number of transient link outages to draw.
+	Flaps int
+	// MTTR is the mean repair time of a flap (exponentially distributed).
+	MTTR units.Seconds
+	// PermanentFailures is the number of links (drawn from Links) that go
+	// down and stay down.
+	PermanentFailures int
+	// Switches are candidate switch node IDs for switch failures.
+	Switches []int
+	// SwitchFailures is the number of permanent switch failures to draw.
+	SwitchFailures int
+	// WakeStuckProb is the probability that a flap repair — the link
+	// "waking" — misses its deadline (the power-gated/EEE sleeping-link
+	// failure mode).
+	WakeStuckProb float64
+	// WakeStuckExtra is the mean extra latency of a stuck wake
+	// (exponentially distributed).
+	WakeStuckExtra units.Seconds
+}
+
+func (c GenConfig) validate() error {
+	if c.Horizon <= 0 {
+		return fmt.Errorf("fault: non-positive horizon %v", c.Horizon)
+	}
+	if (c.Flaps > 0 || c.PermanentFailures > 0) && len(c.Links) == 0 {
+		return fmt.Errorf("fault: link failures requested but no candidate links")
+	}
+	if c.SwitchFailures > 0 && len(c.Switches) == 0 {
+		return fmt.Errorf("fault: switch failures requested but no candidate switches")
+	}
+	if c.Flaps > 0 && c.MTTR <= 0 {
+		return fmt.Errorf("fault: flaps need a positive MTTR, have %v", c.MTTR)
+	}
+	if c.WakeStuckProb < 0 || c.WakeStuckProb > 1 {
+		return fmt.Errorf("fault: wake-stuck probability %v outside [0,1]", c.WakeStuckProb)
+	}
+	if c.WakeStuckProb > 0 && c.WakeStuckExtra <= 0 {
+		return fmt.Errorf("fault: wake-stuck extra latency must be positive, have %v", c.WakeStuckExtra)
+	}
+	return nil
+}
+
+// rng returns the deterministic generator for a seed. PCG is seeded from
+// the caller's seed alone, so the same seed always yields the same trace.
+func rng(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// expDraw samples an exponential with the given mean via inverse CDF, so
+// the distribution is fully determined by this package (no dependence on
+// the standard library's ziggurat tables).
+func expDraw(r *rand.Rand, mean units.Seconds) units.Seconds {
+	u := r.Float64()
+	return units.Seconds(-float64(mean) * math.Log(1-u))
+}
+
+// Generate draws a fault trace from a seeded RNG: transient link flaps
+// (uniform start times, exponential repair), permanent link and switch
+// failures (uniform times), and stuck wakes (each flap repair misses its
+// deadline with WakeStuckProb by an exponential extra latency). The draw
+// order is fixed, so a given (config, seed) pair always produces the same
+// trace.
+func Generate(cfg GenConfig, seed uint64) (*Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rng(seed)
+	tr := &Trace{}
+	for i := 0; i < cfg.Flaps; i++ {
+		link := cfg.Links[r.IntN(len(cfg.Links))]
+		at := units.Seconds(r.Float64()) * cfg.Horizon
+		repair := expDraw(r, cfg.MTTR)
+		stuck := cfg.WakeStuckProb > 0 && r.Float64() < cfg.WakeStuckProb
+		tr.LinkDown(at, link)
+		if stuck {
+			tr.WakeStuck(at+repair, link, expDraw(r, cfg.WakeStuckExtra))
+		} else {
+			tr.LinkUp(at+repair, link)
+		}
+	}
+	for i := 0; i < cfg.PermanentFailures; i++ {
+		link := cfg.Links[r.IntN(len(cfg.Links))]
+		tr.FailLink(units.Seconds(r.Float64())*cfg.Horizon, link)
+	}
+	for i := 0; i < cfg.SwitchFailures; i++ {
+		sw := cfg.Switches[r.IntN(len(cfg.Switches))]
+		tr.FailSwitch(units.Seconds(r.Float64())*cfg.Horizon, sw)
+	}
+	return tr, nil
+}
+
+// ReconfigModel draws OCS reconfiguration latencies with injected slow and
+// failed attempts — the §4.2 failure mode where waking a powered-down part
+// of the fabric takes longer than budgeted (or needs retries).
+type ReconfigModel struct {
+	// Base is the nominal reconfiguration latency.
+	Base units.Seconds
+	// SlowProb is the probability an attempt is slow; a slow attempt takes
+	// Base*SlowFactor instead of Base.
+	SlowProb   float64
+	SlowFactor float64
+	// FailProb is the probability an attempt fails outright and must be
+	// retried (each retry doubles the accumulated delay's base).
+	FailProb float64
+	// MaxRetries bounds failed attempts (default 3 when zero).
+	MaxRetries int
+}
+
+// Validate checks the model's parameters.
+func (m ReconfigModel) Validate() error {
+	if m.Base <= 0 {
+		return fmt.Errorf("fault: reconfig base latency must be positive, have %v", m.Base)
+	}
+	if m.SlowProb < 0 || m.SlowProb > 1 {
+		return fmt.Errorf("fault: reconfig slow probability %v outside [0,1]", m.SlowProb)
+	}
+	if m.SlowProb > 0 && m.SlowFactor < 1 {
+		return fmt.Errorf("fault: reconfig slow factor %v must be >= 1", m.SlowFactor)
+	}
+	if m.FailProb < 0 || m.FailProb >= 1 {
+		return fmt.Errorf("fault: reconfig fail probability %v outside [0,1)", m.FailProb)
+	}
+	return nil
+}
+
+// ReconfigOutcome is one sampled reconfiguration.
+type ReconfigOutcome struct {
+	// Delay is the total time until the reconfiguration completed.
+	Delay units.Seconds
+	// Slow counts slow attempts, Failed counts failed (retried) attempts.
+	Slow, Failed int
+}
+
+// Sample draws one reconfiguration outcome from the model using the given
+// RNG. Failed attempts retry with doubled base latency, bounded by
+// MaxRetries; the final attempt always succeeds (the fabric eventually
+// reconfigures, just late).
+func (m ReconfigModel) Sample(r *rand.Rand) ReconfigOutcome {
+	maxRetries := m.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 3
+	}
+	var out ReconfigOutcome
+	base := m.Base
+	for {
+		attempt := base
+		if m.SlowProb > 0 && r.Float64() < m.SlowProb {
+			attempt = units.Seconds(float64(base) * m.SlowFactor)
+			out.Slow++
+		}
+		out.Delay += attempt
+		if out.Failed >= maxRetries || m.FailProb == 0 || r.Float64() >= m.FailProb {
+			return out
+		}
+		out.Failed++
+		base *= 2
+	}
+}
+
+// NewRand exposes the package's deterministic seeded RNG so scenario code
+// drawing reconfiguration outcomes shares one generator construction.
+func NewRand(seed uint64) *rand.Rand { return rng(seed) }

@@ -1,0 +1,21 @@
+package fault
+
+import (
+	"netpowerprop/internal/sim"
+)
+
+// Storm replays a fault trace onto a discrete-event engine: every event is
+// scheduled at its trace time and delivered to the handler with the engine
+// clock set. The returned timers let a caller cancel the remainder of the
+// storm (e.g. when a simulated component shuts down mid-run) — exercising
+// exactly the Timer/free-list interactions an event-driven simulator sees
+// under fault injection.
+func Storm(eng *sim.Engine, tr *Trace, h func(e *sim.Engine, ev Event)) []sim.Timer {
+	events := tr.Events()
+	timers := make([]sim.Timer, 0, len(events))
+	for _, ev := range events {
+		ev := ev
+		timers = append(timers, eng.Schedule(ev.At, func(e *sim.Engine) { h(e, ev) }))
+	}
+	return timers
+}

@@ -8,6 +8,7 @@ import (
 
 	"netpowerprop/internal/device"
 	"netpowerprop/internal/fattree"
+	"netpowerprop/internal/fault"
 	"netpowerprop/internal/power"
 	"netpowerprop/internal/traffic"
 	"netpowerprop/internal/units"
@@ -50,6 +51,13 @@ type Sim struct {
 	// Capacity overrides per-link capacity; absent links default to their
 	// topology speed. Used by parking/OCS studies to disable links (0).
 	Capacity map[int]units.Bandwidth
+	// Faults, when non-nil and non-empty, injects a deterministic link and
+	// switch fault timeline into the run: flows reroute around dead links
+	// at each fault epoch, flows with no surviving path stall (and
+	// accumulate downtime), and the fairness solver sees dead links at
+	// zero capacity. A nil or empty trace reproduces the fault-free
+	// behavior exactly.
+	Faults *fault.Trace
 
 	// usedSwitches tracks switches already chosen by ConcentrateRouting
 	// within one Run.
@@ -58,8 +66,14 @@ type Sim struct {
 	// pathCache memoizes the ECMP path enumeration (and the switches each
 	// path visits) per (src,dst) pair: the enumeration depends only on the
 	// topology, never on seed, routing mode, or capacity overrides, so it
-	// survives across Run calls.
+	// survives across Run calls. Fault-filtered views of each entry are
+	// cached on the pathSet itself and invalidated per (run, epoch).
 	pathCache map[[2]int]*pathSet
+
+	// runGen counts runs; it stamps the per-pathSet alive caches so a new
+	// run (possibly with a different fault trace) never reuses a stale
+	// filtered path list.
+	runGen uint64
 
 	// Scratch reused by the serial run path so repeated Runs on one Sim
 	// allocate nothing in the solve loop.
@@ -70,6 +84,14 @@ type Sim struct {
 type pathSet struct {
 	paths    [][]int
 	switches [][]int // switches visited by paths[i], in path order
+
+	// alive caches the indices of paths surviving the current fault
+	// epoch's dead-link set. Stamped with (run generation, epoch): a link
+	// failing or recovering starts a new epoch, which invalidates the
+	// entry on first use.
+	alive      []int
+	aliveRun   uint64
+	aliveEpoch int
 }
 
 // runScratch is the per-worker solve state.
@@ -77,6 +99,9 @@ type runScratch struct {
 	solver  Solver
 	demands []float64
 	paths   [][]int
+	// slots maps each solver row back to its position in the interval's
+	// active-flow snapshot; stalled flows are excluded from the solve.
+	slots []int
 }
 
 // New returns a simulator over a topology.
@@ -87,12 +112,33 @@ func New(top *fattree.Topology) *Sim {
 // FlowStat reports one flow's outcome.
 type FlowStat struct {
 	Flow traffic.Flow
-	// Path is the chosen link-ID sequence.
+	// Path is the chosen link-ID sequence (at the flow's start epoch; a
+	// faulted run may reroute the flow in later epochs).
 	Path []int
 	// DeliveredBits integrates the achieved rate over the flow lifetime.
 	DeliveredBits float64
 	// MeanRate is DeliveredBits / lifetime.
 	MeanRate units.Bandwidth
+	// Downtime is the time the flow spent stalled with every ECMP path
+	// dead. Always zero without fault injection.
+	Downtime units.Seconds
+}
+
+// FaultReport summarizes a faulted run.
+type FaultReport struct {
+	// Events counts trace events within the horizon; Epochs counts the
+	// constant-dead-set spans the horizon split into.
+	Events int
+	Epochs int
+	// MissedWakes counts links that came up late ("stuck asleep").
+	MissedWakes int
+	// StallSeconds sums downtime across flows; StalledFlows counts flows
+	// with any downtime.
+	StallSeconds units.Seconds
+	StalledFlows int
+	// Reroutes counts flow-epochs routed while at least one of the pair's
+	// ECMP paths was dead (the flow had to steer around a failure).
+	Reroutes int
 }
 
 // Result is a completed simulation: utilization traces per link and per
@@ -102,6 +148,8 @@ type Result struct {
 	LinkTrace   map[int]Trace
 	SwitchTrace map[int]Trace
 	Flows       []FlowStat
+	// Faults reports fault impact; nil when the run had no fault trace.
+	Faults *FaultReport
 }
 
 // pathsFor returns the cached path set for a pair, enumerating on first use.
@@ -125,15 +173,59 @@ func (s *Sim) pathsFor(src, dst int) (*pathSet, error) {
 	return ps, nil
 }
 
-// pathFor picks one path (and its switch sequence) per the routing policy.
-func (s *Sim) pathFor(f traffic.Flow) ([]int, []int, error) {
+// aliveFor returns the indices of ps.paths that avoid every dead link,
+// refreshing the pathSet's cached filter when it is stale for this
+// (run, epoch) — the invalidation step after a link fails or recovers.
+func (s *Sim) aliveFor(ps *pathSet, epoch int, dead []bool) []int {
+	if ps.aliveRun == s.runGen && ps.aliveEpoch == epoch {
+		return ps.alive
+	}
+	ps.alive = ps.alive[:0]
+	for i, p := range ps.paths {
+		ok := true
+		if dead != nil {
+			for _, l := range p {
+				if dead[l] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			ps.alive = append(ps.alive, i)
+		}
+	}
+	ps.aliveRun, ps.aliveEpoch = s.runGen, epoch
+	return ps.alive
+}
+
+// route is one flow's routing decision within one fault epoch.
+type route struct {
+	path     []int
+	switches []int
+	// stalled marks an epoch where every ECMP path crossed a dead link.
+	stalled bool
+	// rerouted marks an epoch where the flow routed while at least one of
+	// its ECMP paths was dead.
+	rerouted bool
+}
+
+// routeFor picks one path (and its switch sequence) per the routing policy,
+// restricted to paths avoiding the epoch's dead links. With no dead links
+// the choice is identical to the fault-free policy.
+func (s *Sim) routeFor(f traffic.Flow, epoch int, dead []bool) (route, error) {
 	ps, err := s.pathsFor(f.Src, f.Dst)
 	if err != nil {
-		return nil, nil, err
+		return route{}, err
 	}
+	alive := s.aliveFor(ps, epoch, dead)
+	if len(alive) == 0 {
+		return route{stalled: true}, nil
+	}
+	rerouted := len(alive) < len(ps.paths)
 	if s.Routing == ConcentrateRouting {
-		best, bestNew := 0, len(s.Top.Nodes)+1
-		for i := range ps.paths {
+		best, bestNew := alive[0], len(s.Top.Nodes)+1
+		for _, i := range alive {
 			newSwitches := 0
 			for _, sw := range ps.switches[i] {
 				if !s.usedSwitches[sw] {
@@ -147,10 +239,12 @@ func (s *Sim) pathFor(f traffic.Flow) ([]int, []int, error) {
 		for _, sw := range ps.switches[best] {
 			s.usedSwitches[sw] = true
 		}
-		return ps.paths[best], ps.switches[best], nil
+		return route{path: ps.paths[best], switches: ps.switches[best], rerouted: rerouted}, nil
 	}
 	// Inline FNV-1a over (src, dst, seed) in little-endian order — the
-	// same bytes the hash.Hash64 version fed, without its allocation.
+	// same bytes the hash.Hash64 version fed, without its allocation. The
+	// hash picks among surviving paths, so the fault-free choice (all
+	// paths alive) is unchanged.
 	h := uint64(14695981039346656037)
 	for _, v := range [3]uint64{uint64(f.Src), uint64(f.Dst), s.ECMPSeed} {
 		for i := 0; i < 8; i++ {
@@ -158,8 +252,8 @@ func (s *Sim) pathFor(f traffic.Flow) ([]int, []int, error) {
 			h *= 1099511628211
 		}
 	}
-	i := h % uint64(len(ps.paths))
-	return ps.paths[i], ps.switches[i], nil
+	i := alive[h%uint64(len(alive))]
+	return route{path: ps.paths[i], switches: ps.switches[i], rerouted: rerouted}, nil
 }
 
 // capacityOf resolves a link's effective capacity.
@@ -172,12 +266,14 @@ func (s *Sim) capacityOf(l fattree.Link) units.Bandwidth {
 	return l.Speed
 }
 
-// flowState is one flow's routing decision and running account.
+// flowState is one flow's per-epoch routing decisions and running account.
 type flowState struct {
-	spec      traffic.Flow
-	path      []int
-	switches  []int
+	spec traffic.Flow
+	// routes[e] is the decision for fault epoch e; only epochs overlapping
+	// the flow's window are populated. Fault-free runs have one epoch.
+	routes    []route
 	delivered float64
+	downtime  units.Seconds
 }
 
 // interval is one constant-rate span of the sweep: the flows active during
@@ -212,6 +308,7 @@ func (s *Sim) run(flows []traffic.Flow, workers int) (*Result, error) {
 		return nil, fmt.Errorf("netsim: no flows")
 	}
 	s.usedSwitches = make(map[int]bool)
+	s.runGen++
 	states := make([]flowState, len(flows))
 	var horizon units.Seconds
 	for i, f := range flows {
@@ -221,21 +318,74 @@ func (s *Sim) run(flows []traffic.Flow, workers int) (*Result, error) {
 		if f.Demand <= 0 {
 			return nil, fmt.Errorf("netsim: flow %d non-positive demand %v", i, f.Demand)
 		}
-		path, switches, err := s.pathFor(f)
-		if err != nil {
-			return nil, fmt.Errorf("netsim: flow %d: %w", i, err)
-		}
-		states[i] = flowState{spec: f, path: path, switches: switches}
+		states[i] = flowState{spec: f}
 		if f.End > horizon {
 			horizon = f.End
 		}
 	}
 
-	// Event times: every flow boundary plus 0 and horizon, sorted unique.
-	times := make([]units.Seconds, 0, 2*len(states)+2)
+	// Compile the fault trace into epochs of constant dead-link sets. A
+	// nil timeline (no faults) leaves a single clean epoch spanning the
+	// whole horizon, so the fault-free path is untouched.
+	var tl *fault.Timeline
+	if s.Faults != nil && s.Faults.Len() > 0 {
+		var err error
+		tl, err = fault.Compile(s.Faults, horizon, len(s.Top.Links), s.Top.LinksOf)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: %w", err)
+		}
+	}
+	numEpochs := 1
+	if tl != nil {
+		numEpochs = tl.NumEpochs()
+	}
+
+	// Route every flow for every epoch overlapping its window. Epochs run
+	// outer and flows inner in input order, so ConcentrateRouting stays
+	// deterministic and each pathSet's alive filter is computed once per
+	// epoch. With one epoch this is exactly the fault-free routing pass.
+	routeArena := make([]route, len(states)*numEpochs)
+	for i := range states {
+		states[i].routes = routeArena[i*numEpochs : (i+1)*numEpochs]
+	}
+	reroutes := 0
+	for e := 0; e < numEpochs; e++ {
+		var dead []bool
+		et0, et1 := units.Seconds(0), horizon
+		if tl != nil {
+			if tl.DeadCount[e] > 0 {
+				dead = tl.Dead[e]
+			}
+			et0 = tl.Starts[e]
+			if e+1 < numEpochs {
+				et1 = tl.Starts[e+1]
+			}
+		}
+		for i := range states {
+			f := states[i].spec
+			if f.End <= et0 || f.Start >= et1 {
+				continue
+			}
+			rt, err := s.routeFor(f, e, dead)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: flow %d: %w", i, err)
+			}
+			if rt.rerouted && !rt.stalled {
+				reroutes++
+			}
+			states[i].routes[e] = rt
+		}
+	}
+
+	// Event times: every flow boundary and epoch start plus 0 and horizon,
+	// sorted unique, so each interval lies within exactly one epoch.
+	times := make([]units.Seconds, 0, 2*len(states)+numEpochs+1)
 	times = append(times, 0, horizon)
 	for i := range states {
 		times = append(times, states[i].spec.Start, states[i].spec.End)
+	}
+	if tl != nil {
+		times = append(times, tl.Starts[1:]...)
 	}
 	slices.Sort(times)
 	times = slices.Compact(times)
@@ -280,40 +430,88 @@ func (s *Sim) run(flows []traffic.Flow, workers int) (*Result, error) {
 		activeIdx = append(activeIdx, cur...)
 	}
 
+	// Epoch starts are event times, so each interval sits inside exactly
+	// one epoch; a single forward walk labels them all.
+	epochOf := make([]int, len(intervals))
+	if tl != nil {
+		e := 0
+		for k := range intervals {
+			for e+1 < numEpochs && tl.Starts[e+1] <= intervals[k].t0 {
+				e++
+			}
+			epochOf[k] = e
+		}
+	}
+
 	caps := make([]float64, len(s.Top.Links))
 	for _, l := range s.Top.Links {
 		caps[l.ID] = float64(s.capacityOf(l))
 	}
+	// Per-epoch capacities: dead links drop to zero so the max-min solver
+	// cannot place traffic on them. Clean epochs share the base slice.
+	epochCaps := [][]float64{caps}
+	if tl != nil {
+		epochCaps = make([][]float64, numEpochs)
+		for e := range epochCaps {
+			if tl.DeadCount[e] == 0 {
+				epochCaps[e] = caps
+				continue
+			}
+			ec := make([]float64, len(caps))
+			copy(ec, caps)
+			for l, d := range tl.Dead[e] {
+				if d {
+					ec[l] = 0
+				}
+			}
+			epochCaps[e] = ec
+		}
+	}
 
 	// Solve every interval's fairness problem. rateArena mirrors activeIdx:
 	// the rate of activeIdx[i]'s flow during its interval lands in
-	// rateArena[i], so workers write disjoint ranges.
+	// rateArena[i], so workers write disjoint ranges. Stalled flows are
+	// excluded from the solve and keep the arena's zero rate.
 	rateArena := make([]float64, len(activeIdx))
-	solve := func(sc *runScratch, iv interval) error {
+	solve := func(sc *runScratch, k int) error {
+		iv := intervals[k]
 		if iv.n == 0 {
 			return nil
 		}
+		epoch := epochOf[k]
 		idxs := activeIdx[iv.off : iv.off+iv.n]
 		if cap(sc.demands) < iv.n {
-			sc.demands = make([]float64, iv.n)
-			sc.paths = make([][]int, iv.n)
+			sc.demands = make([]float64, 0, iv.n)
+			sc.paths = make([][]int, 0, iv.n)
+			sc.slots = make([]int, 0, iv.n)
 		}
-		sc.demands = sc.demands[:iv.n]
-		sc.paths = sc.paths[:iv.n]
+		sc.demands = sc.demands[:0]
+		sc.paths = sc.paths[:0]
+		sc.slots = sc.slots[:0]
 		for j, fi := range idxs {
-			sc.demands[j] = float64(states[fi].spec.Demand)
-			sc.paths[j] = states[fi].path
+			rt := &states[fi].routes[epoch]
+			if rt.stalled {
+				continue
+			}
+			sc.demands = append(sc.demands, float64(states[fi].spec.Demand))
+			sc.paths = append(sc.paths, rt.path)
+			sc.slots = append(sc.slots, j)
 		}
-		rates, err := sc.solver.Solve(sc.demands, sc.paths, caps)
+		if len(sc.demands) == 0 {
+			return nil
+		}
+		rates, err := sc.solver.Solve(sc.demands, sc.paths, epochCaps[epoch])
 		if err != nil {
 			return err
 		}
-		copy(rateArena[iv.off:iv.off+iv.n], rates)
+		for r, j := range sc.slots {
+			rateArena[iv.off+j] = rates[r]
+		}
 		return nil
 	}
 	if workers <= 1 || len(intervals) <= 1 {
-		for _, iv := range intervals {
-			if err := solve(&s.scratch, iv); err != nil {
+		for k := range intervals {
+			if err := solve(&s.scratch, k); err != nil {
 				return nil, err
 			}
 		}
@@ -329,7 +527,7 @@ func (s *Sim) run(flows []traffic.Flow, workers int) (*Result, error) {
 				defer wg.Done()
 				var sc runScratch
 				for k := w; k < len(intervals); k += workers {
-					if err := solve(&sc, intervals[k]); err != nil {
+					if err := solve(&sc, k); err != nil {
 						errs[w] = err
 						return
 					}
@@ -361,23 +559,29 @@ func (s *Sim) run(flows []traffic.Flow, workers int) (*Result, error) {
 	}
 	linkRate := make([]float64, len(s.Top.Links))
 	switchRate := make([]float64, len(s.Top.Nodes))
-	for _, iv := range intervals {
+	for k, iv := range intervals {
 		for i := range linkRate {
 			linkRate[i] = 0
 		}
 		for i := range switchRate {
 			switchRate[i] = 0
 		}
+		epoch := epochOf[k]
 		dt := float64(iv.t1 - iv.t0)
 		for j := 0; j < iv.n; j++ {
 			fi := activeIdx[iv.off+j]
-			rate := rateArena[iv.off+j]
 			st := &states[fi]
+			rt := &st.routes[epoch]
+			if rt.stalled {
+				st.downtime += iv.t1 - iv.t0
+				continue
+			}
+			rate := rateArena[iv.off+j]
 			st.delivered += rate * dt
-			for _, l := range st.path {
+			for _, l := range rt.path {
 				linkRate[l] += rate
 			}
-			for _, sw := range st.switches {
+			for _, sw := range rt.switches {
 				switchRate[sw] += rate
 			}
 		}
@@ -392,13 +596,33 @@ func (s *Sim) run(flows []traffic.Flow, workers int) (*Result, error) {
 	res.Flows = make([]FlowStat, len(states))
 	for i := range states {
 		st := &states[i]
+		startEpoch := 0
+		if tl != nil {
+			startEpoch = tl.EpochAt(st.spec.Start)
+		}
 		life := float64(st.spec.End - st.spec.Start)
 		res.Flows[i] = FlowStat{
 			Flow:          st.spec,
-			Path:          st.path,
+			Path:          st.routes[startEpoch].path,
 			DeliveredBits: st.delivered,
 			MeanRate:      units.Bandwidth(st.delivered / life),
+			Downtime:      st.downtime,
 		}
+	}
+	if tl != nil {
+		rep := &FaultReport{
+			Events:      tl.Events,
+			Epochs:      numEpochs,
+			MissedWakes: tl.MissedWakes,
+			Reroutes:    reroutes,
+		}
+		for i := range states {
+			if d := states[i].downtime; d > 0 {
+				rep.StallSeconds += d
+				rep.StalledFlows++
+			}
+		}
+		res.Faults = rep
 	}
 	return res, nil
 }
