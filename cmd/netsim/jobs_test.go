@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestJobModeOutputMatchesSynchronous: a scenario run as a durable job
+// must print exactly the bytes the plain run prints.
+func TestJobModeOutputMatchesSynchronous(t *testing.T) {
+	plain := runOK(t, "gating", "-ports", "32")
+	job := runOK(t, "-job", "-jobdir", t.TempDir(), "gating", "-ports", "32")
+	if job != plain {
+		t.Errorf("job-mode output differs from synchronous output:\n--- job ---\n%s--- plain ---\n%s", job, plain)
+	}
+}
+
+// TestJobModeRerunIsIdempotent: rerunning the identical -job command
+// against the same journal dir reprints the finished table, byte for
+// byte, without rerunning anything (the journal already holds it).
+func TestJobModeRerunIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	first := runOK(t, "-job", "-jobdir", dir, "scheduler")
+	second := runOK(t, "-job", "-jobdir", dir, "scheduler")
+	if first != second {
+		t.Errorf("rerun output differs:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
+func TestJobModeFlagValidation(t *testing.T) {
+	// -job needs -jobdir.
+	runErr(t, "-job", "gating")
+	// Multi-section direct-sim scenarios cannot run as jobs.
+	runErr(t, "-job", "-jobdir", t.TempDir(), "ocs")
+	runErr(t, "-job", "-jobdir", t.TempDir(), "fabric")
+	runErr(t, "-job", "-jobdir", t.TempDir(), "backbone")
+	// -resume takes no scenario and needs -jobdir too.
+	runErr(t, "-resume", "gating")
+	runErr(t, "-resume")
+}
+
+// TestResumeWithNothingInterrupted: an empty journal dir resumes nothing
+// and prints nothing.
+func TestResumeWithNothingInterrupted(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-resume", "-jobdir", t.TempDir()}, &sb); err != nil {
+		t.Fatalf("resume over empty dir: %v", err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("resume over empty dir printed:\n%s", sb.String())
+	}
+}

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	netsim <scenario> [flags]
+//	netsim [-job -jobdir DIR] <scenario> [flags]
+//	netsim -resume -jobdir DIR
 //
 // Scenarios: gating, ocs, rateadapt, parking, eee, ratelink, scheduler,
 // fabric, chiplet, backbone
@@ -13,19 +14,29 @@
 // The single-table scenarios route through internal/engine — the same
 // registry cmd/serve exposes at /v1/scenarios/<name> — so CLI and server
 // produce identical numbers. ocs, fabric, and backbone have multi-section
-// output and drive their simulators directly.
+// output and drive their simulators directly (and cannot run as jobs).
+//
+// With -job, the scenario runs as a durable job: every finished table row
+// is journaled to a per-job JSONL write-ahead log under -jobdir, so a
+// killed run loses nothing. Rerunning the same command — or running
+// netsim -resume -jobdir DIR — continues from the last checkpointed row
+// and prints a table byte-identical to an uninterrupted run.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"time"
 
 	"netpowerprop/internal/backbone"
 	"netpowerprop/internal/engine"
 	"netpowerprop/internal/fattree"
+	"netpowerprop/internal/jobs"
 	"netpowerprop/internal/netsim"
 	"netpowerprop/internal/ocs"
 	"netpowerprop/internal/report"
@@ -40,35 +51,65 @@ func main() {
 	}
 }
 
+// app carries the durable-job options shared by every scenario command.
+type app struct {
+	job     bool
+	jobdir  string
+	killrow int
+}
+
 func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("netsim", flag.ContinueOnError)
+	fs.SetOutput(w)
+	job := fs.Bool("job", false, "run the scenario as a durable resumable job (requires -jobdir)")
+	resume := fs.Bool("resume", false, "resume interrupted jobs from -jobdir and print their tables")
+	jobdir := fs.String("jobdir", "", "directory for durable job journals")
+	killrow := fs.Int("killrow", -1, "(testing) exit the process dead after checkpointing this row")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a := &app{job: *job, jobdir: *jobdir, killrow: *killrow}
+	args = fs.Args()
+	if *resume {
+		if len(args) != 0 {
+			return fmt.Errorf("-resume takes no scenario; it continues whatever -jobdir holds")
+		}
+		return a.cmdResume(w)
+	}
 	if len(args) == 0 {
 		return fmt.Errorf("missing scenario (gating ocs rateadapt parking eee ratelink scheduler fabric chiplet backbone summary faults)")
 	}
 	switch args[0] {
+	case "ocs", "fabric", "backbone":
+		if a.job {
+			return fmt.Errorf("%s has multi-section output and cannot run as a job", args[0])
+		}
+	}
+	switch args[0] {
 	case "gating":
-		return cmdGating(args[1:], w)
+		return a.cmdGating(args[1:], w)
 	case "faults":
-		return cmdFaults(args[1:], w)
+		return a.cmdFaults(args[1:], w)
 	case "ocs":
 		return cmdOCS(args[1:], w)
 	case "rateadapt":
-		return cmdRateAdapt(args[1:], w)
+		return a.cmdRateAdapt(args[1:], w)
 	case "parking":
-		return cmdParking(args[1:], w)
+		return a.cmdParking(args[1:], w)
 	case "eee":
-		return cmdEEE(args[1:], w)
+		return a.cmdEEE(args[1:], w)
 	case "ratelink":
-		return cmdRateLink(args[1:], w)
+		return a.cmdRateLink(args[1:], w)
 	case "scheduler":
-		return cmdScheduler(args[1:], w)
+		return a.cmdScheduler(args[1:], w)
 	case "fabric":
 		return cmdFabric(args[1:], w)
 	case "chiplet":
-		return cmdChiplet(args[1:], w)
+		return a.cmdChiplet(args[1:], w)
 	case "backbone":
 		return cmdBackbone(args[1:], w)
 	case "summary":
-		return cmdSummary(args[1:], w)
+		return a.cmdSummary(args[1:], w)
 	default:
 		return fmt.Errorf("unknown scenario %q", args[0])
 	}
@@ -76,13 +117,141 @@ func run(args []string, w io.Writer) error {
 
 // runScenario routes a §4 scenario through the shared engine and renders
 // the resulting table exactly as the direct simulation used to print it.
-func runScenario(w io.Writer, name, bw string, params map[string]float64) error {
+// With -job the same request runs as a durable journaled job instead; the
+// rendered bytes are identical either way.
+func (a *app) runScenario(w io.Writer, name, bw string, params map[string]float64) error {
 	req := engine.Request{Op: engine.OpScenario, Scenario: name, Bandwidth: bw, Params: params}
+	if a.job {
+		return a.runJob(w, req)
+	}
 	res, _, err := engine.Default().Do(context.Background(), req)
 	if err != nil {
 		return err
 	}
 	return renderTable(w, res.Table)
+}
+
+// openJobs opens the durable job store under -jobdir, replaying any
+// journals already there. The -killrow hook exits the process dead right
+// after the given row is checkpointed — the chaos lever CI uses to prove
+// kill-and-resume recovery end to end.
+func (a *app) openJobs() (*jobs.Manager, error) {
+	if a.jobdir == "" {
+		return nil, fmt.Errorf("durable jobs need -jobdir (e.g. netsim -job -jobdir jobs faults)")
+	}
+	opts := jobs.Options{
+		Dir:  a.jobdir,
+		Exec: engine.Default(),
+		Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, "netsim: "+format+"\n", args...) },
+	}
+	if a.killrow >= 0 {
+		kill := a.killrow
+		opts.OnRowCheckpoint = func(id string, row int) error {
+			if row == kill {
+				fmt.Fprintf(os.Stderr, "netsim: killing process after row %d of job %s\n", row, id)
+				os.Exit(3)
+			}
+			return nil
+		}
+	}
+	return jobs.Open(opts)
+}
+
+// closeJobs drains the manager with a bounded deadline.
+func closeJobs(m *jobs.Manager) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: job drain: %v\n", err)
+	}
+}
+
+// runJob submits the request as a durable job (idempotently: rerunning
+// the identical command resumes or reprints it) and renders the result.
+func (a *app) runJob(w io.Writer, req engine.Request) error {
+	m, err := a.openJobs()
+	if err != nil {
+		return err
+	}
+	defer closeJobs(m)
+	snap, created, err := m.Submit(req)
+	if err != nil {
+		return err
+	}
+	if created {
+		fmt.Fprintf(os.Stderr, "netsim: job %s started (%d rows, journal %s)\n",
+			snap.ID, snap.Rows, filepath.Join(a.jobdir, snap.ID+".jsonl"))
+	} else {
+		fmt.Fprintf(os.Stderr, "netsim: job %s found %s with %d/%d rows checkpointed\n",
+			snap.ID, snap.State, snap.RowsDone, snap.Rows)
+	}
+	final, err := m.Wait(context.Background(), snap.ID)
+	if err != nil {
+		return err
+	}
+	return renderJob(w, final)
+}
+
+// cmdResume continues every interrupted job in -jobdir from its last
+// checkpointed row and prints each recovered table — byte-identical to
+// what the uninterrupted run would have printed.
+func (a *app) cmdResume(w io.Writer) error {
+	m, err := a.openJobs()
+	if err != nil {
+		return err
+	}
+	defer closeJobs(m)
+	var ids []string
+	for _, s := range m.List() {
+		if s.State == jobs.StateInterrupted {
+			ids = append(ids, s.ID)
+		}
+	}
+	m.ResumeAll()
+	fmt.Fprintf(os.Stderr, "netsim: resuming %d interrupted job(s) from %s\n", len(ids), a.jobdir)
+	var firstErr error
+	for _, id := range ids {
+		final, err := m.Wait(context.Background(), id)
+		if err != nil {
+			return err
+		}
+		if err := renderJob(w, final); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// renderJob prints a finished job's table (scenario jobs always carry
+// one; anything else is dumped as JSON). A degraded job still renders its
+// successful rows, then reports the failed ones as an error.
+func renderJob(w io.Writer, s *jobs.Snapshot) error {
+	switch s.State {
+	case jobs.StateDone, jobs.StateDegraded:
+	default:
+		return fmt.Errorf("job %s ended %s", s.ID, s.State)
+	}
+	if s.Result == nil {
+		return fmt.Errorf("job %s finished without a result", s.ID)
+	}
+	if s.Result.Table != nil {
+		if err := renderTable(w, s.Result.Table); err != nil {
+			return err
+		}
+	} else {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.Result); err != nil {
+			return err
+		}
+	}
+	if s.State == jobs.StateDegraded {
+		for _, re := range s.RowErrors {
+			fmt.Fprintf(os.Stderr, "netsim: %v\n", re)
+		}
+		return fmt.Errorf("job %s degraded: %d of %d rows failed after retries", s.ID, s.RowsError, s.Rows)
+	}
+	return nil
 }
 
 // renderTable prints an engine table followed by its note lines.
@@ -107,13 +276,13 @@ func renderTable(w io.Writer, t *engine.Table) error {
 // switch-level savings are converted into an effective power
 // proportionality, which the §3 cluster model then prices at
 // baseline-cluster scale.
-func cmdSummary(args []string, w io.Writer) error {
+func (a *app) cmdSummary(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
 	ratio := fs.Float64("ratio", 0.1, "communication ratio")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return runScenario(w, "summary", "", map[string]float64{"ratio": *ratio})
+	return a.runScenario(w, "summary", "", map[string]float64{"ratio": *ratio})
 }
 
 func cmdBackbone(args []string, w io.Writer) error {
@@ -158,7 +327,7 @@ func cmdBackbone(args []string, w io.Writer) error {
 	return nil
 }
 
-func cmdGating(args []string, w io.Writer) error {
+func (a *app) cmdGating(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("gating", flag.ContinueOnError)
 	usedPorts := fs.Int("ports", 64, "ports in use (of 128)")
 	l3 := fs.Bool("l3", false, "deployment needs L3 routing")
@@ -171,7 +340,7 @@ func cmdGating(args []string, w io.Writer) error {
 	if *l3 {
 		l3v = 1
 	}
-	return runScenario(w, "gating", "", map[string]float64{
+	return a.runScenario(w, "gating", "", map[string]float64{
 		"ports": float64(*usedPorts), "l3": l3v, "fib": *fib, "wake": *wake,
 	})
 }
@@ -179,7 +348,7 @@ func cmdGating(args []string, w io.Writer) error {
 // cmdFaults sweeps failure rate × core gating level on the flow-level
 // fabric simulator under a seeded fault trace, comparing job slowdown and
 // recovery time for a gated vs. fully-powered fat tree.
-func cmdFaults(args []string, w io.Writer) error {
+func (a *app) cmdFaults(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("faults", flag.ContinueOnError)
 	radix := fs.Int("radix", 4, "fat-tree radix k")
 	iters := fs.Int("iters", 4, "training iterations to simulate")
@@ -194,7 +363,7 @@ func cmdFaults(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return runScenario(w, "faults", "", map[string]float64{
+	return a.runScenario(w, "faults", "", map[string]float64{
 		"radix": float64(*radix), "iters": float64(*iters), "seed": float64(*seed),
 		"flaps": float64(*flaps), "mttr": *mttr,
 		"stuckprob": *stuckProb, "stuckextra": *stuckExtra,
@@ -274,7 +443,7 @@ func cmdOCS(args []string, w io.Writer) error {
 	return tb.Write(w)
 }
 
-func cmdRateAdapt(args []string, w io.Writer) error {
+func (a *app) cmdRateAdapt(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rateadapt", flag.ContinueOnError)
 	busy := fs.Int("busy", 1, "pipelines carrying traffic (of 4)")
 	ratio := fs.Float64("ratio", 0.2, "communication ratio of the periodic load")
@@ -283,12 +452,12 @@ func cmdRateAdapt(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return runScenario(w, "rateadapt", "", map[string]float64{
+	return a.runScenario(w, "rateadapt", "", map[string]float64{
 		"busy": float64(*busy), "ratio": *ratio, "level": *level, "samples": float64(*samples),
 	})
 }
 
-func cmdParking(args []string, w io.Writer) error {
+func (a *app) cmdParking(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("parking", flag.ContinueOnError)
 	ratio := fs.Float64("ratio", 0.2, "communication ratio")
 	level := fs.Float64("level", 0.5, "utilization during bursts")
@@ -297,12 +466,12 @@ func cmdParking(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return runScenario(w, "parking", "", map[string]float64{
+	return a.runScenario(w, "parking", "", map[string]float64{
 		"ratio": *ratio, "level": *level, "period": *period, "samples": float64(*samples),
 	})
 }
 
-func cmdEEE(args []string, w io.Writer) error {
+func (a *app) cmdEEE(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("eee", flag.ContinueOnError)
 	speed := fs.String("speed", "10G", "link speed")
 	active := fs.Float64("active", 10, "PHY active power (W)")
@@ -311,12 +480,12 @@ func cmdEEE(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return runScenario(w, "eee", *speed, map[string]float64{
+	return a.runScenario(w, "eee", *speed, map[string]float64{
 		"active": *active, "horizon": *horizon, "seed": float64(*seed),
 	})
 }
 
-func cmdRateLink(args []string, w io.Writer) error {
+func (a *app) cmdRateLink(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ratelink", flag.ContinueOnError)
 	speed := fs.String("speed", "10G", "link line rate")
 	active := fs.Float64("active", 10, "PHY full-rate power (W)")
@@ -325,28 +494,28 @@ func cmdRateLink(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return runScenario(w, "ratelink", *speed, map[string]float64{
+	return a.runScenario(w, "ratelink", *speed, map[string]float64{
 		"active": *active, "horizon": *horizon, "seed": float64(*seed),
 	})
 }
 
-func cmdChiplet(args []string, w io.Writer) error {
+func (a *app) cmdChiplet(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("chiplet", flag.ContinueOnError)
 	ratio := fs.Float64("ratio", 0.1, "communication ratio of the ML load")
 	level := fs.Float64("level", 0.8, "utilization during bursts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return runScenario(w, "chiplet", "", map[string]float64{"ratio": *ratio, "level": *level})
+	return a.runScenario(w, "chiplet", "", map[string]float64{"ratio": *ratio, "level": *level})
 }
 
-func cmdScheduler(args []string, w io.Writer) error {
+func (a *app) cmdScheduler(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("scheduler", flag.ContinueOnError)
 	radix := fs.Int("radix", 8, "fabric switch radix k")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return runScenario(w, "scheduler", "", map[string]float64{"radix": float64(*radix)})
+	return a.runScenario(w, "scheduler", "", map[string]float64{"radix": float64(*radix)})
 }
 
 func cmdFabric(args []string, w io.Writer) error {

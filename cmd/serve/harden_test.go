@@ -55,7 +55,7 @@ func TestPanicReturns500AndServerSurvives(t *testing.T) {
 // A panic in the HTTP layer itself (not the engine) is also contained.
 func TestHandlerPanicContained(t *testing.T) {
 	eng := engine.New(engine.Options{})
-	s := newServer(eng, time.Minute)
+	s := newServer(eng, nil, time.Minute)
 	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
 		panic("handler boom")
 	})
@@ -77,7 +77,7 @@ func TestHandlerPanicContained(t *testing.T) {
 // A request outlasting its deadline answers 504 and counts on /metrics.
 func TestDeadlineReturns504(t *testing.T) {
 	eng := engine.New(engine.Options{})
-	srv := httptest.NewServer(newServer(eng, 30*time.Millisecond))
+	srv := httptest.NewServer(newServer(eng, nil, 30*time.Millisecond))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/v1/scenarios/chaos?sleep=10")
 	if err != nil {
@@ -97,7 +97,7 @@ func TestOverloadReturns503(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 1, MaxQueue: 0})
 	// MaxQueue 0 normalizes to 4×workers; fill worker + queue with slow
 	// distinct requests, then expect a shed.
-	srv := httptest.NewServer(newServer(eng, time.Minute))
+	srv := httptest.NewServer(newServer(eng, nil, time.Minute))
 	defer srv.Close()
 	// Use distinct sleep values for distinct cache keys.
 	done := make(chan struct{}, 5)

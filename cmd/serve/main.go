@@ -12,14 +12,25 @@
 //	GET/POST /v1/cost              §3.2 annualized cost savings
 //	GET      /v1/scenarios         list §4 mechanism scenarios
 //	GET/POST /v1/scenarios/{name}  run a §4 mechanism scenario
-//	GET      /healthz              health JSON (ok, or degraded + reason)
-//	GET      /metrics              cache/latency/robustness counters (text format)
+//	POST     /v1/jobs              submit a durable async job (idempotent by canonical key)
+//	GET      /v1/jobs              list jobs
+//	GET      /v1/jobs/{id}         job status, progress, partial rows, result when done
+//	DELETE   /v1/jobs/{id}         cancel a job
+//	GET      /healthz              health JSON (status, drain state, uptime, job depth)
+//	GET      /metrics              cache/latency/robustness/job counters (text format)
 //
 // GET requests take query parameters named after the JSON request fields
 // (gpus, bw, ratio, netprop, compprop, interp, overlap, budget, props,
 // fixedratio, steps, price, cooling); POST requests take the same fields
 // as a JSON body. Identical queries are answered from a sharded LRU cache
 // and concurrent identical queries collapse into one computation.
+//
+// With -jobdir set, POST /v1/jobs accepts any request body the synchronous
+// endpoints take (plus "op") and runs it as a durable job: progress is
+// journaled row by row to a per-job JSONL write-ahead log under the
+// directory, a restarted server recovers and resumes incomplete jobs from
+// their last checkpointed row, and shutdown drains runners at a row
+// boundary so no completed work is lost or recomputed.
 package main
 
 import (
@@ -40,6 +51,7 @@ import (
 	"time"
 
 	"netpowerprop/internal/engine"
+	"netpowerprop/internal/jobs"
 )
 
 func main() {
@@ -49,11 +61,23 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "max queued computations before shedding (0 = 4x workers, negative = unbounded)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request computation timeout")
+	jobdir := flag.String("jobdir", "", "directory for durable job journals (empty disables /v1/jobs)")
 	flag.Parse()
 
 	eng := engine.New(engine.Options{CacheSize: *cacheSize, CacheShards: *shards,
 		Workers: *workers, MaxQueue: *queue})
-	srv := newServer(eng, *timeout)
+	var jm *jobs.Manager
+	if *jobdir != "" {
+		var err error
+		jm, err = jobs.Open(jobs.Options{Dir: *jobdir, Exec: eng, Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("serve: open job store: %v", err)
+		}
+		if n := jm.ResumeAll(); n > 0 {
+			log.Printf("serve: resumed %d interrupted job(s) from %s", n, *jobdir)
+		}
+	}
+	srv := newServer(eng, jm, *timeout)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -72,10 +96,19 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Printf("serve: shutting down")
+	srv.draining.Store(true)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("serve: shutdown: %v", err)
+	}
+	// Stop job runners at their next row boundary: every finished row is
+	// already journaled, so interrupted jobs resume without recomputation
+	// on the next start.
+	if jm != nil {
+		if err := jm.Close(shutdownCtx); err != nil {
+			log.Printf("serve: job drain: %v", err)
+		}
 	}
 	// Drain in-flight engine computations so nothing is cut off mid-solve;
 	// bounded by the same shutdown deadline.
@@ -84,18 +117,22 @@ func main() {
 	}
 }
 
-// server routes API requests into the engine.
+// server routes API requests into the engine and the job manager.
 type server struct {
 	eng      *engine.Engine
+	jobs     *jobs.Manager // nil: /v1/jobs disabled
 	timeout  time.Duration
+	started  time.Time
 	mux      *http.ServeMux
 	requests atomic.Uint64
-	// panics counts HTTP handler panics recovered by ServeHTTP.
-	panics atomic.Uint64
+	// panics counts HTTP handler panics recovered by ServeHTTP; draining
+	// flips when graceful shutdown begins, for /healthz.
+	panics   atomic.Uint64
+	draining atomic.Bool
 }
 
-func newServer(eng *engine.Engine, timeout time.Duration) *server {
-	s := &server{eng: eng, timeout: timeout, mux: http.NewServeMux()}
+func newServer(eng *engine.Engine, jm *jobs.Manager, timeout time.Duration) *server {
+	s := &server{eng: eng, jobs: jm, timeout: timeout, started: time.Now(), mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for _, op := range []engine.Op{engine.OpWhatIf, engine.OpTable3, engine.OpFig3,
@@ -104,6 +141,10 @@ func newServer(eng *engine.Engine, timeout time.Duration) *server {
 	}
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
 	s.mux.HandleFunc("/v1/scenarios/{name}", s.handleScenario)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	return s
 }
 
@@ -326,16 +367,108 @@ func (s *server) handleScenarioList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"scenarios": engine.ScenarioNames()})
 }
 
+// jobsEnabled guards the job endpoints behind -jobdir.
+func (s *server) jobsEnabled(w http.ResponseWriter) bool {
+	if s.jobs == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			apiError{Error: "durable jobs disabled: start the server with -jobdir"})
+		return false
+	}
+	return true
+}
+
+// handleJobSubmit accepts any engine request (the synchronous endpoints'
+// JSON body plus "op") as a durable job. Submission is idempotent by the
+// request's canonical key: a new job answers 202, a resubmission of an
+// existing one answers 200 with the current snapshot.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	snap, created, err := s.jobs.Submit(req)
+	if err != nil {
+		if errors.Is(err, jobs.ErrClosed) {
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+			return
+		}
+		writeError(w, err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, snap)
+}
+
+func (s *server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+}
+
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	snap, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	snap, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
 // healthPanicWindow is how long a recovered panic keeps /healthz degraded.
 const healthPanicWindow = time.Minute
 
+// healthResponse is the /healthz body: the engine's serving-fitness
+// classification plus process-level state — drain status, uptime, and the
+// job queue's per-state depth when durable jobs are enabled.
+type healthResponse struct {
+	engine.Health
+	Draining      bool        `json:"draining"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Jobs          *jobs.Depth `json:"jobs,omitempty"`
+}
+
 // handleHealthz reports serving fitness as JSON: status "ok", or
-// "degraded" with a reason when the worker pool is saturated or a panic
-// was recovered recently. The status code stays 200 either way — degraded
-// means "alive but impaired", and probes that only check the code keep
-// working.
+// "degraded" with a reason when the worker pool is saturated, a panic was
+// recovered recently, or shutdown is draining. The status code stays 200
+// either way — degraded means "alive but impaired", and probes that only
+// check the code keep working.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng.Health(healthPanicWindow))
+	h := healthResponse{
+		Health:        s.eng.Health(healthPanicWindow),
+		Draining:      s.draining.Load(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	if h.Draining && h.Status == "ok" {
+		h.Status, h.Reason = "degraded", "draining: shutdown in progress"
+	}
+	if s.jobs != nil {
+		d := s.jobs.Depth()
+		h.Jobs = &d
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // handleMetrics renders the engine counters in Prometheus text format.
@@ -365,6 +498,26 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "engine_compute_duration_seconds_count{op=%q} %d\n", op, st.Count)
 		fmt.Fprintf(w, "engine_compute_duration_seconds_sum{op=%q} %g\n", op, st.Seconds)
 	}
+	fmt.Fprintf(w, "engine_rows_executed_total %d\n", m.RowsExecuted)
+	fmt.Fprintf(w, "engine_row_compute_seconds_total %g\n", m.RowSeconds)
 	fmt.Fprintf(w, "http_requests_total %d\n", s.requests.Load())
 	fmt.Fprintf(w, "http_panics_total %d\n", s.panics.Load())
+	if s.jobs != nil {
+		jm := s.jobs.Metrics()
+		fmt.Fprintf(w, "jobs_submitted_total %d\n", jm.Submitted)
+		fmt.Fprintf(w, "jobs_completed_total %d\n", jm.Completed)
+		fmt.Fprintf(w, "jobs_degraded_total %d\n", jm.Degraded)
+		fmt.Fprintf(w, "jobs_canceled_total %d\n", jm.Canceled)
+		fmt.Fprintf(w, "jobs_recovered_total %d\n", jm.Recovered)
+		fmt.Fprintf(w, "jobs_resumed_total %d\n", jm.Resumed)
+		fmt.Fprintf(w, "jobs_rows_done_total %d\n", jm.RowsDone)
+		fmt.Fprintf(w, "jobs_row_retries_total %d\n", jm.RowRetries)
+		fmt.Fprintf(w, "jobs_row_failures_total %d\n", jm.RowFailures)
+		fmt.Fprintf(w, "jobs_depth{state=\"running\"} %d\n", jm.Depth.Running)
+		fmt.Fprintf(w, "jobs_depth{state=\"queued\"} %d\n", jm.Depth.Queued)
+		fmt.Fprintf(w, "jobs_depth{state=\"interrupted\"} %d\n", jm.Depth.Interrupted)
+		fmt.Fprintf(w, "jobs_depth{state=\"done\"} %d\n", jm.Depth.Done)
+		fmt.Fprintf(w, "jobs_depth{state=\"degraded\"} %d\n", jm.Depth.Degraded)
+		fmt.Fprintf(w, "jobs_depth{state=\"canceled\"} %d\n", jm.Depth.Canceled)
+	}
 }

@@ -17,7 +17,7 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(newServer(engine.New(engine.Options{}), time.Minute))
+	srv := httptest.NewServer(newServer(engine.New(engine.Options{}), nil, time.Minute))
 	t.Cleanup(srv.Close)
 	return srv
 }

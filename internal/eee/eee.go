@@ -222,8 +222,21 @@ func Simulate(p Params, packets []Packet) (Result, error) {
 
 // PoissonPackets generates a deterministic Poisson arrival sequence at the
 // given utilization of the link capacity with fixed-size frames, for
-// reproducible experiments.
+// reproducible experiments. It is shorthand for PoissonPacketsRand with a
+// fresh rand.New(rand.NewSource(seed)).
 func PoissonPackets(seed int64, capacity units.Bandwidth, utilization float64, frameBits float64, horizon units.Seconds) ([]Packet, error) {
+	return PoissonPacketsRand(rand.New(rand.NewSource(seed)), capacity, utilization, frameBits, horizon)
+}
+
+// PoissonPacketsRand is PoissonPackets with an injected random source. The
+// package never touches the global math/rand state: callers own the *rand.Rand
+// and therefore the reproducibility of the workload — two calls with
+// identically seeded sources yield identical arrival sequences, which is what
+// makes EEE scenario rows replayable under the jobs retry/resume path.
+func PoissonPacketsRand(rng *rand.Rand, capacity units.Bandwidth, utilization float64, frameBits float64, horizon units.Seconds) ([]Packet, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("eee: nil random source")
+	}
 	if capacity <= 0 {
 		return nil, fmt.Errorf("eee: capacity %v must be positive", capacity)
 	}
@@ -233,7 +246,6 @@ func PoissonPackets(seed int64, capacity units.Bandwidth, utilization float64, f
 	if frameBits <= 0 || horizon <= 0 {
 		return nil, fmt.Errorf("eee: frame bits %v and horizon %v must be positive", frameBits, horizon)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	rate := utilization * float64(capacity) / frameBits // frames per second
 	var out []Packet
 	t := 0.0

@@ -2,6 +2,7 @@ package eee
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -239,6 +240,49 @@ func TestPoissonPacketsDeterministic(t *testing.T) {
 	want := 0.3 * 10e9 * 0.01
 	if bits < want*0.7 || bits > want*1.3 {
 		t.Errorf("offered bits = %v, want ~%v", bits, want)
+	}
+}
+
+// TestPoissonPacketsRandInjectedSource: the injected-source variant is the
+// single generator — the seed shorthand matches it exactly, identically
+// seeded sources reproduce the trace, and the package never touches global
+// math/rand state.
+func TestPoissonPacketsRandInjectedSource(t *testing.T) {
+	shorthand, err := PoissonPackets(42, 10*units.Gbps, 0.3, 12000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected, err := PoissonPacketsRand(rand.New(rand.NewSource(42)), 10*units.Gbps, 0.3, 12000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shorthand) != len(injected) {
+		t.Fatalf("seed shorthand and injected source diverge: %d vs %d packets", len(shorthand), len(injected))
+	}
+	for i := range shorthand {
+		if shorthand[i] != injected[i] {
+			t.Fatalf("packet %d differs between seed shorthand and injected source", i)
+		}
+	}
+	// A caller-owned source is consumed in place: two draws from the same
+	// rng continue the stream rather than restarting it.
+	rng := rand.New(rand.NewSource(7))
+	first, _ := PoissonPacketsRand(rng, 10*units.Gbps, 0.3, 12000, 0.01)
+	second, _ := PoissonPacketsRand(rng, 10*units.Gbps, 0.3, 12000, 0.01)
+	if len(first) == len(second) {
+		same := true
+		for i := range first {
+			if first[i] != second[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("consecutive draws from one source repeated the trace; source not consumed")
+		}
+	}
+	if _, err := PoissonPacketsRand(nil, 10*units.Gbps, 0.3, 12000, 0.01); err == nil {
+		t.Error("nil source should fail")
 	}
 }
 

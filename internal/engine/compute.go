@@ -85,7 +85,7 @@ func compute(ctx context.Context, req Request) (*Result, error) {
 		}
 		res.Cost = c
 	case OpScenario:
-		table, err := scenarios[req.Scenario].run(ctx, req)
+		table, err := scenarios[req.Scenario].execute(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -99,34 +99,50 @@ func compute(ctx context.Context, req Request) (*Result, error) {
 // computeSweep evaluates the proportionality sweep: steps+1 clusters from
 // 0 to 1, savings relative to the proportionality-0 row.
 func computeSweep(req Request) ([]SweepPoint, error) {
-	cfg, err := req.config()
-	if err != nil {
-		return nil, err
-	}
 	out := make([]SweepPoint, 0, req.Steps+1)
-	var refPower units.Power
 	for i := 0; i <= req.Steps; i++ {
-		p := float64(i) / float64(req.Steps)
-		c := cfg
-		c.NetworkProportionality = p
-		cl, err := core.New(c)
+		pt, err := sweepRow(req, i)
 		if err != nil {
 			return nil, err
 		}
-		avg := cl.AveragePower()
-		if i == 0 {
-			refPower = avg
-		}
-		out = append(out, SweepPoint{
-			Proportionality:   p,
-			AveragePower:      powerQ(avg),
-			PeakPower:         powerQ(cl.PeakPower()),
-			NetworkShare:      cl.NetworkShare(),
-			NetworkEfficiency: cl.NetworkEfficiency(),
-			Savings:           float64(refPower-avg) / float64(refPower),
-		})
+		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// sweepRow computes one sweep point independently of every other point:
+// the proportionality-0 reference is recomputed per row (the model is
+// analytic, so this is cheap and bit-deterministic), which lets the jobs
+// subsystem checkpoint and resume a sweep row by row while producing the
+// exact bytes of a serial computeSweep.
+func sweepRow(req Request, i int) (SweepPoint, error) {
+	cfg, err := req.config()
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	refCfg := cfg
+	refCfg.NetworkProportionality = 0
+	refCl, err := core.New(refCfg)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	refPower := refCl.AveragePower()
+	p := float64(i) / float64(req.Steps)
+	c := cfg
+	c.NetworkProportionality = p
+	cl, err := core.New(c)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	avg := cl.AveragePower()
+	return SweepPoint{
+		Proportionality:   p,
+		AveragePower:      powerQ(avg),
+		PeakPower:         powerQ(cl.PeakPower()),
+		NetworkShare:      cl.NetworkShare(),
+		NetworkEfficiency: cl.NetworkEfficiency(),
+		Savings:           float64(refPower-avg) / float64(refPower),
+	}, nil
 }
 
 // computeCost reproduces §3.2: the power saved by lifting the scenario's

@@ -57,6 +57,10 @@ type Engine struct {
 	sheds     atomic.Uint64
 	deadlines atomic.Uint64
 	lastPanic atomic.Int64
+	// rowsExecuted/rowNanos count job rows run through ExecRow — the
+	// row-level execution surface internal/jobs checkpoints against.
+	rowsExecuted atomic.Uint64
+	rowNanos     atomic.Int64
 	// opStats breaks computation count and time down by operation. The map
 	// is built once in New (one entry per registered Op) and never written
 	// afterwards, so lookups are safe without a lock.
@@ -196,6 +200,17 @@ func (e *Engine) computeAndCache(ctx context.Context, key string, req Request) (
 	}
 }
 
+// Prime inserts an already computed result into the cache under its
+// canonical key. The jobs subsystem calls it when a job finishes cleanly,
+// so a synchronous query for the same request is a cache hit instead of a
+// recomputation. Degraded results are never primed.
+func (e *Engine) Prime(key string, res *Result) {
+	if key == "" || res == nil || len(res.RowErrors) > 0 {
+		return
+	}
+	e.cache.Add(key, res)
+}
+
 // Metrics is a point-in-time snapshot of the engine's counters.
 type Metrics struct {
 	// Hits counts requests answered from the cache.
@@ -221,6 +236,10 @@ type Metrics struct {
 	Sheds uint64
 	// Deadlines counts requests that failed with a deadline exceeded.
 	Deadlines uint64
+	// RowsExecuted counts job rows run through ExecRow.
+	RowsExecuted uint64
+	// RowSeconds is the cumulative compute time spent in job rows.
+	RowSeconds float64
 	// CacheEntries is the current cache population.
 	CacheEntries int
 	// ComputeSeconds is the cumulative computation time.
@@ -259,6 +278,8 @@ func (e *Engine) Metrics() Metrics {
 		Panics:         e.panics.Load(),
 		Sheds:          e.sheds.Load(),
 		Deadlines:      e.deadlines.Load(),
+		RowsExecuted:   e.rowsExecuted.Load(),
+		RowSeconds:     float64(e.rowNanos.Load()) / 1e9,
 		CacheEntries:   e.cache.Len(),
 		ComputeSeconds: float64(e.computeNanos.Load()) / 1e9,
 		PerOp:          perOp,

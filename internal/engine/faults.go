@@ -19,14 +19,19 @@ var faultRateMultipliers = []int{1, 2, 4}
 // gated fabric variant.
 var faultGatingLevels = []float64{0.25, 0.5}
 
-// runFaults sweeps failure rate × gating level on a three-tier fat tree
+// faultsRows sweeps failure rate × gating level on a three-tier fat tree
 // running an all-to-all job, comparing a fully-powered fabric against
 // one with part of its core power-gated, under the same seeded failure
 // trace. Gated fabrics wake a sleeping core switch in response to each
 // primary failure, delayed by a sampled OCS reconfiguration (which can be
 // slow or need retries) — the §4.2 robustness question: how much slowdown
 // and recovery time does power gating add when the fabric degrades?
-func runFaults(ctx context.Context, req Request) (*Table, error) {
+//
+// Each grid cell is one row: a row regenerates its seeded trace and
+// re-simulates the fully-powered fabric itself, so rows share no state
+// and a single cell can be retried or replayed from a journal while
+// producing exactly the bytes of a serial sweep.
+func faultsRows(req Request) (*scenarioRows, error) {
 	radix := int(req.Params["radix"])
 	iters := int(req.Params["iters"])
 	seed := uint64(req.Params["seed"])
@@ -109,11 +114,18 @@ func runFaults(ctx context.Context, req Request) (*Table, error) {
 			radix, iters, seed),
 		Headers: []string{"failure rate", "gating", "slowdown (full)", "slowdown (gated)",
 			"recovery (full)", "recovery (gated)", "reroutes", "missed wakes"},
+		Notes: []string{
+			"full and gated fabrics see the identical seeded failure trace;",
+			"gated fabrics start with part of the core asleep and wake one core",
+			"switch per primary failure after a sampled OCS reconfiguration delay.",
+		},
 	}
-	for _, mult := range faultRateMultipliers {
+	row := func(ctx context.Context, idx int) ([]string, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		mult := faultRateMultipliers[idx/len(faultGatingLevels)]
+		level := faultGatingLevels[idx%len(faultGatingLevels)]
 		cfg := fault.GenConfig{
 			Horizon: horizon, Links: optical,
 			Flaps: flaps * mult, MTTR: mttr,
@@ -135,51 +147,45 @@ func runFaults(ctx context.Context, req Request) (*Table, error) {
 				failures = append(failures, e.At)
 			}
 		}
-		for _, level := range faultGatingLevels {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			gatedCount := int(level * float64(len(core)))
-			if gatedCount < 1 {
-				gatedCount = 1
-			}
-			gated := base.Clone()
-			rng := fault.NewRand(seed ^ uint64(mult))
-			for i := 0; i < gatedCount; i++ {
-				gated.SwitchDown(0, core[i])
-			}
-			// Each primary failure wakes the next sleeping core switch after
-			// a sampled reconfiguration delay.
-			for i, at := range failures {
-				if i >= gatedCount {
-					break
-				}
-				gated.SwitchUp(at+reconfig.Sample(rng).Delay, core[i])
-			}
-			g, err := simulate(gated)
-			if err != nil {
-				return nil, err
-			}
-			reroutes, missed := 0, 0
-			if g.rep != nil {
-				reroutes, missed = g.rep.Reroutes, g.rep.MissedWakes
-			}
-			t.AddRow(
-				fmt.Sprintf("%dx", mult),
-				report.Percent(level),
-				fmt.Sprintf("%.3f", full.slowdown),
-				fmt.Sprintf("%.3f", g.slowdown),
-				fmt.Sprintf("%.3gs", float64(full.recovery)),
-				fmt.Sprintf("%.3gs", float64(g.recovery)),
-				fmt.Sprintf("%d", reroutes),
-				fmt.Sprintf("%d", missed),
-			)
+		gatedCount := int(level * float64(len(core)))
+		if gatedCount < 1 {
+			gatedCount = 1
 		}
+		gated := base.Clone()
+		rng := fault.NewRand(seed ^ uint64(mult))
+		for i := 0; i < gatedCount; i++ {
+			gated.SwitchDown(0, core[i])
+		}
+		// Each primary failure wakes the next sleeping core switch after
+		// a sampled reconfiguration delay.
+		for i, at := range failures {
+			if i >= gatedCount {
+				break
+			}
+			gated.SwitchUp(at+reconfig.Sample(rng).Delay, core[i])
+		}
+		g, err := simulate(gated)
+		if err != nil {
+			return nil, err
+		}
+		reroutes, missed := 0, 0
+		if g.rep != nil {
+			reroutes, missed = g.rep.Reroutes, g.rep.MissedWakes
+		}
+		return []string{
+			fmt.Sprintf("%dx", mult),
+			report.Percent(level),
+			fmt.Sprintf("%.3f", full.slowdown),
+			fmt.Sprintf("%.3f", g.slowdown),
+			fmt.Sprintf("%.3gs", float64(full.recovery)),
+			fmt.Sprintf("%.3gs", float64(g.recovery)),
+			fmt.Sprintf("%d", reroutes),
+			fmt.Sprintf("%d", missed),
+		}, nil
 	}
-	t.Notes = []string{
-		"full and gated fabrics see the identical seeded failure trace;",
-		"gated fabrics start with part of the core asleep and wake one core",
-		"switch per primary failure after a sampled OCS reconfiguration delay.",
-	}
-	return t, nil
+	return &scenarioRows{
+		table: t,
+		n:     len(faultRateMultipliers) * len(faultGatingLevels),
+		row:   row,
+	}, nil
 }

@@ -101,29 +101,52 @@ func (e *Engine) Drain(ctx context.Context) error {
 	}
 }
 
-// runChaos is the fault-injection scenario for the serving path itself: it
-// panics, sleeps (honoring the request deadline), or fails on demand, so
-// the panic-recovery, deadline, and load-shedding machinery can be
-// exercised end to end — through the real registry, cache, and HTTP stack.
-func runChaos(ctx context.Context, req Request) (*Table, error) {
-	if req.Params["panic"] != 0 {
-		panic("chaos scenario: injected panic")
+// chaosRows is the fault-injection scenario for the serving path itself:
+// it panics, sleeps (honoring the request deadline), or fails on demand,
+// so the panic-recovery, deadline, and load-shedding machinery can be
+// exercised end to end — through the real registry, cache, and HTTP
+// stack. The request-level knobs (panic, sleep, fail) fire on row 0,
+// preserving the historical single-row behavior; rows/failrow/panicrow
+// turn it into an n-row job whose designated row deterministically fails
+// or panics on every attempt, which is how the jobs subsystem's retry
+// exhaustion and graceful degradation are tested end to end.
+func chaosRows(req Request) (*scenarioRows, error) {
+	n := int(req.Params["rows"])
+	if n < 1 {
+		return nil, fmt.Errorf("rows %d must be positive", n)
 	}
-	if d := req.Params["sleep"]; d > 0 {
-		select {
-		case <-time.After(time.Duration(d * float64(time.Second))):
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-	}
-	if req.Params["fail"] != 0 {
-		return nil, fmt.Errorf("chaos scenario: injected failure")
-	}
-	t := &Table{
-		Title:   "chaos — serving-path fault injection",
-		Headers: []string{"outcome"},
-		Notes:   []string{"set panic=1, fail=1, or sleep=<seconds> to misbehave"},
-	}
-	t.AddRow("ok")
-	return t, nil
+	failRow := int(req.Params["failrow"])
+	panicRow := int(req.Params["panicrow"])
+	return &scenarioRows{
+		table: &Table{
+			Title:   "chaos — serving-path fault injection",
+			Headers: []string{"outcome"},
+			Notes:   []string{"set panic=1, fail=1, or sleep=<seconds> to misbehave"},
+		},
+		n: n,
+		row: func(ctx context.Context, i int) ([]string, error) {
+			if i == panicRow {
+				panic(fmt.Sprintf("chaos scenario: injected panic on row %d", i))
+			}
+			if i == 0 {
+				if req.Params["panic"] != 0 {
+					panic("chaos scenario: injected panic")
+				}
+				if d := req.Params["sleep"]; d > 0 {
+					select {
+					case <-time.After(time.Duration(d * float64(time.Second))):
+					case <-ctx.Done():
+						return nil, ctx.Err()
+					}
+				}
+				if req.Params["fail"] != 0 {
+					return nil, fmt.Errorf("chaos scenario: injected failure")
+				}
+			}
+			if i == failRow {
+				return nil, fmt.Errorf("chaos scenario: injected failure on row %d", i)
+			}
+			return []string{"ok"}, nil
+		},
+	}, nil
 }

@@ -33,6 +33,12 @@ type Result struct {
 	Sweep      []SweepPoint     `json:"sweep,omitempty"`
 	Cost       *CostResult      `json:"cost,omitempty"`
 	Table      *Table           `json:"table,omitempty"`
+
+	// RowErrors marks rows that exhausted their retries when the result
+	// was produced by the jobs subsystem (graceful degradation: the
+	// successful rows are present, the failed ones are typed markers).
+	// Always nil on the synchronous engine path.
+	RowErrors []RowError `json:"row_errors,omitempty"`
 }
 
 // ClusterSummary reports one sized scenario: the fat-tree design and the

@@ -1,0 +1,293 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"netpowerprop/internal/core"
+	"netpowerprop/internal/units"
+)
+
+// This file is the engine's row-level execution surface: a RowPlan splits
+// a normalized request into independently computable rows whose payloads
+// can be checkpointed (journaled) one at a time and reassembled into the
+// exact Result an uninterrupted computation would have produced. The jobs
+// subsystem (internal/jobs) is the primary consumer: it executes rows
+// through ExecRow — the same bounded worker pool interactive requests use
+// — journals each completed row, and resumes interrupted work without
+// recomputing any finished row.
+
+// RowError is the typed per-row failure marker a degraded job carries in
+// place of the row's payload: the row index, the final error text after
+// retries were exhausted, and whether the failure was a contained panic.
+type RowError struct {
+	Row   int    `json:"row"`
+	Err   string `json:"error"`
+	Panic bool   `json:"panic,omitempty"`
+}
+
+// Error renders the marker as an ordinary error.
+func (e RowError) Error() string {
+	if e.Panic {
+		return fmt.Sprintf("row %d panicked: %s", e.Row, e.Err)
+	}
+	return fmt.Sprintf("row %d failed: %s", e.Row, e.Err)
+}
+
+// RowPlan is one request split into independent rows. Row payloads are
+// self-contained JSON so they can be journaled and replayed: Assemble
+// rebuilds the Result from any mix of freshly computed and replayed
+// payloads, and the bytes are identical either way.
+type RowPlan struct {
+	req Request
+	key string
+	n   int
+	row func(ctx context.Context, i int) (json.RawMessage, error)
+	// assemble receives one payload per row (nil where the row failed)
+	// plus the typed markers for the failed rows, in row order.
+	assemble func(rows []json.RawMessage, failed []RowError) (*Result, error)
+}
+
+// NewRowPlan builds a custom plan; the engine's own planners cover every
+// registered op, so this exists for tests and alternative executors.
+func NewRowPlan(req Request, n int,
+	row func(ctx context.Context, i int) (json.RawMessage, error),
+	assemble func(rows []json.RawMessage, failed []RowError) (*Result, error)) *RowPlan {
+	return &RowPlan{req: req, key: req.Key(), n: n, row: row, assemble: assemble}
+}
+
+// Rows is the number of independent rows.
+func (p *RowPlan) Rows() int { return p.n }
+
+// Key is the canonical key of the normalized request — the jobs
+// subsystem's idempotency token.
+func (p *RowPlan) Key() string { return p.key }
+
+// Request returns the normalized request the plan computes.
+func (p *RowPlan) Request() Request { return p.req }
+
+// Assemble rebuilds the Result from the row payloads. rows must have
+// exactly Rows() entries; a nil entry must have a matching RowError in
+// failed. When failed is empty the assembled Result is byte-identical
+// (as JSON) to the one an uninterrupted computation would return;
+// otherwise the Result carries the successful rows plus the markers.
+func (p *RowPlan) Assemble(rows []json.RawMessage, failed []RowError) (*Result, error) {
+	if len(rows) != p.n {
+		return nil, fmt.Errorf("engine: assemble got %d rows, plan has %d", len(rows), p.n)
+	}
+	res, err := p.assemble(rows, failed)
+	if err != nil {
+		return nil, err
+	}
+	if len(failed) > 0 {
+		res.RowErrors = failed
+	}
+	return res, nil
+}
+
+// runRow computes one row with panic containment, mirroring safeCompute:
+// a panicking row yields a *PanicError instead of killing the process.
+func (p *RowPlan) runRow(ctx context.Context, i int) (data json.RawMessage, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			data, err = nil, &PanicError{Val: v, Stack: debug.Stack()}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.row(ctx, i)
+}
+
+// Plan normalizes a request and splits it into independent rows: sweeps
+// split per point, Table 3 per bandwidth row, row-structured scenarios per
+// table row, and everything else into a single row holding the whole
+// computation. The split is chosen so rows share no mutable state and the
+// assembled result is byte-identical to an uninterrupted computation.
+func (e *Engine) Plan(req Request) (*RowPlan, error) {
+	norm, err := req.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return planRows(norm)
+}
+
+// planRows builds the per-op plan for a normalized request.
+func planRows(norm Request) (*RowPlan, error) {
+	switch norm.Op {
+	case OpSweep:
+		return planSweep(norm), nil
+	case OpTable3:
+		return planTable3(norm), nil
+	case OpScenario:
+		if spec := scenarios[norm.Scenario]; spec.rows != nil {
+			return planScenario(norm, spec)
+		}
+	}
+	return planWhole(norm), nil
+}
+
+// planWhole is the fallback: one row carrying the entire Result, so any
+// request — even ops with no natural row structure — can run as a job.
+func planWhole(norm Request) *RowPlan {
+	return NewRowPlan(norm, 1,
+		func(ctx context.Context, _ int) (json.RawMessage, error) {
+			res, err := compute(ctx, norm)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(res)
+		},
+		func(rows []json.RawMessage, failed []RowError) (*Result, error) {
+			if len(failed) > 0 {
+				return &Result{Op: norm.Op, Request: norm}, nil
+			}
+			var res Result
+			if err := json.Unmarshal(rows[0], &res); err != nil {
+				return nil, fmt.Errorf("engine: replay result: %w", err)
+			}
+			return &res, nil
+		})
+}
+
+// planSweep splits a proportionality sweep into one row per point. Each
+// row recomputes the proportionality-0 reference itself (core.New is
+// analytic and cheap) so rows stay independent; the reference is
+// deterministic, so every row prices savings against identical bytes.
+func planSweep(norm Request) *RowPlan {
+	return NewRowPlan(norm, norm.Steps+1,
+		func(ctx context.Context, i int) (json.RawMessage, error) {
+			pt, err := sweepRow(norm, i)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(pt)
+		},
+		func(rows []json.RawMessage, _ []RowError) (*Result, error) {
+			res := &Result{Op: norm.Op, Request: norm}
+			for _, raw := range rows {
+				if raw == nil {
+					continue
+				}
+				var pt SweepPoint
+				if err := json.Unmarshal(raw, &pt); err != nil {
+					return nil, fmt.Errorf("engine: replay sweep point: %w", err)
+				}
+				res.Sweep = append(res.Sweep, pt)
+			}
+			return res, nil
+		})
+}
+
+// table3Row is the journaled payload of one Table 3 bandwidth row.
+type table3Row struct {
+	Bandwidth Quantity   `json:"bandwidth"`
+	Cells     []GridCell `json:"cells"`
+}
+
+// planTable3 splits the savings grid by bandwidth row: the grid's
+// reference power is per bandwidth, so rows are naturally independent.
+func planTable3(norm Request) *RowPlan {
+	bws := core.Table3Bandwidths()
+	return NewRowPlan(norm, len(bws),
+		func(ctx context.Context, i int) (json.RawMessage, error) {
+			cfg, err := norm.config()
+			if err != nil {
+				return nil, err
+			}
+			grid, err := core.ComputeSavingsGrid(cfg, []units.Bandwidth{bws[i]},
+				core.Table3Proportionalities(), cfg.NetworkProportionality)
+			if err != nil {
+				return nil, err
+			}
+			row := table3Row{Bandwidth: bandwidthQ(bws[i])}
+			for j := range grid.Proportionalities {
+				c := grid.Cell(0, j)
+				row.Cells = append(row.Cells, GridCell{
+					Savings:      c.Savings,
+					AveragePower: powerQ(c.AveragePower),
+					SavedPower:   powerQ(c.SavedPower),
+				})
+			}
+			return json.Marshal(row)
+		},
+		func(rows []json.RawMessage, _ []RowError) (*Result, error) {
+			g := &Grid{
+				RefProportionality: *norm.NetworkProportionality,
+				Interp:             norm.Interp,
+				Proportionalities:  core.Table3Proportionalities(),
+			}
+			for _, raw := range rows {
+				if raw == nil {
+					continue
+				}
+				var row table3Row
+				if err := json.Unmarshal(raw, &row); err != nil {
+					return nil, fmt.Errorf("engine: replay grid row: %w", err)
+				}
+				g.Bandwidths = append(g.Bandwidths, row.Bandwidth)
+				g.Cells = append(g.Cells, row.Cells)
+			}
+			return &Result{Op: norm.Op, Request: norm, Grid: g}, nil
+		})
+}
+
+// planScenario splits a row-structured §4 scenario into its table rows.
+func planScenario(norm Request, spec scenarioSpec) (*RowPlan, error) {
+	sr, err := spec.rows(norm)
+	if err != nil {
+		return nil, err
+	}
+	return NewRowPlan(norm, sr.n,
+		func(ctx context.Context, i int) (json.RawMessage, error) {
+			cells, err := sr.row(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(cells)
+		},
+		func(rows []json.RawMessage, _ []RowError) (*Result, error) {
+			t := *sr.table
+			t.Rows = nil
+			for _, raw := range rows {
+				if raw == nil {
+					continue
+				}
+				var cells []string
+				if err := json.Unmarshal(raw, &cells); err != nil {
+					return nil, fmt.Errorf("engine: replay table row: %w", err)
+				}
+				t.Rows = append(t.Rows, cells)
+			}
+			return &Result{Op: norm.Op, Request: norm, Table: &t}, nil
+		}), nil
+}
+
+// ExecRow computes one row of a plan under the same bounded worker pool
+// interactive requests use, with panic containment: background jobs share
+// compute capacity fairly with the serving path instead of bypassing it.
+func (e *Engine) ExecRow(ctx context.Context, p *RowPlan, i int) (json.RawMessage, error) {
+	if i < 0 || i >= p.n {
+		return nil, fmt.Errorf("engine: row %d outside plan of %d rows", i, p.n)
+	}
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	start := time.Now()
+	data, err := p.runRow(ctx, i)
+	e.rowNanos.Add(int64(time.Since(start)))
+	e.rowsExecuted.Add(1)
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		e.panics.Add(1)
+		e.lastPanic.Store(time.Now().UnixNano())
+	}
+	return data, err
+}

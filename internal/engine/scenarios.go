@@ -24,10 +24,47 @@ import (
 // numeric parameters (the cmd/netsim flag defaults), an optional default
 // bandwidth for scenarios parameterized by a link speed, and the
 // simulation itself. Tables carry the exact strings the CLI prints.
+//
+// Scenarios whose table rows are independent computations set rows
+// instead of run: the synchronous path fans the rows out exactly as
+// before, and the jobs subsystem can additionally checkpoint, retry, and
+// resume them row by row (see rows.go).
 type scenarioSpec struct {
 	defaults  map[string]float64
 	bandwidth string
 	run       func(ctx context.Context, req Request) (*Table, error)
+	rows      func(req Request) (*scenarioRows, error)
+}
+
+// scenarioRows is a row-structured scenario: the table frame (title,
+// headers, static notes) plus n independent row computations. The row
+// function must be safe to call concurrently and deterministically
+// produce the same cells for the same (req, i) — that contract is what
+// makes journaled replay byte-identical.
+type scenarioRows struct {
+	table *Table
+	n     int
+	row   func(ctx context.Context, i int) ([]string, error)
+}
+
+// execute runs the scenario: row-structured specs fan their rows out
+// through parallelRows (byte-identical to a serial loop), the rest run
+// their bespoke simulation.
+func (s scenarioSpec) execute(ctx context.Context, req Request) (*Table, error) {
+	if s.rows == nil {
+		return s.run(ctx, req)
+	}
+	sr, err := s.rows(req)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := parallelRows(sr.n, func(i int) ([]string, error) { return sr.row(ctx, i) })
+	if err != nil {
+		return nil, err
+	}
+	t := *sr.table
+	t.Rows = rows
+	return &t, nil
 }
 
 // scenarios is the registry behind OpScenario and /v1/scenarios/<name>.
@@ -38,21 +75,21 @@ var scenarios = map[string]scenarioSpec{
 	},
 	"rateadapt": {
 		defaults: map[string]float64{"busy": 1, "ratio": 0.2, "level": 0.8, "samples": 400},
-		run:      runRateAdapt,
+		rows:     rateAdaptRows,
 	},
 	"parking": {
 		defaults: map[string]float64{"ratio": 0.2, "level": 0.5, "period": 2, "samples": 800},
-		run:      runParking,
+		rows:     parkingRows,
 	},
 	"eee": {
 		defaults:  map[string]float64{"active": 10, "horizon": 0.01, "seed": 1},
 		bandwidth: "10G",
-		run:       runEEE,
+		rows:      eeeRows,
 	},
 	"ratelink": {
 		defaults:  map[string]float64{"active": 10, "horizon": 0.01, "seed": 1},
 		bandwidth: "10G",
-		run:       runRateLink,
+		rows:      rateLinkRows,
 	},
 	"chiplet": {
 		defaults: map[string]float64{"ratio": 0.1, "level": 0.8},
@@ -72,11 +109,12 @@ var scenarios = map[string]scenarioSpec{
 			"flaps": 6, "mttr": 0.3, "stuckprob": 0.25, "stuckextra": 0.5,
 			"reconfig": 0.2, "slowprob": 0.25, "failprob": 0.1,
 		},
-		run: runFaults,
+		rows: faultsRows,
 	},
 	"chaos": {
-		defaults: map[string]float64{"panic": 0, "sleep": 0, "fail": 0},
-		run:      runChaos,
+		defaults: map[string]float64{"panic": 0, "sleep": 0, "fail": 0,
+			"rows": 1, "failrow": -1, "panicrow": -1},
+		rows: chaosRows,
 	},
 }
 
@@ -193,9 +231,9 @@ func runGating(ctx context.Context, req Request) (*Table, error) {
 	return t, nil
 }
 
-// runRateAdapt compares the §4.3 rate-adaptation variants on a periodic
-// ML load.
-func runRateAdapt(ctx context.Context, req Request) (*Table, error) {
+// rateAdaptRows compares the §4.3 rate-adaptation variants on a periodic
+// ML load, one variant per row.
+func rateAdaptRows(req Request) (*scenarioRows, error) {
 	busy := int(req.Params["busy"])
 	ratio := req.Params["ratio"]
 	level := req.Params["level"]
@@ -237,30 +275,31 @@ func runRateAdapt(ctx context.Context, req Request) (*Table, error) {
 		{"per-pipeline predictive", mkPredictive, withDelay(rateadapt.Options{})},
 		{"per-pipeline reactive + SerDes gating", mkReactive, withDelay(rateadapt.Options{GateIdleSerDes: true})},
 	}
-	t := &Table{
-		Title: fmt.Sprintf("§4.3 — rate adaptation (%d/%d busy pipelines, %s duty cycle at %s load)",
-			busy, cfg.Pipelines, report.Percent(ratio), report.Percent(level)),
-		Headers: []string{"variant", "energy", "savings", "mean freq", "shortfall", "queue delay"},
-	}
-	rows, err := parallelRows(len(variants), func(i int) ([]string, error) {
-		v := variants[i]
-		res, err := rateadapt.Simulate(cfg, times, utils, v.mk, v.opts)
-		if err != nil {
-			return nil, err
-		}
-		return []string{v.name, res.Energy.String(), report.Percent(res.Savings),
-			fmt.Sprintf("%.2f", res.MeanFreq), fmt.Sprintf("%gs", float64(res.ShortfallTime)),
-			fmt.Sprintf("%.1fns", float64(res.MeanQueueingDelay)*1e9)}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = rows
-	return t, nil
+	return &scenarioRows{
+		table: &Table{
+			Title: fmt.Sprintf("§4.3 — rate adaptation (%d/%d busy pipelines, %s duty cycle at %s load)",
+				busy, cfg.Pipelines, report.Percent(ratio), report.Percent(level)),
+			Headers: []string{"variant", "energy", "savings", "mean freq", "shortfall", "queue delay"},
+		},
+		n: len(variants),
+		row: func(_ context.Context, i int) ([]string, error) {
+			v := variants[i]
+			res, err := rateadapt.Simulate(cfg, times, utils, v.mk, v.opts)
+			if err != nil {
+				return nil, err
+			}
+			return []string{v.name, res.Energy.String(), report.Percent(res.Savings),
+				fmt.Sprintf("%.2f", res.MeanFreq), fmt.Sprintf("%gs", float64(res.ShortfallTime)),
+				fmt.Sprintf("%.1fns", float64(res.MeanQueueingDelay)*1e9)}, nil
+		},
+	}, nil
 }
 
-// runParking compares the §4.4 pipeline-parking policies.
-func runParking(ctx context.Context, req Request) (*Table, error) {
+// parkingRows compares the §4.4 pipeline-parking policies, one per row.
+// Policies are constructed fresh per row: a Policy carries mutable
+// controller state, so sharing instances across retried rows would break
+// replay determinism.
+func parkingRows(req Request) (*scenarioRows, error) {
 	ratio := req.Params["ratio"]
 	level := req.Params["level"]
 	period := req.Params["period"]
@@ -270,50 +309,50 @@ func runParking(ctx context.Context, req Request) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	reactive, err := parking.NewReactive(cfg.ASIC.Pipelines, cfg.MinActive, 0.8, 0.5)
-	if err != nil {
-		return nil, err
+	policies := []func() (parking.Policy, error){
+		func() (parking.Policy, error) { return parking.AlwaysOn{Pipelines: cfg.ASIC.Pipelines}, nil },
+		func() (parking.Policy, error) {
+			return parking.NewReactive(cfg.ASIC.Pipelines, cfg.MinActive, 0.8, 0.5)
+		},
+		func() (parking.Policy, error) {
+			return parking.NewScheduled(units.Seconds(period), units.Seconds(period*ratio), 0.1, cfg.MinActive, cfg.ASIC.Pipelines)
+		},
 	}
-	sched, err := parking.NewScheduled(units.Seconds(period), units.Seconds(period*ratio), 0.1, cfg.MinActive, cfg.ASIC.Pipelines)
-	if err != nil {
-		return nil, err
-	}
-	policies := []parking.Policy{
-		parking.AlwaysOn{Pipelines: cfg.ASIC.Pipelines},
-		reactive,
-		sched,
-	}
-	t := &Table{
-		Title: fmt.Sprintf("§4.4 — pipeline parking behind a circuit switch (duty %s at %s load, wake %gs)",
-			report.Percent(ratio), report.Percent(level), float64(cfg.WakeLatency)),
-		Headers: []string{"policy", "energy", "savings", "mean active", "reconfigs", "max backlog", "max delay", "dropped"},
-	}
-	rows, err := parallelRows(len(policies), func(i int) ([]string, error) {
-		pol := policies[i]
-		res, err := parking.Simulate(cfg, times, demand, pol)
-		if err != nil {
-			return nil, err
-		}
-		return []string{pol.Name(), res.Energy.String(), report.Percent(res.Savings),
-			fmt.Sprintf("%.2f", res.MeanActive),
-			fmt.Sprintf("%d", res.Reconfigurations),
-			fmt.Sprintf("%.0f b", res.MaxBacklogBits),
-			fmt.Sprintf("%.2gs", float64(res.MaxDelay)),
-			fmt.Sprintf("%.0f b", res.DroppedBits)}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = rows
-	return t, nil
+	return &scenarioRows{
+		table: &Table{
+			Title: fmt.Sprintf("§4.4 — pipeline parking behind a circuit switch (duty %s at %s load, wake %gs)",
+				report.Percent(ratio), report.Percent(level), float64(cfg.WakeLatency)),
+			Headers: []string{"policy", "energy", "savings", "mean active", "reconfigs", "max backlog", "max delay", "dropped"},
+		},
+		n: len(policies),
+		row: func(_ context.Context, i int) ([]string, error) {
+			pol, err := policies[i]()
+			if err != nil {
+				return nil, err
+			}
+			res, err := parking.Simulate(cfg, times, demand, pol)
+			if err != nil {
+				return nil, err
+			}
+			return []string{pol.Name(), res.Energy.String(), report.Percent(res.Savings),
+				fmt.Sprintf("%.2f", res.MeanActive),
+				fmt.Sprintf("%d", res.Reconfigurations),
+				fmt.Sprintf("%.0f b", res.MaxBacklogBits),
+				fmt.Sprintf("%.2gs", float64(res.MaxDelay)),
+				fmt.Sprintf("%.0f b", res.DroppedBits)}, nil
+		},
+	}, nil
 }
 
 // eeeUtilizations is the load sweep shared by the eee and ratelink
 // scenarios.
 var eeeUtilizations = []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9}
 
-// runEEE simulates the 802.3az LPI baseline across utilizations.
-func runEEE(ctx context.Context, req Request) (*Table, error) {
+// eeeRows simulates the 802.3az LPI baseline, one utilization per row.
+// Each row draws its arrivals from a fresh rng seeded by the request seed
+// (eee.PoissonPackets), so a retried or replayed row reproduces the
+// identical packet sequence.
+func eeeRows(req Request) (*scenarioRows, error) {
 	cap, err := units.ParseBandwidth(req.Bandwidth)
 	if err != nil {
 		return nil, err
@@ -322,34 +361,33 @@ func runEEE(ctx context.Context, req Request) (*Table, error) {
 	horizon := req.Params["horizon"]
 	seed := int64(req.Params["seed"])
 	params := eee.DefaultParams(cap, units.Power(active))
-	t := &Table{
-		Title:   fmt.Sprintf("802.3az EEE baseline — %v link, Poisson traffic", cap),
-		Headers: []string{"utilization", "savings", "mean delay", "max delay", "LPI share"},
-	}
-	rows, err := parallelRows(len(eeeUtilizations), func(i int) ([]string, error) {
-		util := eeeUtilizations[i]
-		pkts, err := eee.PoissonPackets(seed, cap, util, 12000, units.Seconds(horizon))
-		if err != nil {
-			return nil, err
-		}
-		res, err := eee.Simulate(params, pkts)
-		if err != nil {
-			return nil, err
-		}
-		return []string{report.Percent(util), report.Percent(res.Savings),
-			fmt.Sprintf("%.2gus", float64(res.MeanDelay)*1e6),
-			fmt.Sprintf("%.2gus", float64(res.MaxDelay)*1e6),
-			report.Percent(float64(res.LPITime) / float64(res.Horizon))}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = rows
-	return t, nil
+	return &scenarioRows{
+		table: &Table{
+			Title:   fmt.Sprintf("802.3az EEE baseline — %v link, Poisson traffic", cap),
+			Headers: []string{"utilization", "savings", "mean delay", "max delay", "LPI share"},
+		},
+		n: len(eeeUtilizations),
+		row: func(_ context.Context, i int) ([]string, error) {
+			util := eeeUtilizations[i]
+			pkts, err := eee.PoissonPackets(seed, cap, util, 12000, units.Seconds(horizon))
+			if err != nil {
+				return nil, err
+			}
+			res, err := eee.Simulate(params, pkts)
+			if err != nil {
+				return nil, err
+			}
+			return []string{report.Percent(util), report.Percent(res.Savings),
+				fmt.Sprintf("%.2gus", float64(res.MeanDelay)*1e6),
+				fmt.Sprintf("%.2gus", float64(res.MaxDelay)*1e6),
+				report.Percent(float64(res.LPITime) / float64(res.Horizon))}, nil
+		},
+	}, nil
 }
 
-// runRateLink compares NSDI'08 link sleeping against rate adaptation.
-func runRateLink(ctx context.Context, req Request) (*Table, error) {
+// rateLinkRows compares NSDI'08 link sleeping against rate adaptation,
+// one utilization per row.
+func rateLinkRows(req Request) (*scenarioRows, error) {
 	cap, err := units.ParseBandwidth(req.Bandwidth)
 	if err != nil {
 		return nil, err
@@ -359,34 +397,32 @@ func runRateLink(ctx context.Context, req Request) (*Table, error) {
 	seed := int64(req.Params["seed"])
 	lpi := eee.DefaultParams(cap, units.Power(active))
 	rate := eee.DefaultRateParams(cap, units.Power(active))
-	t := &Table{
-		Title:   fmt.Sprintf("NSDI'08 sleeping vs. rate adaptation — %v link, Poisson traffic", cap),
-		Headers: []string{"utilization", "sleep savings", "sleep delay", "rate savings", "rate delay", "mean speed"},
-	}
-	rows, err := parallelRows(len(eeeUtilizations), func(i int) ([]string, error) {
-		util := eeeUtilizations[i]
-		pkts, err := eee.PoissonPackets(seed, cap, util, 12000, units.Seconds(horizon))
-		if err != nil {
-			return nil, err
-		}
-		sres, err := eee.Simulate(lpi, pkts)
-		if err != nil {
-			return nil, err
-		}
-		rres, err := eee.SimulateRate(rate, pkts)
-		if err != nil {
-			return nil, err
-		}
-		return []string{report.Percent(util),
-			report.Percent(sres.Savings), fmt.Sprintf("%.2gus", float64(sres.MeanDelay)*1e6),
-			report.Percent(rres.Savings), fmt.Sprintf("%.2gus", float64(rres.MeanDelay)*1e6),
-			rres.MeanSpeed.String()}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = rows
-	return t, nil
+	return &scenarioRows{
+		table: &Table{
+			Title:   fmt.Sprintf("NSDI'08 sleeping vs. rate adaptation — %v link, Poisson traffic", cap),
+			Headers: []string{"utilization", "sleep savings", "sleep delay", "rate savings", "rate delay", "mean speed"},
+		},
+		n: len(eeeUtilizations),
+		row: func(_ context.Context, i int) ([]string, error) {
+			util := eeeUtilizations[i]
+			pkts, err := eee.PoissonPackets(seed, cap, util, 12000, units.Seconds(horizon))
+			if err != nil {
+				return nil, err
+			}
+			sres, err := eee.Simulate(lpi, pkts)
+			if err != nil {
+				return nil, err
+			}
+			rres, err := eee.SimulateRate(rate, pkts)
+			if err != nil {
+				return nil, err
+			}
+			return []string{report.Percent(util),
+				report.Percent(sres.Savings), fmt.Sprintf("%.2gus", float64(sres.MeanDelay)*1e6),
+				report.Percent(rres.Savings), fmt.Sprintf("%.2gus", float64(rres.MeanDelay)*1e6),
+				rres.MeanSpeed.String()}, nil
+		},
+	}, nil
 }
 
 // runChiplet sweeps the §4.5 ASIC redesign space on ML traffic.

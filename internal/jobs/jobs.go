@@ -1,0 +1,906 @@
+// Package jobs is the durable asynchronous job subsystem: a submitted
+// engine request is split into its independent rows (engine.RowPlan),
+// executed through the engine's bounded worker pool, and journaled to a
+// per-job JSONL write-ahead log — submit record, one record per completed
+// row, terminal record. A crash, deadline, or restart loses nothing:
+// Open replays the journals and ResumeAll continues each incomplete job
+// from its last checkpointed row, producing a result byte-identical to an
+// uninterrupted run without recomputing any finished row. Failed rows
+// retry with seeded deterministic exponential backoff + jitter up to a
+// cap, after which the job degrades gracefully: it completes with the
+// successful rows plus typed per-row error markers (engine.RowError)
+// instead of failing wholesale, and recovered panics are contained the
+// same way the serving path contains them.
+package jobs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netpowerprop/internal/engine"
+)
+
+// Executor plans and runs rows. *engine.Engine satisfies it; tests
+// substitute scripted executors.
+type Executor interface {
+	Plan(req engine.Request) (*engine.RowPlan, error)
+	ExecRow(ctx context.Context, p *engine.RowPlan, i int) (json.RawMessage, error)
+}
+
+var _ Executor = (*engine.Engine)(nil)
+
+// cachePrimer is the optional executor hook for priming the synchronous
+// result cache with a finished job's result. *engine.Engine implements it
+// via Prime.
+type cachePrimer interface {
+	Prime(key string, res *engine.Result)
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued: submitted, waiting for a runner slot.
+	StateQueued State = "queued"
+	// StateRunning: rows are executing.
+	StateRunning State = "running"
+	// StateInterrupted: recovered from a journal (or stopped by a drain)
+	// with rows missing; ResumeAll or a re-Submit continues it.
+	StateInterrupted State = "interrupted"
+	// StateDone: every row succeeded.
+	StateDone State = "done"
+	// StateDegraded: finished, but some rows exhausted their retries and
+	// carry typed error markers instead of payloads.
+	StateDegraded State = "degraded"
+	// StateCanceled: canceled before completion.
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether a state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateDegraded || s == StateCanceled
+}
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("jobs: manager closed")
+
+// ErrUnknownJob is returned for ids the manager does not hold.
+var ErrUnknownJob = errors.New("jobs: unknown job")
+
+// Options configures a Manager. Dir and Exec are required; zero values
+// elsewhere select defaults.
+type Options struct {
+	// Dir holds one JSONL journal per job. Created if missing.
+	Dir string
+	// Exec plans and executes rows (normally the engine).
+	Exec Executor
+	// Clock injects time for tests; defaults to the real clock.
+	Clock Clock
+	// Retry is the per-row retry schedule.
+	Retry RetryPolicy
+	// MaxConcurrent bounds jobs running at once (default 2; rows inside a
+	// job run sequentially — the checkpoint order is the row order — so
+	// per-job parallelism comes from the engine pool serving other work).
+	MaxConcurrent int
+	// OnRowCheckpoint, if set, runs after each row is journaled — the
+	// chaos hook: returning an error halts the runner dead with no
+	// terminal record, exactly like a crash, so recovery paths can be
+	// exercised deterministically in tests.
+	OnRowCheckpoint func(id string, row int) error
+	// Logf receives recovery/skip diagnostics (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Manager owns the job table, the journal directory, and the runner pool.
+type Manager struct {
+	dir   string
+	exec  Executor
+	clock Clock
+	retry RetryPolicy
+	hook  func(id string, row int) error
+	logf  func(format string, args ...any)
+
+	slots     chan struct{}
+	drain     chan struct{}
+	drainOnce sync.Once
+	hardCtx   context.Context
+	hardStop  context.CancelFunc
+	wg        sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	closed bool
+
+	submitted   atomic.Uint64
+	completed   atomic.Uint64
+	degradedN   atomic.Uint64
+	canceledN   atomic.Uint64
+	recovered   atomic.Uint64
+	resumed     atomic.Uint64
+	rowsDone    atomic.Uint64
+	rowRetries  atomic.Uint64
+	rowFailures atomic.Uint64
+}
+
+// job is one durable unit of work.
+type job struct {
+	id   string
+	key  string
+	req  engine.Request
+	plan *engine.RowPlan
+	path string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	rows      []json.RawMessage
+	rowErrs   []*engine.RowError
+	attempts  []int
+	done      int // rows checkpointed (payload or exhausted marker)
+	retries   int
+	created   time.Time
+	finished  time.Time
+	result    *engine.Result
+	jl        *journal
+	canceled  bool
+	doneCh    chan struct{}
+	startOnce sync.Once
+}
+
+// jobID derives the stable job id from the canonical request key, so
+// identical requests map to one job (and one journal file) by
+// construction.
+func jobID(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Open creates the journal directory if needed, replays every journal in
+// it, and returns a manager holding the recovered jobs: finished jobs are
+// loaded with their results reassembled, incomplete ones surface as
+// StateInterrupted with their checkpointed rows preloaded. Nothing runs
+// until ResumeAll or Submit.
+func Open(opts Options) (*Manager, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("jobs: Options.Dir is required")
+	}
+	if opts.Exec == nil {
+		return nil, errors.New("jobs: Options.Exec is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	if opts.Clock == nil {
+		opts.Clock = realClock{}
+	}
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 2
+		if n := runtime.GOMAXPROCS(0) / 2; n > opts.MaxConcurrent {
+			opts.MaxConcurrent = n
+		}
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		dir:      opts.Dir,
+		exec:     opts.Exec,
+		clock:    opts.Clock,
+		retry:    opts.Retry.withDefaults(),
+		hook:     opts.OnRowCheckpoint,
+		logf:     opts.Logf,
+		slots:    make(chan struct{}, opts.MaxConcurrent),
+		drain:    make(chan struct{}),
+		hardCtx:  ctx,
+		hardStop: cancel,
+		jobs:     make(map[string]*job),
+	}
+	if err := m.recover(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return m, nil
+}
+
+// recover replays every journal in the directory.
+func (m *Manager) recover() error {
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+			continue
+		}
+		path := filepath.Join(m.dir, e.Name())
+		if err := m.recoverFile(path); err != nil {
+			m.logf("jobs: skipping journal %s: %v", path, err)
+		}
+	}
+	return nil
+}
+
+// recoverFile replays one journal into a job.
+func (m *Manager) recoverFile(path string) error {
+	recs, cleanOff, torn, err := readJournal(path)
+	if err != nil {
+		return err
+	}
+	if torn {
+		// Drop the partial tail now so a resume appends onto clean bytes.
+		if err := os.Truncate(path, cleanOff); err != nil {
+			return fmt.Errorf("truncate torn tail: %w", err)
+		}
+		m.logf("jobs: journal %s had a torn tail; truncated to the %d-byte durable prefix", path, cleanOff)
+	}
+	if len(recs) == 0 || recs[0].T != recSubmit || recs[0].Req == nil {
+		return errors.New("no submit record")
+	}
+	sub := recs[0]
+	plan, err := m.exec.Plan(*sub.Req)
+	if err != nil {
+		return fmt.Errorf("replan: %w", err)
+	}
+	if plan.Key() != sub.Key {
+		return fmt.Errorf("canonical key changed (journal %q, plan %q)", sub.Key, plan.Key())
+	}
+	if plan.Rows() != sub.Rows {
+		return fmt.Errorf("row count changed (journal %d, plan %d)", sub.Rows, plan.Rows())
+	}
+	j := m.newJob(sub.ID, plan, path)
+	var terminal State
+	for _, rec := range recs[1:] {
+		switch rec.T {
+		case recRow:
+			if rec.I < 0 || rec.I >= plan.Rows() {
+				continue
+			}
+			if j.rows[rec.I] != nil || j.rowErrs[rec.I] != nil {
+				continue // duplicate append after a resume overlap; first write wins
+			}
+			if rec.Error != "" {
+				j.rowErrs[rec.I] = &engine.RowError{Row: rec.I, Err: rec.Error, Panic: rec.Panic}
+			} else {
+				j.rows[rec.I] = rec.Data
+			}
+			j.attempts[rec.I] = rec.Attempts
+			j.done++
+		case recDone:
+			terminal = State(rec.Status)
+		}
+	}
+	switch terminal {
+	case StateDone, StateDegraded:
+		res, err := plan.Assemble(j.rows, j.markers())
+		if err != nil {
+			return fmt.Errorf("reassemble: %w", err)
+		}
+		j.result = res
+		j.state = terminal
+		j.cancel()
+		close(j.doneCh)
+	case StateCanceled:
+		j.state = StateCanceled
+		j.canceled = true
+		j.cancel()
+		close(j.doneCh)
+	default:
+		j.state = StateInterrupted
+		m.recovered.Add(1)
+	}
+	m.jobs[j.id] = j
+	return nil
+}
+
+// newJob allocates the in-memory job shell.
+func (m *Manager) newJob(id string, plan *engine.RowPlan, path string) *job {
+	ctx, cancel := context.WithCancel(m.hardCtx)
+	return &job{
+		id:       id,
+		key:      plan.Key(),
+		req:      plan.Request(),
+		plan:     plan,
+		path:     path,
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    StateQueued,
+		rows:     make([]json.RawMessage, plan.Rows()),
+		rowErrs:  make([]*engine.RowError, plan.Rows()),
+		attempts: make([]int, plan.Rows()),
+		created:  m.clock.Now(),
+		doneCh:   make(chan struct{}),
+	}
+}
+
+// markers collects the job's typed row-error markers in row order.
+func (j *job) markers() []engine.RowError {
+	var out []engine.RowError
+	for _, re := range j.rowErrs {
+		if re != nil {
+			out = append(out, *re)
+		}
+	}
+	return out
+}
+
+// Submit registers a request as a durable job, idempotently by canonical
+// key: resubmitting an identical request returns the existing job
+// (created=false) whether it is queued, running, finished, or — after a
+// restart — interrupted, in which case the submit resumes it. Only a
+// canceled job is restarted from scratch with a fresh journal.
+func (m *Manager) Submit(req engine.Request) (*Snapshot, bool, error) {
+	plan, err := m.exec.Plan(req)
+	if err != nil {
+		return nil, false, err
+	}
+	id := jobID(plan.Key())
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if j, ok := m.jobs[id]; ok {
+		j.mu.Lock()
+		st := j.state
+		j.mu.Unlock()
+		if st != StateCanceled {
+			m.mu.Unlock()
+			if st == StateInterrupted {
+				m.resume(j)
+			}
+			return m.snapshot(j, true), false, nil
+		}
+		delete(m.jobs, id) // canceled: rerun from scratch
+	}
+	j := m.newJob(id, plan, filepath.Join(m.dir, id+".jsonl"))
+	jl, err := createJournal(j.path)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, false, err
+	}
+	j.jl = jl
+	reqCopy := j.req
+	if err := jl.append(record{
+		T: recSubmit, ID: id, Key: j.key, Req: &reqCopy,
+		Rows: plan.Rows(), At: m.clock.Now().UnixNano(),
+	}); err != nil {
+		jl.close()
+		m.mu.Unlock()
+		return nil, false, err
+	}
+	m.jobs[id] = j
+	m.mu.Unlock()
+	m.submitted.Add(1)
+	m.start(j)
+	return m.snapshot(j, true), true, nil
+}
+
+// resume reopens an interrupted job's journal and starts its runner.
+func (m *Manager) resume(j *job) {
+	j.mu.Lock()
+	if j.state != StateInterrupted {
+		j.mu.Unlock()
+		return
+	}
+	jl, err := appendJournal(j.path)
+	if err != nil {
+		j.mu.Unlock()
+		m.logf("jobs: resume %s: %v", j.id, err)
+		return
+	}
+	j.jl = jl
+	j.state = StateQueued
+	j.mu.Unlock()
+	m.resumed.Add(1)
+	m.start(j)
+}
+
+// ResumeAll restarts every interrupted job and returns how many it
+// started — the post-recovery hook servers call once at boot.
+func (m *Manager) ResumeAll() int {
+	m.mu.Lock()
+	var interrupted []*job
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.state == StateInterrupted {
+			interrupted = append(interrupted, j)
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	sort.Slice(interrupted, func(a, b int) bool { return interrupted[a].id < interrupted[b].id })
+	for _, j := range interrupted {
+		m.resume(j)
+	}
+	return len(interrupted)
+}
+
+// start launches the runner goroutine for a queued job.
+func (m *Manager) start(j *job) {
+	j.startOnce.Do(func() {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			select {
+			case m.slots <- struct{}{}:
+			case <-m.drain:
+				m.markInterrupted(j)
+				return
+			case <-j.ctx.Done():
+				m.finishCanceled(j)
+				return
+			}
+			defer func() { <-m.slots }()
+			m.runJob(j)
+		}()
+	})
+}
+
+// runJob executes the job's missing rows in order, checkpointing each to
+// the journal; completed rows (from a previous run) are never recomputed.
+func (m *Manager) runJob(j *job) {
+	j.mu.Lock()
+	j.state = StateRunning
+	plan := j.plan
+	j.mu.Unlock()
+	for i := 0; i < plan.Rows(); i++ {
+		j.mu.Lock()
+		have := j.rows[i] != nil || j.rowErrs[i] != nil
+		j.mu.Unlock()
+		if have {
+			continue
+		}
+		select {
+		case <-m.drain:
+			m.markInterrupted(j)
+			return
+		case <-j.ctx.Done():
+			m.finishCanceled(j)
+			return
+		default:
+		}
+		data, attempts, rerr, stopped := m.execRowWithRetry(j, plan, i)
+		if stopped {
+			if j.ctx.Err() != nil && !m.draining() {
+				m.finishCanceled(j)
+			} else {
+				m.markInterrupted(j)
+			}
+			return
+		}
+		rec := record{T: recRow, I: i, Attempts: attempts, At: m.clock.Now().UnixNano()}
+		j.mu.Lock()
+		if rerr != nil {
+			j.rowErrs[i] = rerr
+			rec.Error, rec.Panic = rerr.Err, rerr.Panic
+			m.rowFailures.Add(1)
+		} else {
+			j.rows[i] = data
+			rec.Data = data
+		}
+		j.attempts[i] = attempts
+		j.done++
+		jl := j.jl
+		j.mu.Unlock()
+		m.rowsDone.Add(1)
+		if err := jl.append(rec); err != nil {
+			m.logf("jobs: journal %s row %d: %v", j.id, i, err)
+			m.markInterrupted(j)
+			return
+		}
+		if m.hook != nil {
+			if err := m.hook(j.id, i); err != nil {
+				// Simulated crash: stop dead, no terminal record. The
+				// journal holds every completed row; recovery resumes here.
+				m.markInterrupted(j)
+				return
+			}
+		}
+	}
+	m.finishJob(j)
+}
+
+// execRowWithRetry runs one row through the executor with the retry
+// policy. stopped reports a cancellation/drain (row not settled); rerr is
+// the typed marker after retries are exhausted.
+func (m *Manager) execRowWithRetry(j *job, plan *engine.RowPlan, i int) (data json.RawMessage, attempts int, rerr *engine.RowError, stopped bool) {
+	for attempt := 1; ; attempt++ {
+		data, err := m.exec.ExecRow(j.ctx, plan, i)
+		if err == nil {
+			return data, attempt, nil, false
+		}
+		if j.ctx.Err() != nil {
+			return nil, attempt, nil, true
+		}
+		if attempt >= m.retry.MaxAttempts {
+			var pe *engine.PanicError
+			return nil, attempt, &engine.RowError{
+				Row: i, Err: err.Error(), Panic: errors.As(err, &pe),
+			}, false
+		}
+		m.rowRetries.Add(1)
+		j.mu.Lock()
+		j.retries++
+		j.mu.Unlock()
+		if m.sleepRetry(j, m.retry.Delay(j.key, i, attempt)) != nil {
+			return nil, attempt, nil, true
+		}
+	}
+}
+
+// sleepRetry is the backoff sleep, interruptible by job cancellation AND
+// by a drain: a parked retry may be arbitrarily long, and shutdown must
+// not wait it out — the un-checkpointed row simply replays (with the same
+// deterministic delays) after recovery.
+func (m *Manager) sleepRetry(j *job, d time.Duration) error {
+	ctx, cancel := context.WithCancel(j.ctx)
+	defer cancel()
+	go func() {
+		select {
+		case <-m.drain:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return m.clock.Sleep(ctx, d)
+}
+
+// finishJob assembles the result, journals the terminal record, and
+// settles the job as done or degraded.
+func (m *Manager) finishJob(j *job) {
+	j.mu.Lock()
+	markers := j.markers()
+	res, err := j.plan.Assemble(j.rows, markers)
+	if err != nil {
+		// Assembly of journaled payloads cannot fail unless the journal
+		// was corrupted in flight; keep the job resumable rather than
+		// inventing a terminal state.
+		j.mu.Unlock()
+		m.logf("jobs: assemble %s: %v", j.id, err)
+		m.markInterrupted(j)
+		return
+	}
+	state := StateDone
+	if len(markers) > 0 {
+		state = StateDegraded
+	}
+	j.result = res
+	j.state = state
+	j.finished = m.clock.Now()
+	jl := j.jl
+	j.mu.Unlock()
+	if err := jl.append(record{T: recDone, Status: string(state), At: m.clock.Now().UnixNano()}); err != nil {
+		m.logf("jobs: journal %s terminal: %v", j.id, err)
+	}
+	jl.close()
+	if state == StateDone {
+		m.completed.Add(1)
+		if p, ok := m.exec.(cachePrimer); ok {
+			p.Prime(j.key, res)
+		}
+	} else {
+		m.degradedN.Add(1)
+	}
+	j.cancel()
+	close(j.doneCh)
+}
+
+// finishCanceled settles a canceled job with a terminal record.
+func (m *Manager) finishCanceled(j *job) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateCanceled
+	j.finished = m.clock.Now()
+	jl := j.jl
+	j.mu.Unlock()
+	if jl != nil {
+		if err := jl.append(record{T: recDone, Status: string(StateCanceled), At: m.clock.Now().UnixNano()}); err != nil {
+			m.logf("jobs: journal %s cancel: %v", j.id, err)
+		}
+		jl.close()
+	}
+	m.canceledN.Add(1)
+	j.cancel()
+	close(j.doneCh)
+}
+
+// markInterrupted checkpoints a job stopped by drain or simulated crash:
+// no terminal record, journal closed, resumable later.
+func (m *Manager) markInterrupted(j *job) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() || j.state == StateInterrupted {
+		return
+	}
+	j.state = StateInterrupted
+	if j.jl != nil {
+		j.jl.close()
+	}
+	// Re-arm so a later resume can start a fresh runner.
+	j.cancel()
+	j.startOnce = sync.Once{}
+	j.ctx, j.cancel = context.WithCancel(m.hardCtx)
+}
+
+// draining reports whether Close has begun.
+func (m *Manager) draining() bool {
+	select {
+	case <-m.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// Cancel stops a job. Running jobs abort their current row; queued or
+// interrupted jobs settle immediately. Terminal jobs are returned as-is.
+func (m *Manager) Cancel(id string) (*Snapshot, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	j.mu.Lock()
+	st := j.state
+	cancel := j.cancel
+	j.canceled = st == StateInterrupted || st == StateQueued || st == StateRunning
+	j.mu.Unlock()
+	switch st {
+	case StateInterrupted:
+		// No runner to observe the cancel; settle it here with an
+		// append-mode journal for the terminal record.
+		if jl, err := appendJournal(j.path); err == nil {
+			j.mu.Lock()
+			j.jl = jl
+			j.mu.Unlock()
+		}
+		m.finishCanceled(j)
+	case StateQueued, StateRunning:
+		cancel()
+	}
+	return m.snapshot(j, true), nil
+}
+
+// Get returns one job's snapshot with its rows and (if finished) result.
+func (m *Manager) Get(id string) (*Snapshot, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return m.snapshot(j, true), nil
+}
+
+// List returns lightweight snapshots (no rows, no results), sorted by
+// creation time then id for a stable order.
+func (m *Manager) List() []*Snapshot {
+	m.mu.Lock()
+	js := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+	out := make([]*Snapshot, 0, len(js))
+	for _, j := range js {
+		out = append(out, m.snapshot(j, false))
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].Created.Equal(out[b].Created) {
+			return out[a].Created.Before(out[b].Created)
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state or the context
+// expires, then returns its snapshot.
+func (m *Manager) Wait(ctx context.Context, id string) (*Snapshot, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	select {
+	case <-j.doneCh:
+		return m.snapshot(j, true), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close drains the manager: no new submissions, runners stop at their
+// next row boundary (checkpointing, not discarding, completed rows), and
+// jobs still waiting become interrupted for the next process to resume.
+// If the context expires first, in-flight rows are canceled hard.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.drainOnce.Do(func() { close(m.drain) })
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		m.hardStop()
+		<-done
+	}
+	m.hardStop()
+	return err
+}
+
+// Depth is the queue-depth gauge set surfaced on /healthz and /metrics.
+type Depth struct {
+	Running     int `json:"running"`
+	Queued      int `json:"queued"`
+	Interrupted int `json:"interrupted"`
+	Done        int `json:"done"`
+	Degraded    int `json:"degraded"`
+	Canceled    int `json:"canceled"`
+}
+
+// Depth counts jobs by state.
+func (m *Manager) Depth() Depth {
+	m.mu.Lock()
+	js := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+	var d Depth
+	for _, j := range js {
+		j.mu.Lock()
+		st := j.state
+		j.mu.Unlock()
+		switch st {
+		case StateRunning:
+			d.Running++
+		case StateQueued:
+			d.Queued++
+		case StateInterrupted:
+			d.Interrupted++
+		case StateDone:
+			d.Done++
+		case StateDegraded:
+			d.Degraded++
+		case StateCanceled:
+			d.Canceled++
+		}
+	}
+	return d
+}
+
+// Metrics is a point-in-time snapshot of the manager's counters.
+type Metrics struct {
+	// Submitted counts jobs accepted by Submit (new runs only).
+	Submitted uint64
+	// Completed counts jobs finishing with every row successful.
+	Completed uint64
+	// Degraded counts jobs finishing with at least one failed row.
+	Degraded uint64
+	// Canceled counts canceled jobs.
+	Canceled uint64
+	// Recovered counts incomplete jobs reloaded from journals at Open.
+	Recovered uint64
+	// Resumed counts interrupted jobs restarted by ResumeAll/Submit.
+	Resumed uint64
+	// RowsDone counts rows checkpointed (payloads and markers).
+	RowsDone uint64
+	// RowRetries counts row attempts beyond the first.
+	RowRetries uint64
+	// RowFailures counts rows that exhausted retries.
+	RowFailures uint64
+	// Depth is the current per-state job census.
+	Depth Depth
+}
+
+// Metrics snapshots the counters.
+func (m *Manager) Metrics() Metrics {
+	return Metrics{
+		Submitted:   m.submitted.Load(),
+		Completed:   m.completed.Load(),
+		Degraded:    m.degradedN.Load(),
+		Canceled:    m.canceledN.Load(),
+		Recovered:   m.recovered.Load(),
+		Resumed:     m.resumed.Load(),
+		RowsDone:    m.rowsDone.Load(),
+		RowRetries:  m.rowRetries.Load(),
+		RowFailures: m.rowFailures.Load(),
+		Depth:       m.Depth(),
+	}
+}
+
+// RowStatus is one row's position in a snapshot.
+type RowStatus struct {
+	Row      int             `json:"row"`
+	Done     bool            `json:"done"`
+	Attempts int             `json:"attempts,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Panic    bool            `json:"panic,omitempty"`
+	Data     json.RawMessage `json:"data,omitempty"`
+}
+
+// Snapshot is a job's externally visible state: status, progress, partial
+// rows, and — once terminal — the assembled result.
+type Snapshot struct {
+	ID        string            `json:"id"`
+	Key       string            `json:"key"`
+	State     State             `json:"state"`
+	Rows      int               `json:"rows"`
+	RowsDone  int               `json:"rows_done"`
+	RowsError int               `json:"rows_failed"`
+	Retries   int               `json:"retries"`
+	Created   time.Time         `json:"created"`
+	Finished  *time.Time        `json:"finished,omitempty"`
+	Request   engine.Request    `json:"request"`
+	Partial   []RowStatus       `json:"partial,omitempty"`
+	RowErrors []engine.RowError `json:"row_errors,omitempty"`
+	Result    *engine.Result    `json:"result,omitempty"`
+}
+
+// snapshot renders a job; full snapshots carry partial rows and results.
+func (m *Manager) snapshot(j *job, full bool) *Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := &Snapshot{
+		ID:      j.id,
+		Key:     j.key,
+		State:   j.state,
+		Rows:    len(j.rows),
+		Retries: j.retries,
+		Created: j.created,
+		Request: j.req,
+	}
+	for i := range j.rows {
+		done := j.rows[i] != nil || j.rowErrs[i] != nil
+		if done {
+			s.RowsDone++
+		}
+		if j.rowErrs[i] != nil {
+			s.RowsError++
+		}
+		if full && done {
+			rs := RowStatus{Row: i, Done: true, Attempts: j.attempts[i], Data: j.rows[i]}
+			if re := j.rowErrs[i]; re != nil {
+				rs.Error, rs.Panic, rs.Data = re.Err, re.Panic, nil
+			}
+			s.Partial = append(s.Partial, rs)
+		}
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
+	if full {
+		s.RowErrors = j.markers()
+		s.Result = j.result
+	}
+	return s
+}
