@@ -38,6 +38,7 @@ import (
 	"netpowerprop/internal/fattree"
 	"netpowerprop/internal/jobs"
 	"netpowerprop/internal/netsim"
+	"netpowerprop/internal/obs"
 	"netpowerprop/internal/ocs"
 	"netpowerprop/internal/report"
 	"netpowerprop/internal/traffic"
@@ -53,9 +54,10 @@ func main() {
 
 // app carries the durable-job options shared by every scenario command.
 type app struct {
-	job     bool
-	jobdir  string
-	killrow int
+	job      bool
+	jobdir   string
+	killrow  int
+	loglevel string
 }
 
 func run(args []string, w io.Writer) error {
@@ -65,10 +67,11 @@ func run(args []string, w io.Writer) error {
 	resume := fs.Bool("resume", false, "resume interrupted jobs from -jobdir and print their tables")
 	jobdir := fs.String("jobdir", "", "directory for durable job journals")
 	killrow := fs.Int("killrow", -1, "(testing) exit the process dead after checkpointing this row")
+	loglevel := fs.String("loglevel", "warn", "structured log level for durable jobs (debug, info, warn, error)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	a := &app{job: *job, jobdir: *jobdir, killrow: *killrow}
+	a := &app{job: *job, jobdir: *jobdir, killrow: *killrow, loglevel: *loglevel}
 	args = fs.Args()
 	if *resume {
 		if len(args) != 0 {
@@ -139,10 +142,15 @@ func (a *app) openJobs() (*jobs.Manager, error) {
 	if a.jobdir == "" {
 		return nil, fmt.Errorf("durable jobs need -jobdir (e.g. netsim -job -jobdir jobs faults)")
 	}
+	level, err := obs.ParseLevel(a.loglevel)
+	if err != nil {
+		return nil, err
+	}
 	opts := jobs.Options{
-		Dir:  a.jobdir,
-		Exec: engine.Default(),
-		Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, "netsim: "+format+"\n", args...) },
+		Dir:    a.jobdir,
+		Exec:   engine.Default(),
+		Logf:   func(format string, args ...any) { fmt.Fprintf(os.Stderr, "netsim: "+format+"\n", args...) },
+		Logger: obs.New(os.Stderr, level).With("component", "jobs"),
 	}
 	if a.killrow >= 0 {
 		kill := a.killrow
@@ -174,7 +182,7 @@ func (a *app) runJob(w io.Writer, req engine.Request) error {
 		return err
 	}
 	defer closeJobs(m)
-	snap, created, err := m.Submit(req)
+	snap, created, err := m.Submit(context.Background(), req)
 	if err != nil {
 		return err
 	}

@@ -5,12 +5,23 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"netpowerprop/internal/engine"
+	"netpowerprop/internal/obs"
 )
+
+// newWiredServer builds a server whose engine shares its registry, with
+// logs discarded — for tests that need custom engine options.
+func newWiredServer(opts engine.Options, timeout time.Duration) (*server, *engine.Engine) {
+	reg := obs.NewRegistry()
+	opts.Registry = reg
+	eng := engine.New(opts)
+	return newServer(eng, nil, timeout, obs.Nop(), reg), eng
+}
 
 // An injected panic in a scenario computation must come back as a 500 with
 // a JSON error body, bump the panic metric, and leave the server serving —
@@ -39,8 +50,8 @@ func TestPanicReturns500AndServerSurvives(t *testing.T) {
 	}
 	// The panic shows on /metrics and the process keeps answering.
 	metrics := getText(t, srv.URL+"/metrics")
-	if !strings.Contains(metrics, "engine_panics_total 1") {
-		t.Errorf("metrics missing engine_panics_total 1:\n%s", metrics)
+	if !strings.Contains(metrics, "netpowerprop_engine_panics_total 1") {
+		t.Errorf("metrics missing netpowerprop_engine_panics_total 1:\n%s", metrics)
 	}
 	ok, err := http.Get(srv.URL + "/v1/scenarios/chaos")
 	if err != nil {
@@ -54,8 +65,7 @@ func TestPanicReturns500AndServerSurvives(t *testing.T) {
 
 // A panic in the HTTP layer itself (not the engine) is also contained.
 func TestHandlerPanicContained(t *testing.T) {
-	eng := engine.New(engine.Options{})
-	s := newServer(eng, nil, time.Minute)
+	s, _ := newWiredServer(engine.Options{}, time.Minute)
 	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
 		panic("handler boom")
 	})
@@ -69,15 +79,15 @@ func TestHandlerPanicContained(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", resp.StatusCode)
 	}
-	if metrics := getText(t, srv.URL+"/metrics"); !strings.Contains(metrics, "http_panics_total 1") {
-		t.Errorf("metrics missing http_panics_total 1:\n%s", metrics)
+	if metrics := getText(t, srv.URL+"/metrics"); !strings.Contains(metrics, "netpowerprop_http_panics_total 1") {
+		t.Errorf("metrics missing netpowerprop_http_panics_total 1:\n%s", metrics)
 	}
 }
 
 // A request outlasting its deadline answers 504 and counts on /metrics.
 func TestDeadlineReturns504(t *testing.T) {
-	eng := engine.New(engine.Options{})
-	srv := httptest.NewServer(newServer(eng, nil, 30*time.Millisecond))
+	s, _ := newWiredServer(engine.Options{}, 30*time.Millisecond)
+	srv := httptest.NewServer(s)
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/v1/scenarios/chaos?sleep=10")
 	if err != nil {
@@ -87,17 +97,22 @@ func TestDeadlineReturns504(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504", resp.StatusCode)
 	}
-	if metrics := getText(t, srv.URL+"/metrics"); !strings.Contains(metrics, "engine_deadline_total 1") {
-		t.Errorf("metrics missing engine_deadline_total 1:\n%s", metrics)
+	metrics := getText(t, srv.URL+"/metrics")
+	if !strings.Contains(metrics, "netpowerprop_engine_deadline_total 1") {
+		t.Errorf("metrics missing netpowerprop_engine_deadline_total 1:\n%s", metrics)
+	}
+	// A deadline is not a cancellation; the canceled counter stays 0.
+	if !strings.Contains(metrics, "netpowerprop_engine_canceled_total 0") {
+		t.Errorf("metrics missing netpowerprop_engine_canceled_total 0:\n%s", metrics)
 	}
 }
 
 // When the bounded queue is full, requests shed with 503 + Retry-After.
 func TestOverloadReturns503(t *testing.T) {
-	eng := engine.New(engine.Options{Workers: 1, MaxQueue: 0})
 	// MaxQueue 0 normalizes to 4×workers; fill worker + queue with slow
 	// distinct requests, then expect a shed.
-	srv := httptest.NewServer(newServer(eng, nil, time.Minute))
+	s, eng := newWiredServer(engine.Options{Workers: 1, MaxQueue: 0}, time.Minute)
+	srv := httptest.NewServer(s)
 	defer srv.Close()
 	// Use distinct sleep values for distinct cache keys.
 	done := make(chan struct{}, 5)
@@ -127,11 +142,14 @@ func TestOverloadReturns503(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503", resp.StatusCode)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra == "" {
-		t.Error("503 carries no Retry-After header")
+	// Retry-After is derived from queue depth: a whole number of seconds
+	// in [1, 60], not a hardcoded constant.
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 60 {
+		t.Errorf("Retry-After = %q, want an integer in [1, 60]", ra)
 	}
-	if metrics := getText(t, srv.URL+"/metrics"); !strings.Contains(metrics, "engine_shed_total 1") {
-		t.Errorf("metrics missing engine_shed_total 1:\n%s", metrics)
+	if metrics := getText(t, srv.URL+"/metrics"); !strings.Contains(metrics, "netpowerprop_engine_shed_total 1") {
+		t.Errorf("metrics missing netpowerprop_engine_shed_total 1:\n%s", metrics)
 	}
 	for i := 0; i < 5; i++ {
 		<-done

@@ -11,17 +11,20 @@ import (
 
 	"netpowerprop/internal/engine"
 	"netpowerprop/internal/jobs"
+	"netpowerprop/internal/obs"
 )
 
-// newJobsTestServer builds a server with durable jobs over a temp dir.
+// newJobsTestServer builds a server with durable jobs over a temp dir,
+// the engine, jobs, and HTTP layers sharing one registry.
 func newJobsTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	eng := engine.New(engine.Options{})
-	jm, err := jobs.Open(jobs.Options{Dir: t.TempDir(), Exec: eng})
+	reg := obs.NewRegistry()
+	eng := engine.New(engine.Options{Registry: reg})
+	jm, err := jobs.Open(jobs.Options{Dir: t.TempDir(), Exec: eng, Registry: reg})
 	if err != nil {
 		t.Fatalf("jobs.Open: %v", err)
 	}
-	srv := httptest.NewServer(newServer(eng, jm, time.Minute))
+	srv := httptest.NewServer(newServer(eng, jm, time.Minute, obs.Nop(), reg))
 	t.Cleanup(func() {
 		srv.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -148,14 +151,18 @@ func TestJobsAPIHealthzDepthAndMetrics(t *testing.T) {
 	var buf bytes.Buffer
 	buf.ReadFrom(resp.Body)
 	for _, want := range []string{
-		"jobs_submitted_total 1",
-		"jobs_completed_total 1",
-		`jobs_depth{state="done"} 1`,
-		"engine_rows_executed_total 4",
+		"netpowerprop_jobs_submitted_total 1",
+		"netpowerprop_jobs_completed_total 1",
+		`netpowerprop_jobs_depth{state="done"} 1`,
+		"netpowerprop_engine_rows_executed_total 4",
+		"# TYPE netpowerprop_jobs_row_duration_seconds histogram",
 	} {
 		if !bytes.Contains(buf.Bytes(), []byte(want)) {
 			t.Errorf("metrics missing %q:\n%s", want, buf.String())
 		}
+	}
+	if err := obs.ValidateExposition(buf.Bytes()); err != nil {
+		t.Errorf("/metrics with jobs enabled is not valid exposition: %v", err)
 	}
 }
 
@@ -179,7 +186,8 @@ func TestJobsAPICancelAndUnknown(t *testing.T) {
 }
 
 func TestJobsAPIDisabledWithoutJobdir(t *testing.T) {
-	srv := httptest.NewServer(newServer(engine.New(engine.Options{}), nil, time.Minute))
+	s, _ := newWiredServer(engine.Options{}, time.Minute)
+	srv := httptest.NewServer(s)
 	defer srv.Close()
 	_, status := postJob(t, srv.URL, `{"op":"sweep"}`)
 	if status != http.StatusServiceUnavailable {

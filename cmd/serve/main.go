@@ -40,18 +40,21 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
-	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"netpowerprop/internal/engine"
 	"netpowerprop/internal/jobs"
+	"netpowerprop/internal/obs"
 )
 
 func main() {
@@ -62,77 +65,132 @@ func main() {
 	queue := flag.Int("queue", 0, "max queued computations before shedding (0 = 4x workers, negative = unbounded)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request computation timeout")
 	jobdir := flag.String("jobdir", "", "directory for durable job journals (empty disables /v1/jobs)")
+	logLevel := flag.String("loglevel", "info", "log verbosity: debug, info, warn, or error")
+	pprofAddr := flag.String("pprofaddr", "", "listen address for net/http/pprof (empty disables; keep it private)")
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	logger := obs.New(os.Stderr, level)
+	reg := obs.NewRegistry()
+
 	eng := engine.New(engine.Options{CacheSize: *cacheSize, CacheShards: *shards,
-		Workers: *workers, MaxQueue: *queue})
+		Workers: *workers, MaxQueue: *queue,
+		Logger: logger.With("component", "engine"), Registry: reg})
 	var jm *jobs.Manager
 	if *jobdir != "" {
-		var err error
-		jm, err = jobs.Open(jobs.Options{Dir: *jobdir, Exec: eng, Logf: log.Printf})
+		jm, err = jobs.Open(jobs.Options{Dir: *jobdir, Exec: eng, Logf: log.Printf,
+			Logger: logger.With("component", "jobs"), Registry: reg})
 		if err != nil {
 			log.Fatalf("serve: open job store: %v", err)
 		}
 		if n := jm.ResumeAll(); n > 0 {
-			log.Printf("serve: resumed %d interrupted job(s) from %s", n, *jobdir)
+			logger.Info("resumed interrupted jobs", "count", n, "dir", *jobdir)
 		}
 	}
-	srv := newServer(eng, jm, *timeout)
+	srv := newServer(eng, jm, *timeout, logger.With("component", "http"), reg)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr, logger)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serve: listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	select {
 	case err := <-errCh:
 		log.Fatalf("serve: %v", err)
 	case <-ctx.Done():
 	}
-	log.Printf("serve: shutting down")
+	logger.Info("shutting down")
 	srv.draining.Store(true)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("serve: shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	// Stop job runners at their next row boundary: every finished row is
 	// already journaled, so interrupted jobs resume without recomputation
 	// on the next start.
 	if jm != nil {
 		if err := jm.Close(shutdownCtx); err != nil {
-			log.Printf("serve: job drain: %v", err)
+			logger.Warn("job drain", "error", err)
 		}
 	}
 	// Drain in-flight engine computations so nothing is cut off mid-solve;
 	// bounded by the same shutdown deadline.
 	if err := eng.Drain(shutdownCtx); err != nil {
-		log.Printf("serve: drain: %v", err)
+		logger.Warn("engine drain", "error", err)
+	}
+}
+
+// servePprof exposes net/http/pprof on its own listener, kept off the API
+// address so profiling endpoints are never reachable through the public
+// port. Handlers are mounted explicitly on a fresh mux — importing
+// net/http/pprof also registers on http.DefaultServeMux, which this
+// server never serves.
+func servePprof(addr string, logger *obs.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof listening", "addr", addr)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("pprof listener failed", "addr", addr, "error", err)
 	}
 }
 
 // server routes API requests into the engine and the job manager.
 type server struct {
-	eng      *engine.Engine
-	jobs     *jobs.Manager // nil: /v1/jobs disabled
-	timeout  time.Duration
-	started  time.Time
-	mux      *http.ServeMux
-	requests atomic.Uint64
+	eng     *engine.Engine
+	jobs    *jobs.Manager // nil: /v1/jobs disabled
+	timeout time.Duration
+	started time.Time
+	mux     *http.ServeMux
+	log     *obs.Logger
+	reg     *obs.Registry
 	// panics counts HTTP handler panics recovered by ServeHTTP; draining
 	// flips when graceful shutdown begins, for /healthz.
 	panics   atomic.Uint64
 	draining atomic.Bool
+	// metricsMu guards the lazily created per-route/per-code series; the
+	// route and code sets are small and fixed by the mux, so the maps
+	// converge after the first request per combination.
+	metricsMu   sync.Mutex
+	reqCounters map[string]*obs.Counter
+	routeHists  map[string]*obs.Histogram
 }
 
-func newServer(eng *engine.Engine, jm *jobs.Manager, timeout time.Duration) *server {
-	s := &server{eng: eng, jobs: jm, timeout: timeout, started: time.Now(), mux: http.NewServeMux()}
+func newServer(eng *engine.Engine, jm *jobs.Manager, timeout time.Duration,
+	logger *obs.Logger, reg *obs.Registry) *server {
+	if logger == nil {
+		logger = obs.Nop()
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &server{eng: eng, jobs: jm, timeout: timeout, started: time.Now(),
+		mux: http.NewServeMux(), log: logger, reg: reg,
+		reqCounters: make(map[string]*obs.Counter),
+		routeHists:  make(map[string]*obs.Histogram)}
+	reg.CounterFunc("netpowerprop_http_panics_total",
+		"HTTP handler panics recovered by the serving middleware.",
+		func() float64 { return float64(s.panics.Load()) })
+	reg.GaugeFunc("netpowerprop_process_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for _, op := range []engine.Op{engine.OpWhatIf, engine.OpTable3, engine.OpFig3,
@@ -148,23 +206,103 @@ func newServer(eng *engine.Engine, jm *jobs.Manager, timeout time.Duration) *ser
 	return s
 }
 
-// ServeHTTP counts the request and contains handler panics: a panicking
+// statusWriter records the response status and byte count for the
+// request log and the per-route metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// route returns the mux pattern serving the request — the bounded label
+// for metrics and logs (URL paths would be unbounded cardinality).
+func (s *server) route(r *http.Request) string {
+	if _, pattern := s.mux.Handler(r); pattern != "" {
+		return pattern
+	}
+	return "unrouted"
+}
+
+// observe records one finished request in the per-route counters and
+// latency histogram, creating the labeled series on first use.
+func (s *server) observe(route string, status int, d time.Duration) {
+	code := strconv.Itoa(status)
+	key := route + "\x00" + code
+	s.metricsMu.Lock()
+	c, ok := s.reqCounters[key]
+	if !ok {
+		c = s.reg.Counter("netpowerprop_http_requests_total",
+			"HTTP requests served, by route pattern and status code.",
+			"route", route, "code", code)
+		s.reqCounters[key] = c
+	}
+	h, ok := s.routeHists[route]
+	if !ok {
+		h = s.reg.Histogram("netpowerprop_http_request_duration_seconds",
+			"HTTP request latency, by route pattern.",
+			obs.DefLatencyBuckets, "route", route)
+		s.routeHists[route] = h
+	}
+	s.metricsMu.Unlock()
+	c.Inc()
+	h.ObserveDuration(d)
+}
+
+// ServeHTTP is the serving middleware: it stamps (or propagates) the
+// request's X-Trace-Id, records per-route metrics, emits one structured
+// log line per request, and contains handler panics — a panicking
 // handler answers 500 JSON and bumps a counter instead of killing the
 // process. (Engine-side panics are already converted to errors by the
 // engine; this guards the serving path itself.)
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	start := time.Now()
+	trace := r.Header.Get("X-Trace-Id")
+	if !obs.ValidTraceID(trace) {
+		// Absent or unsafe (header injection, log forgery): mint a fresh
+		// ID rather than echoing attacker-controlled bytes.
+		trace = obs.NewTraceID()
+	}
+	w.Header().Set("X-Trace-Id", trace)
+	r = r.WithContext(obs.WithTraceID(r.Context(), trace))
+	route := s.route(r)
+	sw := &statusWriter{ResponseWriter: w}
 	defer func() {
 		if v := recover(); v != nil {
 			s.panics.Add(1)
-			log.Printf("serve: panic in %s %s: %v", r.Method, r.URL.Path, v)
+			s.log.Error("panic in handler", "trace", trace, "method", r.Method,
+				"path", r.URL.Path, "panic", v)
 			// Best-effort: if the handler already wrote a response this
 			// header write is a no-op error, not a crash.
-			writeJSON(w, http.StatusInternalServerError,
+			writeJSON(sw, http.StatusInternalServerError,
 				apiError{Error: fmt.Sprintf("internal error: %v", v)})
 		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		dur := time.Since(start)
+		s.observe(route, status, dur)
+		s.log.Info("request", "trace", trace, "method", r.Method, "route", route,
+			"path", r.URL.Path, "status", status, "bytes", sw.bytes,
+			"dur", dur.Round(time.Microsecond))
 	}()
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sw, r)
 }
 
 // apiResponse wraps a result with its serving metadata.
@@ -187,13 +325,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// retryAfterSeconds derives the Retry-After hint from actual queue
+// state: the expected time to drain the pending computations through the
+// worker pool, using the engine's measured mean compute time, clamped to
+// [1, 60] seconds. A draining server reports at least drainRetryAfter —
+// the queue will not empty in this process; clients should wait for the
+// restart.
+func (s *server) retryAfterSeconds() int {
+	m := s.eng.Metrics()
+	avg := 0.05 // prior before any computation has finished
+	if m.Computations > 0 {
+		avg = m.ComputeSeconds / float64(m.Computations)
+	}
+	secs := int(math.Ceil(avg * float64(m.Pending) / float64(s.eng.Workers())))
+	if s.draining.Load() && secs < drainRetryAfter {
+		secs = drainRetryAfter
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// drainRetryAfter is the minimum Retry-After (seconds) while draining.
+const drainRetryAfter = 5
+
+func (s *server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	var pe *engine.PanicError
 	switch {
 	case errors.Is(err, engine.ErrOverloaded):
-		// Shed load: tell clients when to come back.
-		w.Header().Set("Retry-After", "1")
+		// Shed load: tell clients when the queue should actually have
+		// drained, not a fixed guess.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		status = http.StatusServiceUnavailable
 	case errors.As(err, &pe):
 		status = http.StatusInternalServerError
@@ -294,7 +461,7 @@ func (s *server) serve(w http.ResponseWriter, r *http.Request, req engine.Reques
 	start := time.Now()
 	res, cached, err := s.eng.Do(ctx, req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if cached {
@@ -317,7 +484,7 @@ func (s *server) handleOp(op engine.Op) http.HandlerFunc {
 		}
 		req, err := decodeRequest(r)
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		req.Op = op
@@ -334,7 +501,7 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodPost {
 		var err error
 		if req, err = decodeRequest(r); err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		req.Op = engine.OpScenario
@@ -351,7 +518,7 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 			}
 			v, err := strconv.ParseFloat(vals[0], 64)
 			if err != nil {
-				writeError(w, fmt.Errorf("parameter %s: %w", name, err))
+				s.writeError(w, fmt.Errorf("parameter %s: %w", name, err))
 				return
 			}
 			params[name] = v
@@ -387,16 +554,19 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	req, err := decodeRequest(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	snap, created, err := s.jobs.Submit(req)
+	snap, created, err := s.jobs.Submit(r.Context(), req)
 	if err != nil {
 		if errors.Is(err, jobs.ErrClosed) {
+			// Drain rejection: the manager is shutting down; tell clients
+			// when a restarted server should be taking work again.
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 			return
 		}
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	status := http.StatusOK
@@ -471,53 +641,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, h)
 }
 
-// handleMetrics renders the engine counters in Prometheus text format.
+// handleMetrics renders the shared registry — engine, jobs, and HTTP
+// metrics under the netpowerprop_* namespace — in Prometheus text
+// exposition format, # HELP/# TYPE lines included.
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	m := s.eng.Metrics()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "engine_cache_hits_total %d\n", m.Hits)
-	fmt.Fprintf(w, "engine_cache_misses_total %d\n", m.Misses)
-	fmt.Fprintf(w, "engine_singleflight_shared_total %d\n", m.Shared)
-	fmt.Fprintf(w, "engine_computations_total %d\n", m.Computations)
-	fmt.Fprintf(w, "engine_errors_total %d\n", m.Errors)
-	fmt.Fprintf(w, "engine_cache_evictions_total %d\n", m.Evictions)
-	fmt.Fprintf(w, "engine_cache_entries %d\n", m.CacheEntries)
-	fmt.Fprintf(w, "engine_inflight %d\n", m.InFlight)
-	fmt.Fprintf(w, "engine_pending %d\n", m.Pending)
-	fmt.Fprintf(w, "engine_panics_total %d\n", m.Panics)
-	fmt.Fprintf(w, "engine_shed_total %d\n", m.Sheds)
-	fmt.Fprintf(w, "engine_deadline_total %d\n", m.Deadlines)
-	fmt.Fprintf(w, "engine_compute_seconds_total %g\n", m.ComputeSeconds)
-	ops := make([]string, 0, len(m.PerOp))
-	for op := range m.PerOp {
-		ops = append(ops, string(op))
-	}
-	sort.Strings(ops)
-	for _, op := range ops {
-		st := m.PerOp[engine.Op(op)]
-		fmt.Fprintf(w, "engine_compute_duration_seconds_count{op=%q} %d\n", op, st.Count)
-		fmt.Fprintf(w, "engine_compute_duration_seconds_sum{op=%q} %g\n", op, st.Seconds)
-	}
-	fmt.Fprintf(w, "engine_rows_executed_total %d\n", m.RowsExecuted)
-	fmt.Fprintf(w, "engine_row_compute_seconds_total %g\n", m.RowSeconds)
-	fmt.Fprintf(w, "http_requests_total %d\n", s.requests.Load())
-	fmt.Fprintf(w, "http_panics_total %d\n", s.panics.Load())
-	if s.jobs != nil {
-		jm := s.jobs.Metrics()
-		fmt.Fprintf(w, "jobs_submitted_total %d\n", jm.Submitted)
-		fmt.Fprintf(w, "jobs_completed_total %d\n", jm.Completed)
-		fmt.Fprintf(w, "jobs_degraded_total %d\n", jm.Degraded)
-		fmt.Fprintf(w, "jobs_canceled_total %d\n", jm.Canceled)
-		fmt.Fprintf(w, "jobs_recovered_total %d\n", jm.Recovered)
-		fmt.Fprintf(w, "jobs_resumed_total %d\n", jm.Resumed)
-		fmt.Fprintf(w, "jobs_rows_done_total %d\n", jm.RowsDone)
-		fmt.Fprintf(w, "jobs_row_retries_total %d\n", jm.RowRetries)
-		fmt.Fprintf(w, "jobs_row_failures_total %d\n", jm.RowFailures)
-		fmt.Fprintf(w, "jobs_depth{state=\"running\"} %d\n", jm.Depth.Running)
-		fmt.Fprintf(w, "jobs_depth{state=\"queued\"} %d\n", jm.Depth.Queued)
-		fmt.Fprintf(w, "jobs_depth{state=\"interrupted\"} %d\n", jm.Depth.Interrupted)
-		fmt.Fprintf(w, "jobs_depth{state=\"done\"} %d\n", jm.Depth.Done)
-		fmt.Fprintf(w, "jobs_depth{state=\"degraded\"} %d\n", jm.Depth.Degraded)
-		fmt.Fprintf(w, "jobs_depth{state=\"canceled\"} %d\n", jm.Depth.Canceled)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.Render(w); err != nil {
+		s.log.Warn("metrics render", "error", err)
 	}
 }

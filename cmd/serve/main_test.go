@@ -13,13 +13,25 @@ import (
 	"time"
 
 	"netpowerprop/internal/engine"
+	"netpowerprop/internal/obs"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
-	t.Helper()
-	srv := httptest.NewServer(newServer(engine.New(engine.Options{}), nil, time.Minute))
-	t.Cleanup(srv.Close)
+	srv, _ := newTestServerWithSink(t)
 	return srv
+}
+
+// newTestServerWithSink builds a fully wired test server — engine and
+// HTTP layer sharing one registry — with logs captured in a sink.
+func newTestServerWithSink(t *testing.T) (*httptest.Server, *obs.MemSink) {
+	t.Helper()
+	var sink obs.MemSink
+	logger := obs.New(&sink, obs.LevelDebug)
+	reg := obs.NewRegistry()
+	eng := engine.New(engine.Options{Logger: logger.With("component", "engine"), Registry: reg})
+	srv := httptest.NewServer(newServer(eng, nil, time.Minute, logger.With("component", "http"), reg))
+	t.Cleanup(srv.Close)
+	return srv, &sink
 }
 
 func getJSON(t *testing.T, url string, v any) *http.Response {
@@ -129,16 +141,22 @@ func TestCacheHit(t *testing.T) {
 	}
 	metrics := string(raw)
 	for _, want := range []string{
-		"engine_cache_hits_total 1",
-		"engine_cache_misses_total 1",
-		"engine_computations_total 1",
-		`engine_compute_duration_seconds_count{op="whatif"} 1`,
-		`engine_compute_duration_seconds_sum{op="whatif"} `,
-		`engine_compute_duration_seconds_count{op="table3"} 0`,
+		"netpowerprop_engine_cache_hits_total 1",
+		"netpowerprop_engine_cache_misses_total 1",
+		"netpowerprop_engine_computations_total 1",
+		"# TYPE netpowerprop_engine_compute_duration_seconds histogram",
+		`netpowerprop_engine_compute_duration_seconds_count{op="whatif"} 1`,
+		`netpowerprop_engine_compute_duration_seconds_sum{op="whatif"} `,
+		`netpowerprop_engine_compute_duration_seconds_count{op="table3"} 0`,
+		`netpowerprop_engine_compute_duration_seconds_bucket{op="whatif",le="+Inf"} 1`,
+		`netpowerprop_http_requests_total{route="/v1/whatif",code="200"} `,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
 		}
+	}
+	if err := obs.ValidateExposition(raw); err != nil {
+		t.Errorf("/metrics is not valid exposition format: %v", err)
 	}
 }
 

@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"netpowerprop/internal/obs"
 )
 
 // Options configures an Engine. Zero values select sensible defaults.
@@ -32,6 +34,14 @@ type Options struct {
 	// ErrOverloaded instead of queuing without bound. Zero selects
 	// 4×Workers; negative disables shedding.
 	MaxQueue int
+	// Logger receives structured engine events (cache hits/misses at
+	// debug, sheds and deadlines at warn, recovered panics at error),
+	// each tagged with the request's trace ID. Nil discards.
+	Logger *obs.Logger
+	// Registry, when non-nil, receives every engine metric under the
+	// netpowerprop_engine_* namespace, including per-op latency
+	// histograms. Register at most one engine per registry.
+	Registry *obs.Registry
 }
 
 // Engine answers what-if requests, memoizing results by canonical key.
@@ -56,6 +66,7 @@ type Engine struct {
 	panics    atomic.Uint64
 	sheds     atomic.Uint64
 	deadlines atomic.Uint64
+	canceled  atomic.Uint64
 	lastPanic atomic.Int64
 	// rowsExecuted/rowNanos count job rows run through ExecRow — the
 	// row-level execution surface internal/jobs checkpoints against.
@@ -65,12 +76,16 @@ type Engine struct {
 	// is built once in New (one entry per registered Op) and never written
 	// afterwards, so lookups are safe without a lock.
 	opStats map[Op]*opStat
+	// log and rowHist are set by instrument (always non-nil after New).
+	log     *obs.Logger
+	rowHist *obs.Histogram
 }
 
 // opStat accumulates per-operation compute counters.
 type opStat struct {
 	count atomic.Uint64
 	nanos atomic.Int64
+	hist  *obs.Histogram
 }
 
 // allOps lists every registered operation, for per-op metric setup.
@@ -94,7 +109,7 @@ func New(opts Options) *Engine {
 	for _, op := range allOps {
 		stats[op] = new(opStat)
 	}
-	return &Engine{
+	e := &Engine{
 		cache:    newCache(opts.CacheSize, opts.CacheShards),
 		flight:   newFlightGroup(),
 		sem:      make(chan struct{}, opts.Workers),
@@ -102,7 +117,13 @@ func New(opts Options) *Engine {
 		maxQueue: opts.MaxQueue,
 		opStats:  stats,
 	}
+	e.instrument(opts.Logger, opts.Registry)
+	return e
 }
+
+// Workers is the size of the bounded compute pool; servers use it to
+// derive Retry-After hints from queue depth.
+func (e *Engine) Workers() int { return e.workers }
 
 var (
 	defaultOnce   sync.Once
@@ -131,9 +152,15 @@ func (e *Engine) Do(ctx context.Context, req Request) (res *Result, cached bool,
 	key := norm.Key()
 	if res, ok := e.cache.Get(key); ok {
 		e.hits.Add(1)
+		if e.log.Enabled(obs.LevelDebug) {
+			e.log.Debug("cache hit", "trace", obs.TraceID(ctx), "op", string(norm.Op))
+		}
 		return res, true, nil
 	}
 	e.misses.Add(1)
+	if e.log.Enabled(obs.LevelDebug) {
+		e.log.Debug("cache miss", "trace", obs.TraceID(ctx), "op", string(norm.Op))
+	}
 	res, shared, err := e.flight.do(ctx, key, func() (*Result, error) {
 		return e.computeAndCache(ctx, key, norm)
 	})
@@ -142,8 +169,16 @@ func (e *Engine) Do(ctx context.Context, req Request) (res *Result, cached bool,
 	}
 	if err != nil {
 		e.errors.Add(1)
-		if errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
 			e.deadlines.Add(1)
+			e.log.Warn("deadline exceeded", "trace", obs.TraceID(ctx), "op", string(norm.Op))
+		case errors.Is(err, context.Canceled):
+			// A client that disconnected (or otherwise canceled) is not a
+			// deadline: count it separately so overload diagnosis does not
+			// conflate the two.
+			e.canceled.Add(1)
+			e.log.Debug("request canceled", "trace", obs.TraceID(ctx), "op", string(norm.Op))
 		}
 		return nil, false, err
 	}
@@ -160,6 +195,8 @@ func (e *Engine) computeAndCache(ctx context.Context, key string, req Request) (
 	if p := e.pending.Add(1); e.maxQueue >= 0 && p > int64(e.workers+e.maxQueue) {
 		e.pending.Add(-1)
 		e.sheds.Add(1)
+		e.log.Warn("request shed", "trace", obs.TraceID(ctx), "op", string(req.Op),
+			"pending", p-1, "workers", e.workers, "maxqueue", e.maxQueue)
 		return nil, ErrOverloaded
 	}
 	type outcome struct {
@@ -184,6 +221,7 @@ func (e *Engine) computeAndCache(ctx context.Context, key string, req Request) (
 		if st := e.opStats[req.Op]; st != nil {
 			st.count.Add(1)
 			st.nanos.Add(elapsed)
+			st.hist.ObserveDuration(time.Duration(elapsed))
 		}
 		e.inFlight.Add(-1)
 		e.computations.Add(1)
@@ -236,6 +274,9 @@ type Metrics struct {
 	Sheds uint64
 	// Deadlines counts requests that failed with a deadline exceeded.
 	Deadlines uint64
+	// Canceled counts requests abandoned because the caller canceled
+	// (typically a client disconnect), distinct from Deadlines.
+	Canceled uint64
 	// RowsExecuted counts job rows run through ExecRow.
 	RowsExecuted uint64
 	// RowSeconds is the cumulative compute time spent in job rows.
@@ -278,6 +319,7 @@ func (e *Engine) Metrics() Metrics {
 		Panics:         e.panics.Load(),
 		Sheds:          e.sheds.Load(),
 		Deadlines:      e.deadlines.Load(),
+		Canceled:       e.canceled.Load(),
 		RowsExecuted:   e.rowsExecuted.Load(),
 		RowSeconds:     float64(e.rowNanos.Load()) / 1e9,
 		CacheEntries:   e.cache.Len(),

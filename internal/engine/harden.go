@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"time"
+
+	"netpowerprop/internal/obs"
 )
 
 // ErrOverloaded is returned (without computing anything) when the engine's
@@ -39,6 +41,8 @@ func (e *Engine) safeCompute(ctx context.Context, req Request) (res *Result, err
 		if errors.As(err, &pe) {
 			e.panics.Add(1)
 			e.lastPanic.Store(time.Now().UnixNano())
+			e.log.Error("panic recovered in computation",
+				"trace", obs.TraceID(ctx), "op", string(req.Op), "panic", pe.Val)
 		}
 	}()
 	return compute(ctx, req)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"netpowerprop/internal/core"
+	"netpowerprop/internal/obs"
 	"netpowerprop/internal/units"
 )
 
@@ -282,12 +283,16 @@ func (e *Engine) ExecRow(ctx context.Context, p *RowPlan, i int) (json.RawMessag
 	defer func() { <-e.sem }()
 	start := time.Now()
 	data, err := p.runRow(ctx, i)
-	e.rowNanos.Add(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	e.rowNanos.Add(int64(elapsed))
 	e.rowsExecuted.Add(1)
+	e.rowHist.ObserveDuration(elapsed)
 	var pe *PanicError
 	if errors.As(err, &pe) {
 		e.panics.Add(1)
 		e.lastPanic.Store(time.Now().UnixNano())
+		e.log.Error("panic recovered in row",
+			"trace", obs.TraceID(ctx), "op", string(p.req.Op), "row", i, "panic", pe.Val)
 	}
 	return data, err
 }

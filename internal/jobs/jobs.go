@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"netpowerprop/internal/engine"
+	"netpowerprop/internal/obs"
 )
 
 // Executor plans and runs rows. *engine.Engine satisfies it; tests
@@ -101,16 +102,26 @@ type Options struct {
 	OnRowCheckpoint func(id string, row int) error
 	// Logf receives recovery/skip diagnostics (default: discard).
 	Logf func(format string, args ...any)
+	// Logger receives structured lifecycle events — submit, resume,
+	// retry, checkpoint, drain, terminal — each carrying the job id, key,
+	// row, attempt, and the submitting request's trace ID. Nil discards.
+	Logger *obs.Logger
+	// Registry, when non-nil, receives every jobs metric under the
+	// netpowerprop_jobs_* namespace, including a row-latency histogram.
+	// Register at most one manager per registry.
+	Registry *obs.Registry
 }
 
 // Manager owns the job table, the journal directory, and the runner pool.
 type Manager struct {
-	dir   string
-	exec  Executor
-	clock Clock
-	retry RetryPolicy
-	hook  func(id string, row int) error
-	logf  func(format string, args ...any)
+	dir     string
+	exec    Executor
+	clock   Clock
+	retry   RetryPolicy
+	hook    func(id string, row int) error
+	logf    func(format string, args ...any)
+	log     *obs.Logger
+	rowHist *obs.Histogram
 
 	slots     chan struct{}
 	drain     chan struct{}
@@ -136,11 +147,12 @@ type Manager struct {
 
 // job is one durable unit of work.
 type job struct {
-	id   string
-	key  string
-	req  engine.Request
-	plan *engine.RowPlan
-	path string
+	id    string
+	key   string
+	req   engine.Request
+	plan  *engine.RowPlan
+	path  string
+	trace string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -196,6 +208,9 @@ func Open(opts Options) (*Manager, error) {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	if opts.Logger == nil {
+		opts.Logger = obs.Nop()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		dir:      opts.Dir,
@@ -204,17 +219,65 @@ func Open(opts Options) (*Manager, error) {
 		retry:    opts.Retry.withDefaults(),
 		hook:     opts.OnRowCheckpoint,
 		logf:     opts.Logf,
+		log:      opts.Logger,
 		slots:    make(chan struct{}, opts.MaxConcurrent),
 		drain:    make(chan struct{}),
 		hardCtx:  ctx,
 		hardStop: cancel,
 		jobs:     make(map[string]*job),
 	}
+	m.instrument(opts.Registry)
 	if err := m.recover(); err != nil {
 		cancel()
 		return nil, err
 	}
 	return m, nil
+}
+
+// instrument registers the manager's metrics under netpowerprop_jobs_*.
+// The histogram exists even without a registry so observations are
+// always safe.
+func (m *Manager) instrument(reg *obs.Registry) {
+	if reg == nil {
+		m.rowHist = obs.NewHistogram(obs.DefLatencyBuckets)
+		return
+	}
+	m.rowHist = reg.Histogram("netpowerprop_jobs_row_duration_seconds",
+		"Latency of one job-row attempt, including engine queueing.",
+		obs.DefLatencyBuckets)
+	counter := func(name, help string, v *atomic.Uint64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	counter("netpowerprop_jobs_submitted_total",
+		"Jobs accepted by Submit (new runs only).", &m.submitted)
+	counter("netpowerprop_jobs_completed_total",
+		"Jobs finishing with every row successful.", &m.completed)
+	counter("netpowerprop_jobs_degraded_total",
+		"Jobs finishing with at least one failed row.", &m.degradedN)
+	counter("netpowerprop_jobs_canceled_total",
+		"Jobs canceled before completion.", &m.canceledN)
+	counter("netpowerprop_jobs_recovered_total",
+		"Incomplete jobs reloaded from journals at Open.", &m.recovered)
+	counter("netpowerprop_jobs_resumed_total",
+		"Interrupted jobs restarted by ResumeAll or Submit.", &m.resumed)
+	counter("netpowerprop_jobs_rows_done_total",
+		"Rows checkpointed (payloads and exhausted markers).", &m.rowsDone)
+	counter("netpowerprop_jobs_row_retries_total",
+		"Row attempts beyond the first.", &m.rowRetries)
+	counter("netpowerprop_jobs_row_failures_total",
+		"Rows that exhausted their retries.", &m.rowFailures)
+	depth := func(state string, count func(Depth) int) {
+		reg.GaugeFunc("netpowerprop_jobs_depth",
+			"Jobs currently in each lifecycle state.",
+			func() float64 { return float64(count(m.Depth())) },
+			"state", state)
+	}
+	depth("running", func(d Depth) int { return d.Running })
+	depth("queued", func(d Depth) int { return d.Queued })
+	depth("interrupted", func(d Depth) int { return d.Interrupted })
+	depth("done", func(d Depth) int { return d.Done })
+	depth("degraded", func(d Depth) int { return d.Degraded })
+	depth("canceled", func(d Depth) int { return d.Canceled })
 }
 
 // recover replays every journal in the directory.
@@ -262,7 +325,7 @@ func (m *Manager) recoverFile(path string) error {
 	if plan.Rows() != sub.Rows {
 		return fmt.Errorf("row count changed (journal %d, plan %d)", sub.Rows, plan.Rows())
 	}
-	j := m.newJob(sub.ID, plan, path)
+	j := m.newJob(sub.ID, plan, path, sub.Trace)
 	var terminal State
 	for _, rec := range recs[1:] {
 		switch rec.T {
@@ -302,20 +365,25 @@ func (m *Manager) recoverFile(path string) error {
 	default:
 		j.state = StateInterrupted
 		m.recovered.Add(1)
+		m.log.Info("job recovered", "job", j.id, "key", j.key,
+			"rows_done", j.done, "rows", plan.Rows(), "trace", j.trace)
 	}
 	m.jobs[j.id] = j
 	return nil
 }
 
-// newJob allocates the in-memory job shell.
-func (m *Manager) newJob(id string, plan *engine.RowPlan, path string) *job {
-	ctx, cancel := context.WithCancel(m.hardCtx)
+// newJob allocates the in-memory job shell. The trace ID is embedded in
+// the job's context so engine-level logs from its rows carry the same
+// trace as the submitting request.
+func (m *Manager) newJob(id string, plan *engine.RowPlan, path, trace string) *job {
+	ctx, cancel := context.WithCancel(obs.WithTraceID(m.hardCtx, trace))
 	return &job{
 		id:       id,
 		key:      plan.Key(),
 		req:      plan.Request(),
 		plan:     plan,
 		path:     path,
+		trace:    trace,
 		ctx:      ctx,
 		cancel:   cancel,
 		state:    StateQueued,
@@ -342,11 +410,17 @@ func (j *job) markers() []engine.RowError {
 // key: resubmitting an identical request returns the existing job
 // (created=false) whether it is queued, running, finished, or — after a
 // restart — interrupted, in which case the submit resumes it. Only a
-// canceled job is restarted from scratch with a fresh journal.
-func (m *Manager) Submit(req engine.Request) (*Snapshot, bool, error) {
+// canceled job is restarted from scratch with a fresh journal. The
+// context's trace ID (minted here when absent) is journaled with the
+// job and tags every lifecycle log line, including after a resume.
+func (m *Manager) Submit(ctx context.Context, req engine.Request) (*Snapshot, bool, error) {
 	plan, err := m.exec.Plan(req)
 	if err != nil {
 		return nil, false, err
+	}
+	trace := obs.TraceID(ctx)
+	if trace == "" {
+		trace = obs.NewTraceID()
 	}
 	id := jobID(plan.Key())
 	m.mu.Lock()
@@ -360,6 +434,8 @@ func (m *Manager) Submit(req engine.Request) (*Snapshot, bool, error) {
 		j.mu.Unlock()
 		if st != StateCanceled {
 			m.mu.Unlock()
+			m.log.Debug("job resubmitted", "job", id, "state", string(st),
+				"trace", trace, "jobtrace", j.trace)
 			if st == StateInterrupted {
 				m.resume(j)
 			}
@@ -367,7 +443,7 @@ func (m *Manager) Submit(req engine.Request) (*Snapshot, bool, error) {
 		}
 		delete(m.jobs, id) // canceled: rerun from scratch
 	}
-	j := m.newJob(id, plan, filepath.Join(m.dir, id+".jsonl"))
+	j := m.newJob(id, plan, filepath.Join(m.dir, id+".jsonl"), trace)
 	jl, err := createJournal(j.path)
 	if err != nil {
 		m.mu.Unlock()
@@ -377,7 +453,7 @@ func (m *Manager) Submit(req engine.Request) (*Snapshot, bool, error) {
 	reqCopy := j.req
 	if err := jl.append(record{
 		T: recSubmit, ID: id, Key: j.key, Req: &reqCopy,
-		Rows: plan.Rows(), At: m.clock.Now().UnixNano(),
+		Rows: plan.Rows(), Trace: trace, At: m.clock.Now().UnixNano(),
 	}); err != nil {
 		jl.close()
 		m.mu.Unlock()
@@ -386,6 +462,8 @@ func (m *Manager) Submit(req engine.Request) (*Snapshot, bool, error) {
 	m.jobs[id] = j
 	m.mu.Unlock()
 	m.submitted.Add(1)
+	m.log.Info("job submitted", "job", id, "key", j.key,
+		"op", string(j.req.Op), "rows", plan.Rows(), "trace", trace)
 	m.start(j)
 	return m.snapshot(j, true), true, nil
 }
@@ -405,8 +483,11 @@ func (m *Manager) resume(j *job) {
 	}
 	j.jl = jl
 	j.state = StateQueued
+	done := j.done
 	j.mu.Unlock()
 	m.resumed.Add(1)
+	m.log.Info("job resumed", "job", j.id, "key", j.key,
+		"rows_done", done, "rows", j.plan.Rows(), "trace", j.trace)
 	m.start(j)
 }
 
@@ -503,6 +584,14 @@ func (m *Manager) runJob(j *job) {
 			m.markInterrupted(j)
 			return
 		}
+		if m.log.Enabled(obs.LevelInfo) {
+			kv := []any{"job", j.id, "key", j.key, "row", i,
+				"attempts", attempts, "trace", j.trace}
+			if rerr != nil {
+				kv = append(kv, "error", rerr.Err, "panic", rerr.Panic)
+			}
+			m.log.Info("row checkpointed", kv...)
+		}
 		if m.hook != nil {
 			if err := m.hook(j.id, i); err != nil {
 				// Simulated crash: stop dead, no terminal record. The
@@ -520,7 +609,9 @@ func (m *Manager) runJob(j *job) {
 // the typed marker after retries are exhausted.
 func (m *Manager) execRowWithRetry(j *job, plan *engine.RowPlan, i int) (data json.RawMessage, attempts int, rerr *engine.RowError, stopped bool) {
 	for attempt := 1; ; attempt++ {
+		start := m.clock.Now()
 		data, err := m.exec.ExecRow(j.ctx, plan, i)
+		m.rowHist.ObserveDuration(m.clock.Now().Sub(start))
 		if err == nil {
 			return data, attempt, nil, false
 		}
@@ -529,6 +620,9 @@ func (m *Manager) execRowWithRetry(j *job, plan *engine.RowPlan, i int) (data js
 		}
 		if attempt >= m.retry.MaxAttempts {
 			var pe *engine.PanicError
+			m.log.Warn("row failed, retries exhausted", "job", j.id, "key", j.key,
+				"row", i, "attempts", attempt, "error", err.Error(),
+				"panic", errors.As(err, &pe), "trace", j.trace)
 			return nil, attempt, &engine.RowError{
 				Row: i, Err: err.Error(), Panic: errors.As(err, &pe),
 			}, false
@@ -537,7 +631,11 @@ func (m *Manager) execRowWithRetry(j *job, plan *engine.RowPlan, i int) (data js
 		j.mu.Lock()
 		j.retries++
 		j.mu.Unlock()
-		if m.sleepRetry(j, m.retry.Delay(j.key, i, attempt)) != nil {
+		delay := m.retry.Delay(j.key, i, attempt)
+		m.log.Warn("row retry", "job", j.id, "key", j.key, "row", i,
+			"attempt", attempt, "delay", delay, "error", err.Error(),
+			"trace", j.trace)
+		if m.sleepRetry(j, delay) != nil {
 			return nil, attempt, nil, true
 		}
 	}
@@ -590,11 +688,15 @@ func (m *Manager) finishJob(j *job) {
 	jl.close()
 	if state == StateDone {
 		m.completed.Add(1)
+		m.log.Info("job done", "job", j.id, "key", j.key,
+			"rows", len(j.rows), "trace", j.trace)
 		if p, ok := m.exec.(cachePrimer); ok {
 			p.Prime(j.key, res)
 		}
 	} else {
 		m.degradedN.Add(1)
+		m.log.Warn("job degraded", "job", j.id, "key", j.key,
+			"rows", len(j.rows), "rows_failed", len(markers), "trace", j.trace)
 	}
 	j.cancel()
 	close(j.doneCh)
@@ -618,6 +720,7 @@ func (m *Manager) finishCanceled(j *job) {
 		jl.close()
 	}
 	m.canceledN.Add(1)
+	m.log.Info("job canceled", "job", j.id, "key", j.key, "trace", j.trace)
 	j.cancel()
 	close(j.doneCh)
 }
@@ -634,10 +737,12 @@ func (m *Manager) markInterrupted(j *job) {
 	if j.jl != nil {
 		j.jl.close()
 	}
+	m.log.Info("job interrupted", "job", j.id, "key", j.key,
+		"rows_done", j.done, "rows", len(j.rows), "trace", j.trace)
 	// Re-arm so a later resume can start a fresh runner.
 	j.cancel()
 	j.startOnce = sync.Once{}
-	j.ctx, j.cancel = context.WithCancel(m.hardCtx)
+	j.ctx, j.cancel = context.WithCancel(obs.WithTraceID(m.hardCtx, j.trace))
 }
 
 // draining reports whether Close has begun.
@@ -738,7 +843,10 @@ func (m *Manager) Close(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true
 	m.mu.Unlock()
-	m.drainOnce.Do(func() { close(m.drain) })
+	m.drainOnce.Do(func() {
+		m.log.Info("manager draining", "depth_running", m.Depth().Running)
+		close(m.drain)
+	})
 	done := make(chan struct{})
 	go func() {
 		m.wg.Wait()

@@ -96,7 +96,7 @@ func TestJobMatchesSynchronousResult(t *testing.T) {
 	m, eng := newManager(t, dir, Options{})
 	req := sweepReq(6)
 
-	snap, created, err := m.Submit(req)
+	snap, created, err := m.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -129,13 +129,13 @@ func TestSubmitIsIdempotentByCanonicalKey(t *testing.T) {
 	dir := t.TempDir()
 	m, _ := newManager(t, dir, Options{})
 
-	s1, created1, err := m.Submit(sweepReq(6))
+	s1, created1, err := m.Submit(context.Background(), sweepReq(6))
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
 	// A differently spelled but identical request (steps 6 is explicit
 	// here, and the default interp resolves the same) maps to the same job.
-	s2, created2, err := m.Submit(engine.Request{Op: engine.OpSweep, Steps: 6, Bandwidth: "400G"})
+	s2, created2, err := m.Submit(context.Background(), engine.Request{Op: engine.OpSweep, Steps: 6, Bandwidth: "400G"})
 	if err != nil {
 		t.Fatalf("re-Submit: %v", err)
 	}
@@ -173,7 +173,7 @@ func TestKillMidJobThenRecoverIsByteIdentical(t *testing.T) {
 			return nil
 		},
 	})
-	snap, _, err := m1.Submit(req)
+	snap, _, err := m1.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -239,7 +239,7 @@ func TestTornJournalTailIsTruncatedAndResumed(t *testing.T) {
 			return nil
 		},
 	})
-	snap, _, err := m1.Submit(req)
+	snap, _, err := m1.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -287,7 +287,7 @@ func TestRecoveredDoneJobServesResultWithoutRerun(t *testing.T) {
 	dir := t.TempDir()
 	req := sweepReq(4)
 	m1, _ := newManager(t, dir, Options{})
-	snap, _, err := m1.Submit(req)
+	snap, _, err := m1.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -314,7 +314,7 @@ func TestRecoveredDoneJobServesResultWithoutRerun(t *testing.T) {
 		t.Errorf("recovery of a finished job executed %d rows, want 0", n)
 	}
 	// Resubmitting the finished job returns it instead of rerunning.
-	again, created, err := m2.Submit(req)
+	again, created, err := m2.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatalf("re-Submit: %v", err)
 	}
@@ -402,7 +402,7 @@ func TestRetrySleepsFollowThePolicySchedule(t *testing.T) {
 	}
 	defer m.Close(context.Background())
 
-	snap, _, err := m.Submit(engine.Request{Op: engine.OpSweep, Steps: 2})
+	snap, _, err := m.Submit(context.Background(), engine.Request{Op: engine.OpSweep, Steps: 2})
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -440,7 +440,7 @@ func TestRetryExhaustionDegradesInsteadOfFailing(t *testing.T) {
 	}
 	defer m.Close(context.Background())
 
-	snap, _, err := m.Submit(engine.Request{Op: engine.OpSweep, Steps: 3})
+	snap, _, err := m.Submit(context.Background(), engine.Request{Op: engine.OpSweep, Steps: 3})
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -488,7 +488,7 @@ func TestPanicRowIsContainedAsTypedMarker(t *testing.T) {
 		Op: engine.OpScenario, Scenario: "chaos",
 		Params: map[string]float64{"rows": 4, "panicrow": 2},
 	}
-	snap, _, err := m.Submit(req)
+	snap, _, err := m.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -515,7 +515,7 @@ func TestCancelRunningJob(t *testing.T) {
 	}
 	defer m.Close(context.Background())
 
-	snap, _, err := m.Submit(engine.Request{Op: engine.OpSweep, Steps: 2})
+	snap, _, err := m.Submit(context.Background(), engine.Request{Op: engine.OpSweep, Steps: 2})
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -540,7 +540,7 @@ func TestCancelRunningJob(t *testing.T) {
 	}
 	// A canceled job resubmitted starts over from scratch.
 	exec.heal(1)
-	again, created, err := m.Submit(engine.Request{Op: engine.OpSweep, Steps: 2})
+	again, created, err := m.Submit(context.Background(), engine.Request{Op: engine.OpSweep, Steps: 2})
 	if err != nil {
 		t.Fatalf("re-Submit after cancel: %v", err)
 	}
@@ -582,7 +582,7 @@ func TestDrainCheckpointsAndRecovers(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	snap, _, err := m1.Submit(req)
+	snap, _, err := m1.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -637,7 +637,7 @@ func TestJobPrimesEngineCache(t *testing.T) {
 	dir := t.TempDir()
 	m, eng := newManager(t, dir, Options{})
 	req := sweepReq(5)
-	snap, _, err := m.Submit(req)
+	snap, _, err := m.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -658,7 +658,7 @@ func TestDepthAndList(t *testing.T) {
 	dir := t.TempDir()
 	m, _ := newManager(t, dir, Options{})
 	for _, steps := range []int{3, 4} {
-		if _, _, err := m.Submit(sweepReq(steps)); err != nil {
+		if _, _, err := m.Submit(context.Background(), sweepReq(steps)); err != nil {
 			t.Fatalf("Submit(%d): %v", steps, err)
 		}
 	}

@@ -36,6 +36,9 @@ type record struct {
 	Error    string          `json:"error,omitempty"`
 	Panic    bool            `json:"panic,omitempty"`
 	Status   string          `json:"status,omitempty"`
+	// Trace is the submitting request's trace ID, persisted so a job
+	// resumed after a restart still logs under the original trace.
+	Trace string `json:"trace,omitempty"`
 	// At is the wall-clock append time (UnixNano), informational only:
 	// replay ignores it, so journals stay byte-replayable across clock
 	// changes.

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that data is well-formed Prometheus text
+// exposition (version 0.0.4). It is deliberately stricter than a
+// scraping parser, because this repo produces the text: every sample
+// must belong to a family announced by a preceding # TYPE line, HELP and
+// TYPE appear at most once per family, histogram samples may only use
+// the _bucket/_sum/_count suffixes of a histogram family (with a le
+// label on _bucket), no series may appear twice, and every value must
+// parse as a float. The CI metrics smoke and the /metrics tests both
+// call this, so a malformed line fails the build rather than the scrape.
+func ValidateExposition(data []byte) error {
+	types := make(map[string]string) // family -> type
+	helped := make(map[string]bool)
+	seen := make(map[string]bool) // full series line identity
+	for n, line := range strings.Split(string(data), "\n") {
+		lineNo := n + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, types, helped); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line, types, seen); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	return nil
+}
+
+// validateComment checks a # HELP or # TYPE line.
+func validateComment(line string, types map[string]string, helped map[string]bool) error {
+	rest, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		return fmt.Errorf("comment %q is not '# HELP' or '# TYPE'", line)
+	}
+	switch {
+	case strings.HasPrefix(rest, "HELP "):
+		fields := strings.SplitN(rest[len("HELP "):], " ", 2)
+		name := fields[0]
+		if !validMetricName(name) {
+			return fmt.Errorf("HELP for invalid metric name %q", name)
+		}
+		if helped[name] {
+			return fmt.Errorf("duplicate HELP for %s", name)
+		}
+		helped[name] = true
+		return nil
+	case strings.HasPrefix(rest, "TYPE "):
+		fields := strings.Fields(rest[len("TYPE "):])
+		if len(fields) != 2 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[0], fields[1]
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		types[name] = typ
+		return nil
+	}
+	return fmt.Errorf("comment %q is not '# HELP' or '# TYPE'", line)
+}
+
+// validateSample checks one sample line: name, optional labels, float
+// value, optional integer timestamp.
+func validateSample(line string, types map[string]string, seen map[string]bool) error {
+	name := line
+	for i := 0; i < len(line); i++ {
+		if line[i] == '{' || line[i] == ' ' {
+			name = line[:i]
+			break
+		}
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name in sample %q", name)
+	}
+	family, suffix := name, ""
+	if _, ok := types[name]; !ok {
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, s); ok {
+				if _, known := types[base]; known {
+					family, suffix = base, s
+					break
+				}
+			}
+		}
+	}
+	typ, ok := types[family]
+	if !ok {
+		return fmt.Errorf("sample %s has no preceding # TYPE", name)
+	}
+	if suffix != "" && typ != "histogram" && typ != "summary" {
+		return fmt.Errorf("suffix %s on non-histogram family %s", suffix, family)
+	}
+	rest := line[len(name):]
+	labels, rest, err := parseLabels(rest)
+	if err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+	if suffix == "_bucket" && !strings.Contains(labels, `le="`) {
+		return fmt.Errorf("histogram bucket %s missing le label", name)
+	}
+	series := name + labels
+	if seen[series] {
+		return fmt.Errorf("duplicate series %s", series)
+	}
+	seen[series] = true
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("sample %s: want 'value [timestamp]', got %q", name, rest)
+	}
+	if _, err := parseSampleValue(fields[0]); err != nil {
+		return fmt.Errorf("sample %s: bad value %q", name, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("sample %s: bad timestamp %q", name, fields[1])
+		}
+	}
+	return nil
+}
+
+// parseSampleValue accepts floats plus the exposition spellings of
+// infinity and NaN.
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "Inf", "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels consumes a leading {k="v",...} block if present, returning
+// it and the remainder of the line.
+func parseLabels(s string) (labels, rest string, err error) {
+	if !strings.HasPrefix(s, "{") {
+		return "", s, nil
+	}
+	i := 1
+	for {
+		// label name
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return "", "", fmt.Errorf("unterminated label block")
+		}
+		if !validLabelName(s[start:i]) {
+			return "", "", fmt.Errorf("invalid label name %q", s[start:i])
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return "", "", fmt.Errorf("label value not quoted")
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+				if i >= len(s) {
+					return "", "", fmt.Errorf("dangling escape in label value")
+				}
+				switch s[i] {
+				case '\\', '"', 'n':
+				default:
+					return "", "", fmt.Errorf("invalid escape \\%c in label value", s[i])
+				}
+			}
+			i++
+		}
+		if i >= len(s) {
+			return "", "", fmt.Errorf("unterminated label value")
+		}
+		i++ // closing quote
+		if i >= len(s) {
+			return "", "", fmt.Errorf("unterminated label block")
+		}
+		switch s[i] {
+		case ',':
+			i++
+			continue
+		case '}':
+			return s[:i+1], s[i+1:], nil
+		default:
+			return "", "", fmt.Errorf("unexpected %q after label value", s[i])
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := strings.Join([]string{
+		"# HELP http_requests_total Requests.",
+		"# TYPE http_requests_total counter",
+		"http_requests_total 1027",
+		`http_requests_total{method="post",code="200"} 3 1395066363000`,
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 4.5",
+		"latency_seconds_count 3",
+		"# TYPE temp gauge",
+		"temp -17.5",
+		"# TYPE odd gauge",
+		"odd NaN",
+		`# TYPE esc counter`,
+		`esc{v="a\"b\\c\nd"} 1`,
+		"",
+	}, "\n")
+	if err := ValidateExposition([]byte(good)); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":     "no_type_total 1\n",
+		"bad comment":             "# NOTE something\n",
+		"bad metric name":         "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":               "# TYPE m counter\nm notanumber\n",
+		"missing value":           "# TYPE m counter\nm\n",
+		"extra fields":            "# TYPE m counter\nm 1 2 3\n",
+		"bad timestamp":           "# TYPE m counter\nm 1 soon\n",
+		"duplicate TYPE":          "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"duplicate HELP":          "# HELP m a\n# HELP m b\n# TYPE m counter\nm 1\n",
+		"duplicate series":        "# TYPE m counter\nm{a=\"b\"} 1\nm{a=\"b\"} 2\n",
+		"unterminated labels":     "# TYPE m counter\nm{a=\"b\" 1\n",
+		"unquoted label value":    "# TYPE m counter\nm{a=b} 1\n",
+		"bad label name":          "# TYPE m counter\nm{9a=\"b\"} 1\n",
+		"bad escape":              "# TYPE m counter\nm{a=\"\\x\"} 1\n",
+		"bucket without le":       "# TYPE h histogram\nh_bucket{op=\"x\"} 1\n",
+		"suffix on counter":       "# TYPE c counter\nc_bucket{le=\"1\"} 1\n",
+		"unknown type":            "# TYPE m enum\nm 1\n",
+		"type after sample":       "m 1\n# TYPE m counter\n",
+		"mixed naming no family":  "# TYPE a counter\nb_sum 1\n",
+		"space in name via label": "# TYPE m counter\nm {a=\"b\"} 1\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition([]byte(text)); err == nil {
+			t.Errorf("%s: accepted invalid exposition:\n%s", name, text)
+		}
+	}
+}

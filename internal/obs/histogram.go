@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free fixed-bucket histogram. Observations are two
+// atomic adds (bucket + sum), so it is safe on hot paths and under
+// arbitrary concurrency; rendering takes a point-in-time snapshot of the
+// counters. Bucket bounds are upper bounds in ascending order; an
+// implicit +Inf bucket catches the tail, matching Prometheus semantics.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds (exclusive of +Inf)
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	// sumNanos accumulates the observed total as integer nanoseconds —
+	// an atomic add instead of a CAS loop, at the cost of sub-nanosecond
+	// truncation, which is far below the bucket resolution.
+	sumNanos atomic.Int64
+}
+
+// DefLatencyBuckets spans 5 µs to 10 s: the engine's cheapest analytic
+// ops land in the microsecond buckets, full fault sweeps in the seconds.
+var DefLatencyBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (seconds). Panics on empty or unsorted bounds — bucket layout is a
+// programming decision, not input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be ascending")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b))}
+}
+
+// Observe records one observation in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	// Binary search beats linear scan only past ~30 buckets; bounds are
+	// small, but sort.SearchFloat64s is branch-predictable and clear.
+	i := sort.SearchFloat64s(h.bounds, seconds)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.sumNanos.Add(int64(seconds * 1e9))
+}
+
+// ObserveDuration records a duration.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	i := sort.SearchFloat64s(h.bounds, d.Seconds())
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.sumNanos.Add(int64(d))
+}
+
+// Count is the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n + h.inf.Load()
+}
+
+// Sum is the total of all observations, in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNanos.Load()) / 1e9 }
+
+// snapshot returns cumulative bucket counts (one per bound, plus +Inf
+// last), the total count, and the sum — the exposition-format shape.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
+	cum = make([]uint64, len(h.counts)+1)
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	run += h.inf.Load()
+	cum[len(h.counts)] = run
+	return cum, run, h.Sum()
+}
+
+// Bounds returns the bucket upper bounds (without +Inf).
+func (h *Histogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// BucketCount returns the non-cumulative count of the bucket with the
+// given index; index len(Bounds()) is the +Inf bucket.
+func (h *Histogram) BucketCount(i int) uint64 {
+	if i == len(h.counts) {
+		return h.inf.Load()
+	}
+	return h.counts[i].Load()
+}
+
+// formatBound renders a bucket bound the way Prometheus spells le=
+// labels: shortest round-trip float, with +Inf for the tail.
+func formatBound(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return formatFloat(v)
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	h.Observe(0.005) // bucket 0
+	h.Observe(0.01)  // le="0.01" is inclusive -> bucket 0
+	h.Observe(0.05)  // bucket 1
+	h.Observe(0.5)   // bucket 2
+	h.Observe(5)     // +Inf
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	for i, want := range []uint64{2, 1, 1, 1} {
+		if got := h.BucketCount(i); got != want {
+			t.Errorf("bucket %d count = %d, want %d", i, got, want)
+		}
+	}
+	cum, count, sum := h.snapshot()
+	wantCum := []uint64{2, 3, 4, 5}
+	for i := range wantCum {
+		if cum[i] != wantCum[i] {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], wantCum[i])
+		}
+	}
+	if count != 5 {
+		t.Errorf("snapshot count = %d, want 5", count)
+	}
+	if math.Abs(sum-5.565) > 1e-6 {
+		t.Errorf("sum = %v, want 5.565", sum)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(DefLatencyBuckets)
+	h.ObserveDuration(3 * time.Millisecond)
+	if got := h.Sum(); math.Abs(got-0.003) > 1e-9 {
+		t.Errorf("Sum = %v, want 0.003", got)
+	}
+	if h.Count() != 1 {
+		t.Errorf("Count = %d, want 1", h.Count())
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines
+// under -race: the total count and sum must come out exact, proving the
+// lock-free counters lose nothing.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{1e-4, 1e-3, 1e-2, 1e-1, 1})
+	const goroutines, per = 16, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Spread observations across all buckets deterministically.
+				h.Observe(math.Pow(10, -float64((g+i)%6)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(goroutines*per); got != want {
+		t.Errorf("concurrent Count = %d, want %d", got, want)
+	}
+	cum, count, _ := h.snapshot()
+	if cum[len(cum)-1] != count {
+		t.Errorf("+Inf cumulative %d != count %d", cum[len(cum)-1], count)
+	}
+	// Each goroutine contributes a fixed multiset of values; the sum must
+	// be exact up to the nanosecond truncation per observation.
+	var wantSum float64
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < per; i++ {
+			wantSum += math.Pow(10, -float64((g+i)%6))
+		}
+	}
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-3 {
+		t.Errorf("concurrent Sum = %v, want %v", got, wantSum)
+	}
+}

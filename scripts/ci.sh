@@ -89,6 +89,27 @@ step_kill_resume_smoke() {
 	echo "kill-and-resume OK: byte-identical table, $killed_rows row records (no recompute)"
 }
 
+# Metrics smoke: boot the real server, drive a request through it, and
+# validate /metrics with the strict exposition parser (cmd/expcheck) —
+# HELP/TYPE on every family, histogram bucket monotonicity, label syntax.
+step_metrics_smoke() {
+	tmp="$(mktemp -d)"
+	go build -o "$tmp/serve" ./cmd/serve
+	go build -o "$tmp/expcheck" ./cmd/expcheck
+	addr="127.0.0.1:18432"
+	"$tmp/serve" -addr "$addr" -jobdir "$tmp/jobs" -loglevel warn &
+	pid=$!
+	trap 'kill "$pid" 2>/dev/null; wait "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+	"$tmp/expcheck" \
+		-probe "http://$addr/healthz" \
+		-probe "http://$addr/v1/whatif?gpus=64" \
+		-require netpowerprop_engine_cache_misses_total \
+		-require netpowerprop_engine_compute_duration_seconds \
+		-require netpowerprop_http_requests_total \
+		-require netpowerprop_jobs_submitted_total \
+		"http://$addr/metrics"
+}
+
 step_bench_smoke() {
 	go test -run=NONE -bench . -benchtime=1x ./...
 }
@@ -108,11 +129,12 @@ run_step() {
 	jobs-race) step_jobs_race ;;
 	fault-determinism) step_fault_determinism ;;
 	kill-resume-smoke) step_kill_resume_smoke ;;
+	metrics-smoke) step_metrics_smoke ;;
 	bench-smoke) step_bench_smoke ;;
 	fuzz-smoke) step_fuzz_smoke ;;
 	*)
 		echo "unknown step: $1" >&2
-		echo "steps: fmt vet build test chaos-smoke jobs-race fault-determinism kill-resume-smoke bench-smoke fuzz-smoke all" >&2
+		echo "steps: fmt vet build test chaos-smoke jobs-race fault-determinism kill-resume-smoke metrics-smoke bench-smoke fuzz-smoke all" >&2
 		return 2
 		;;
 	esac
@@ -123,7 +145,7 @@ if [ $# -eq 0 ]; then
 fi
 
 if [ "$1" = all ]; then
-	for s in fmt vet build test chaos-smoke jobs-race fault-determinism kill-resume-smoke bench-smoke fuzz-smoke; do
+	for s in fmt vet build test chaos-smoke jobs-race fault-determinism kill-resume-smoke metrics-smoke bench-smoke fuzz-smoke; do
 		# Steps that set EXIT traps get a subshell so temp dirs clean up
 		# per step rather than at script exit.
 		(run_step "$s")
