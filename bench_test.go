@@ -21,6 +21,7 @@ import (
 	"netpowerprop/internal/powergate"
 	"netpowerprop/internal/rateadapt"
 	"netpowerprop/internal/schedule"
+	"netpowerprop/internal/topo"
 	"netpowerprop/internal/traffic"
 	"netpowerprop/internal/units"
 	"netpowerprop/internal/workload"
@@ -343,6 +344,74 @@ func BenchmarkRunParallel(b *testing.B) {
 	}
 }
 
+// benchTopoPaths measures one zoo topology's deterministic path
+// enumeration: every ordered pair among the first 16 hosts of a 48-host
+// build, enumerated fresh each time (no simulator cache in front).
+func benchTopoPaths(b *testing.B, name string) {
+	top, _, err := topo.Build(name, topo.Spec{Hosts: 48, LinkSpeed: 100 * units.Gbps})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := top.Hosts()[:16]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, src := range hosts {
+			for _, dst := range hosts {
+				if src == dst {
+					continue
+				}
+				if _, err := top.Paths(src, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTopoPathsFattree enumerates on the native Clos path rules.
+func BenchmarkTopoPathsFattree(b *testing.B) { benchTopoPaths(b, "fattree") }
+
+// BenchmarkTopoPathsDragonfly enumerates through the installed BFS/DFS
+// enumerator with detour slack on the group graph.
+func BenchmarkTopoPathsDragonfly(b *testing.B) { benchTopoPaths(b, "dragonfly") }
+
+// BenchmarkTopoPathsTorus3D enumerates on the highest-diameter zoo member.
+func BenchmarkTopoPathsTorus3D(b *testing.B) { benchTopoPaths(b, "torus3d") }
+
+// benchTopoSim runs the flow-level simulator on a 48-host zoo build with a
+// full ring job — BenchmarkFabricSim's workload generalized across the zoo.
+func benchTopoSim(b *testing.B, name string) {
+	top, _, err := topo.Build(name, topo.Spec{Hosts: 48, LinkSpeed: 100 * units.Gbps})
+	if err != nil {
+		b.Fatal(err)
+	}
+	job := traffic.Job{ID: 1, Hosts: top.Hosts(), Period: 1, CommRatio: 0.1,
+		Rate: 50 * units.Gbps, Pattern: traffic.Ring}
+	flows, err := job.Flows(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := netsim.New(top)
+	if _, err := s.Run(flows); err != nil { // warm the path cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(flows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopoSimFattree is the zoo fattree through the simulator.
+func BenchmarkTopoSimFattree(b *testing.B) { benchTopoSim(b, "fattree") }
+
+// BenchmarkTopoSimDragonfly is the dragonfly through the simulator.
+func BenchmarkTopoSimDragonfly(b *testing.B) { benchTopoSim(b, "dragonfly") }
+
+// BenchmarkTopoSimTorus3D is the 3D torus through the simulator.
+func BenchmarkTopoSimTorus3D(b *testing.B) { benchTopoSim(b, "torus3d") }
+
 // BenchmarkMaxMin measures the fairness solver on a contended instance.
 func BenchmarkMaxMin(b *testing.B) {
 	const flows = 256
@@ -380,6 +449,9 @@ func BenchmarkMaxMinDense(b *testing.B) {
 		paths[i] = []int{i % 64, (i * 7) % 64, (i * 13) % 64}
 	}
 	var s netsim.Solver
+	if _, err := s.Solve(demands, paths, caps); err != nil { // grow the buffers
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Solve(demands, paths, caps); err != nil {

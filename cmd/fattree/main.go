@@ -2,6 +2,12 @@
 // count and per-GPU bandwidth it reports the switch radix, effective stage
 // count, switch/link/transceiver counts, and the network's maximum power —
 // the §2.4 model as a standalone tool.
+//
+// The -topology flag additionally builds one of the internal/topo zoo
+// designs (fattree, dragonfly, torus2d, torus3d, railonly, railopt,
+// clos-oversub, ocsleaf) at the same host count and prints its per-tier
+// node and link census; -format json embeds the same census machine-
+// readably under "zoo".
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"netpowerprop/internal/device"
 	"netpowerprop/internal/fattree"
 	"netpowerprop/internal/report"
+	"netpowerprop/internal/topo"
 	"netpowerprop/internal/units"
 )
 
@@ -38,10 +45,23 @@ type sizing struct {
 	NetworkMaxPower  string  `json:"network_max_power"`
 }
 
+// zooSizing is the JSON form of one built zoo topology: the sizer's design
+// choices plus the per-tier census of the explicit graph.
+type zooSizing struct {
+	Topology  string            `json:"topology"`
+	Hosts     int               `json:"hosts"`
+	Switches  int               `json:"switches"`
+	Links     int               `json:"links"`
+	Bisection string            `json:"bisection"`
+	Params    map[string]int    `json:"params"`
+	Census    topo.CensusReport `json:"census"`
+}
+
 // sizingOutput is the full -format json document.
 type sizingOutput struct {
-	Sizing sizing   `json:"sizing"`
-	Sweep  []sizing `json:"sweep,omitempty"`
+	Sizing sizing    `json:"sizing"`
+	Sweep  []sizing  `json:"sweep,omitempty"`
+	Zoo    zooSizing `json:"zoo"`
 }
 
 func run(args []string, w io.Writer) error {
@@ -51,6 +71,7 @@ func run(args []string, w io.Writer) error {
 	interp := fs.String("interp", "absolute", "interpolation mode (absolute|perhost)")
 	sweep := fs.Bool("sweep", false, "also print the Table 2 bandwidth sweep")
 	format := fs.String("format", "text", "output format (text|json)")
+	topology := fs.String("topology", "fattree", "zoo topology to build for the census (see internal/topo)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,11 +86,32 @@ func run(args []string, w io.Writer) error {
 	switch *format {
 	case "text":
 	case "json":
-		return runJSON(w, *hosts, b, mode, *sweep)
+		return runJSON(w, *hosts, b, mode, *sweep, *topology)
 	default:
 		return fmt.Errorf("unknown format %q (text|json)", *format)
 	}
 	if err := describe(w, *hosts, b, mode); err != nil {
+		return err
+	}
+	zoo, census, err := buildZoo(*topology, *hosts, b)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nbuilt topology — %s: %d switches, %d inter-switch links, bisection %s\n",
+		zoo.Topology, zoo.Switches, zoo.Links, zoo.Bisection)
+	tiers := report.Table{Headers: []string{"tier", "nodes"}}
+	for _, tc := range census.Tiers {
+		tiers.AddRow(tc.Kind, fmt.Sprintf("%d", tc.Nodes))
+	}
+	if err := tiers.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	links := report.Table{Headers: []string{"links between", "count", "speed", "optical"}}
+	for _, lc := range census.Links {
+		links.AddRow(lc.Between, fmt.Sprintf("%d", lc.Count), lc.Speed, fmt.Sprintf("%v", lc.Optical))
+	}
+	if err := links.Write(w); err != nil {
 		return err
 	}
 	if *sweep {
@@ -91,9 +133,9 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-// runJSON emits the sizing (and optional sweep) as an indented JSON
-// document for machine consumption.
-func runJSON(w io.Writer, hosts int, b units.Bandwidth, mode fattree.InterpMode, sweep bool) error {
+// runJSON emits the sizing (and optional sweep) plus the built zoo
+// topology's census as an indented JSON document for machine consumption.
+func runJSON(w io.Writer, hosts int, b units.Bandwidth, mode fattree.InterpMode, sweep bool, topology string) error {
 	sz, err := sizeAt(hosts, b, mode)
 	if err != nil {
 		return err
@@ -108,9 +150,32 @@ func runJSON(w io.Writer, hosts int, b units.Bandwidth, mode fattree.InterpMode,
 			out.Sweep = append(out.Sweep, row)
 		}
 	}
+	zoo, census, err := buildZoo(topology, hosts, b)
+	if err != nil {
+		return err
+	}
+	zoo.Census = census
+	out.Zoo = zoo
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// buildZoo constructs the named zoo topology at the request's scale and
+// tallies its per-tier census.
+func buildZoo(name string, hosts int, b units.Bandwidth) (zooSizing, topo.CensusReport, error) {
+	top, d, err := topo.Build(name, topo.Spec{Hosts: hosts, LinkSpeed: b})
+	if err != nil {
+		return zooSizing{}, topo.CensusReport{}, err
+	}
+	return zooSizing{
+		Topology:  d.Name,
+		Hosts:     d.Hosts,
+		Switches:  d.Switches,
+		Links:     d.Links,
+		Bisection: d.Bisection.String(),
+		Params:    d.Params,
+	}, topo.Census(top), nil
 }
 
 // sizeAt evaluates the §2.4 sizing model at one bandwidth.

@@ -85,6 +85,60 @@ func TestJSONSweep(t *testing.T) {
 	}
 }
 
+func TestTopologyFlag(t *testing.T) {
+	out := runOK(t, "-hosts", "64", "-topology", "torus3d")
+	for _, want := range []string{"built topology — torus3d", "host", "edge", "links between", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("census output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTopologyJSON(t *testing.T) {
+	out := runOK(t, "-hosts", "64", "-topology", "dragonfly", "-format", "json")
+	var doc struct {
+		Zoo struct {
+			Topology string         `json:"topology"`
+			Hosts    int            `json:"hosts"`
+			Switches int            `json:"switches"`
+			Links    int            `json:"links"`
+			Params   map[string]int `json:"params"`
+			Census   struct {
+				Tiers []struct {
+					Kind  string `json:"kind"`
+					Nodes int    `json:"nodes"`
+				} `json:"tiers"`
+				Links []struct {
+					Between string `json:"between"`
+					Count   int    `json:"count"`
+					Speed   string `json:"speed"`
+				} `json:"links"`
+			} `json:"census"`
+		} `json:"zoo"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-topology json emitted invalid JSON: %v\n%s", err, out)
+	}
+	if doc.Zoo.Topology != "dragonfly" || doc.Zoo.Hosts != 64 {
+		t.Errorf("unexpected zoo identity: %+v", doc.Zoo)
+	}
+	if doc.Zoo.Switches == 0 || doc.Zoo.Links == 0 || len(doc.Zoo.Params) == 0 {
+		t.Errorf("zoo design empty: %+v", doc.Zoo)
+	}
+	hostTier := 0
+	for _, tier := range doc.Zoo.Census.Tiers {
+		if tier.Kind == "host" {
+			hostTier = tier.Nodes
+		}
+	}
+	if hostTier != 64 {
+		t.Errorf("census host tier = %d, want 64", hostTier)
+	}
+	if len(doc.Zoo.Census.Links) == 0 {
+		t.Error("census has no link rows")
+	}
+}
+
 func TestErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-bw", "bogus"},
@@ -92,6 +146,7 @@ func TestErrors(t *testing.T) {
 		{"-hosts", "0"},
 		{"-bw", "40T"},
 		{"-format", "bogus"},
+		{"-topology", "bogus"},
 		{"-nosuchflag"},
 	} {
 		var sb strings.Builder

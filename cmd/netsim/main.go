@@ -9,7 +9,7 @@
 //	netsim -resume -jobdir DIR
 //
 // Scenarios: gating, ocs, rateadapt, parking, eee, ratelink, scheduler,
-// fabric, chiplet, backbone
+// fabric, chiplet, backbone, topologies
 //
 // The single-table scenarios route through internal/engine — the same
 // registry cmd/serve exposes at /v1/scenarios/<name> — so CLI and server
@@ -80,7 +80,7 @@ func run(args []string, w io.Writer) error {
 		return a.cmdResume(w)
 	}
 	if len(args) == 0 {
-		return fmt.Errorf("missing scenario (gating ocs rateadapt parking eee ratelink scheduler fabric chiplet backbone summary faults)")
+		return fmt.Errorf("missing scenario (gating ocs rateadapt parking eee ratelink scheduler fabric chiplet backbone summary faults topologies)")
 	}
 	switch args[0] {
 	case "ocs", "fabric", "backbone":
@@ -113,6 +113,8 @@ func run(args []string, w io.Writer) error {
 		return cmdBackbone(args[1:], w)
 	case "summary":
 		return a.cmdSummary(args[1:], w)
+	case "topologies":
+		return a.cmdTopologies(args[1:], w)
 	default:
 		return fmt.Errorf("unknown scenario %q", args[0])
 	}
@@ -291,6 +293,30 @@ func (a *app) cmdSummary(args []string, w io.Writer) error {
 		return err
 	}
 	return a.runScenario(w, "summary", "", map[string]float64{"ratio": *ratio})
+}
+
+// cmdTopologies runs the topology-zoo comparison: every registered
+// internal/topo generator sized to the same host count, measured on one
+// offered-load sweep plus a shared seeded fault trace.
+func (a *app) cmdTopologies(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("topologies", flag.ContinueOnError)
+	hosts := fs.Int("hosts", 24, "host count every topology is sized for")
+	speed := fs.String("speed", "100G", "uniform link speed")
+	iters := fs.Int("iters", 2, "training iterations to simulate")
+	seed := fs.Uint64("seed", 1, "fault trace seed")
+	flaps := fs.Int("flaps", 4, "transient link outages in the fault trace")
+	mttr := fs.Float64("mttr", 0.3, "mean link repair time (s)")
+	perm := fs.Int("perm", 1, "permanent link failures in the fault trace")
+	lowload := fs.Float64("lowload", 0.1, "active host fraction of the low-load phase")
+	level := fs.Float64("level", 0.9, "per-host offered load during bursts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return a.runScenario(w, "topologies", *speed, map[string]float64{
+		"hosts": float64(*hosts), "iters": float64(*iters), "seed": float64(*seed),
+		"flaps": float64(*flaps), "mttr": *mttr, "perm": float64(*perm),
+		"lowload": *lowload, "level": *level,
+	})
 }
 
 func cmdBackbone(args []string, w io.Writer) error {

@@ -11,7 +11,9 @@
 //	GET/POST /v1/sweep             proportionality sweep
 //	GET/POST /v1/cost              §3.2 annualized cost savings
 //	GET      /v1/scenarios         list §4 mechanism scenarios
-//	GET/POST /v1/scenarios/{name}  run a §4 mechanism scenario
+//	GET/POST /v1/scenarios/{name}  run a §4 mechanism scenario (incl.
+//	                               "topologies", the cross-topology zoo
+//	                               power-proportionality comparison)
 //	POST     /v1/jobs              submit a durable async job (idempotent by canonical key)
 //	GET      /v1/jobs              list jobs
 //	GET      /v1/jobs/{id}         job status, progress, partial rows, result when done

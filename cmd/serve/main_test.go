@@ -199,6 +199,34 @@ func TestScenarioEndpoint(t *testing.T) {
 	}
 }
 
+func TestTopologiesEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	var resp struct {
+		Result struct {
+			Table struct {
+				Title string     `json:"title"`
+				Rows  [][]string `json:"rows"`
+			} `json:"table"`
+		} `json:"result"`
+	}
+	getJSON(t, srv.URL+"/v1/scenarios/topologies?hosts=12&iters=1", &resp)
+	if !strings.Contains(resp.Result.Table.Title, "12 hosts") {
+		t.Errorf("topologies params ignored: %q", resp.Result.Table.Title)
+	}
+	if len(resp.Result.Table.Rows) < 5 {
+		t.Errorf("topologies table compares %d topologies, want at least 5", len(resp.Result.Table.Rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range resp.Result.Table.Rows {
+		seen[row[0]] = true
+	}
+	for _, name := range []string{"fattree", "dragonfly", "torus3d", "railonly", "ocsleaf"} {
+		if !seen[name] {
+			t.Errorf("topologies table missing %q: have %v", name, seen)
+		}
+	}
+}
+
 func TestPostWhatIf(t *testing.T) {
 	srv := newTestServer(t)
 	body := strings.NewReader(`{"op":"whatif","gpus":1024,"bw":"800G"}`)

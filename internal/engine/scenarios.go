@@ -111,6 +111,15 @@ var scenarios = map[string]scenarioSpec{
 		},
 		rows: faultsRows,
 	},
+	"topologies": {
+		defaults: map[string]float64{
+			"hosts": 24, "iters": 2, "seed": 1,
+			"flaps": 4, "mttr": 0.3, "perm": 1,
+			"lowload": 0.1, "level": 0.9,
+		},
+		bandwidth: "100G",
+		rows:      topologiesRows,
+	},
 	"chaos": {
 		defaults: map[string]float64{"panic": 0, "sleep": 0, "fail": 0,
 			"rows": 1, "failrow": -1, "panicrow": -1},

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+
+	"netpowerprop/internal/topo"
 )
 
 // TestParallelRowsMatchesSerial: the concurrent row builder must assemble
@@ -73,6 +75,62 @@ func TestScenariosParallelDeterministic(t *testing.T) {
 				t.Errorf("scenario %q is not deterministic across runs", name)
 			}
 		})
+	}
+}
+
+// TestTopologiesScenario: the zoo comparison has one row per registered
+// generator, in name order, with every cell populated.
+func TestTopologiesScenario(t *testing.T) {
+	req, err := Request{
+		Op: OpScenario, Scenario: "topologies",
+		Params: map[string]float64{"hosts": 12, "iters": 1},
+	}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Table
+	if tbl == nil {
+		t.Fatal("no table")
+	}
+	names := topo.Names()
+	if len(tbl.Rows) != len(names) {
+		t.Fatalf("table has %d rows, zoo has %d generators", len(tbl.Rows), len(names))
+	}
+	for i, row := range tbl.Rows {
+		if row[0] != names[i] {
+			t.Errorf("row %d topology = %q, want %q", i, row[0], names[i])
+		}
+		if len(row) != len(tbl.Headers) {
+			t.Fatalf("row %d has %d cells, header has %d", i, len(row), len(tbl.Headers))
+		}
+		for c, cell := range row {
+			if cell == "" {
+				t.Errorf("row %d (%s) column %q empty", i, row[0], tbl.Headers[c])
+			}
+		}
+	}
+}
+
+// TestTopologiesRejects: the scenario validates its parameter envelope.
+func TestTopologiesRejects(t *testing.T) {
+	for _, params := range []map[string]float64{
+		{"hosts": 2},                 // too few hosts for a low-load phase
+		{"lowload": 1.5},             // not a fraction
+		{"level": 0},                 // no offered load
+		{"iters": 0},                 // nothing to simulate
+		{"hosts": 4, "lowload": 0.9}, // low-load phase leaves no idle hosts
+	} {
+		req, err := Request{Op: OpScenario, Scenario: "topologies", Params: params}.Normalize()
+		if err != nil {
+			continue // rejected at normalization is fine too
+		}
+		if _, err := compute(context.Background(), req); err == nil {
+			t.Errorf("params %v accepted", params)
+		}
 	}
 }
 

@@ -1,9 +1,20 @@
 package fattree
 
 import (
+	"errors"
 	"fmt"
 
 	"netpowerprop/internal/units"
+)
+
+// Typed path-query errors, so callers can distinguish a degenerate query
+// from a genuinely broken topology with errors.Is.
+var (
+	// ErrSameHost is returned by Paths when src == dst: a host-to-itself
+	// query has no network path by definition.
+	ErrSameHost = errors.New("src and dst are the same host")
+	// ErrUnknownNode is returned when a node ID is outside the topology.
+	ErrUnknownNode = errors.New("unknown node")
 )
 
 // NodeKind distinguishes topology node roles.
@@ -68,6 +79,12 @@ type Topology struct {
 	hosts    []int          // node IDs of hosts in order
 	adjacent map[int][]int  // node ID -> link IDs
 	linkAt   map[[2]int]int // (min,max) node pair -> link ID
+
+	// pathFn, when set, replaces the built-in Clos path enumeration for
+	// topologies whose Pod/Kind semantics don't match a folded Clos (the
+	// internal/topo zoo installs a BFS enumerator here). It is only called
+	// with validated, distinct host IDs.
+	pathFn func(src, dst int) ([][]int, error)
 }
 
 // Hosts returns the node IDs of all hosts, in construction order.
@@ -110,6 +127,9 @@ func (t *Topology) Peer(linkID, node int) int {
 
 // EdgeOf returns the edge switch a host attaches to.
 func (t *Topology) EdgeOf(host int) (int, error) {
+	if host < 0 || host >= len(t.Nodes) {
+		return 0, fmt.Errorf("fattree: %w: node %d outside [0,%d)", ErrUnknownNode, host, len(t.Nodes))
+	}
 	n := t.Nodes[host]
 	if n.Kind != KindHost {
 		return 0, fmt.Errorf("fattree: node %d is a %v, not a host", host, n.Kind)
@@ -123,11 +143,30 @@ func (t *Topology) EdgeOf(host int) (int, error) {
 	return 0, fmt.Errorf("fattree: host %d has no edge switch", host)
 }
 
-// Paths enumerates every shortest up/down path between two distinct hosts
-// as sequences of link IDs. The path set is exactly what ECMP spreads over.
+// SetPathFn installs a custom path enumerator, replacing the built-in
+// Clos up/down enumeration. Generators for non-Clos topologies (dragonfly,
+// torus, …) use this to keep Paths — and therefore netsim's ECMP routing
+// and fault rerouting — working on arbitrary graphs. The enumerator must
+// be deterministic; it is called with validated, distinct host IDs only.
+func (t *Topology) SetPathFn(fn func(src, dst int) ([][]int, error)) { t.pathFn = fn }
+
+// Paths enumerates the ECMP path set between two distinct hosts as
+// sequences of link IDs. For Clos builds this is every shortest up/down
+// path; topologies with a custom enumerator (SetPathFn) define their own
+// set. src==dst and out-of-range IDs return typed errors (ErrSameHost,
+// ErrUnknownNode), never panic.
 func (t *Topology) Paths(src, dst int) ([][]int, error) {
+	if src < 0 || src >= len(t.Nodes) {
+		return nil, fmt.Errorf("fattree: %w: node %d outside [0,%d)", ErrUnknownNode, src, len(t.Nodes))
+	}
+	if dst < 0 || dst >= len(t.Nodes) {
+		return nil, fmt.Errorf("fattree: %w: node %d outside [0,%d)", ErrUnknownNode, dst, len(t.Nodes))
+	}
 	if src == dst {
-		return nil, fmt.Errorf("fattree: src and dst are the same host %d", src)
+		return nil, fmt.Errorf("fattree: %w: host %d", ErrSameHost, src)
+	}
+	if t.pathFn != nil {
+		return t.pathFn(src, dst)
 	}
 	se, err := t.EdgeOf(src)
 	if err != nil {
@@ -297,6 +336,47 @@ func BuildThreeTier(ports int, speed units.Bandwidth) (*Topology, error) {
 	}
 	return &b.t, nil
 }
+
+// GraphBuilder assembles an explicit Topology node by node, for topology
+// generators outside this package (the internal/topo zoo). It maintains
+// the same adjacency and link indexes the Clos builders do, so the result
+// is a first-class Topology: netsim, fault injection, and powergate all
+// consume it unchanged.
+type GraphBuilder struct {
+	b *builder
+}
+
+// NewGraphBuilder starts an empty topology with the given switch radix and
+// nominal stage count (the stage count only matters to the built-in Clos
+// Paths enumeration; custom-routed topologies may pass any value ≥ 1).
+func NewGraphBuilder(ports, stages int) *GraphBuilder {
+	return &GraphBuilder{b: newBuilder(ports, stages)}
+}
+
+// AddNode appends a node and returns its ID. Hosts are recorded in
+// Hosts() order of insertion.
+func (g *GraphBuilder) AddNode(kind NodeKind, pod, index int) int {
+	return g.b.addNode(kind, pod, index)
+}
+
+// AddLink joins two existing nodes with a full-duplex link.
+func (g *GraphBuilder) AddLink(a, b int, speed units.Bandwidth, optical bool) error {
+	n := len(g.b.t.Nodes)
+	if a < 0 || a >= n || b < 0 || b >= n {
+		return fmt.Errorf("fattree: %w: link endpoints (%d,%d) outside [0,%d)", ErrUnknownNode, a, b, n)
+	}
+	if a == b {
+		return fmt.Errorf("fattree: link (%d,%d) is a self-loop", a, b)
+	}
+	if _, dup := g.b.t.LinkBetween(a, b); dup {
+		return fmt.Errorf("fattree: duplicate link between %d and %d", a, b)
+	}
+	g.b.addLink(a, b, speed, optical)
+	return nil
+}
+
+// Topology returns the built graph. The builder must not be reused after.
+func (g *GraphBuilder) Topology() *Topology { return &g.b.t }
 
 // Validate checks structural invariants: port budgets respected, link
 // endpoints exist, host degree 1, and (for full trees) the expected counts.

@@ -1,6 +1,7 @@
 package fattree
 
 import (
+	"errors"
 	"testing"
 
 	"netpowerprop/internal/units"
@@ -297,5 +298,81 @@ func TestNodeKindString(t *testing.T) {
 	}
 	if NodeKind(9).String() != "NodeKind(9)" {
 		t.Error("unknown kind formatting broken")
+	}
+}
+
+// Regression: path queries with degenerate arguments must return typed
+// errors, never panic — callers outside the package probe topologies with
+// arbitrary IDs (the zoo scenario iterates host pairs mechanically).
+func TestPathsTypedErrors(t *testing.T) {
+	top, _ := BuildTwoTier(4, 100*units.Gbps)
+	h := top.Hosts()[0]
+	if _, err := top.Paths(h, h); !errors.Is(err, ErrSameHost) {
+		t.Errorf("same-host error = %v, want ErrSameHost", err)
+	}
+	for _, bad := range []int{-1, len(top.Nodes), len(top.Nodes) + 100} {
+		if _, err := top.Paths(bad, h); !errors.Is(err, ErrUnknownNode) {
+			t.Errorf("Paths(%d, h) error = %v, want ErrUnknownNode", bad, err)
+		}
+		if _, err := top.Paths(h, bad); !errors.Is(err, ErrUnknownNode) {
+			t.Errorf("Paths(h, %d) error = %v, want ErrUnknownNode", bad, err)
+		}
+		if _, err := top.EdgeOf(bad); !errors.Is(err, ErrUnknownNode) {
+			t.Errorf("EdgeOf(%d) error = %v, want ErrUnknownNode", bad, err)
+		}
+	}
+}
+
+// GraphBuilder must produce topologies equivalent to the package's own
+// builders: adjacency indexed, hosts in insertion order, and a custom
+// path enumerator honored by Paths.
+func TestGraphBuilder(t *testing.T) {
+	g := NewGraphBuilder(4, 2)
+	sw := g.AddNode(KindEdge, 0, 0)
+	h1 := g.AddNode(KindHost, 0, 0)
+	h2 := g.AddNode(KindHost, 0, 1)
+	if err := g.AddLink(h1, sw, 100*units.Gbps, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(h2, sw, 100*units.Gbps, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(h1, sw, 100*units.Gbps, false); err == nil {
+		t.Error("duplicate link should fail")
+	}
+	if err := g.AddLink(sw, sw, 100*units.Gbps, false); err == nil {
+		t.Error("self-loop should fail")
+	}
+	if err := g.AddLink(sw, 99, 100*units.Gbps, false); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("out-of-range endpoint error = %v, want ErrUnknownNode", err)
+	}
+	top := g.Topology()
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := top.Hosts(); len(got) != 2 || got[0] != h1 || got[1] != h2 {
+		t.Errorf("hosts = %v, want [%d %d]", got, h1, h2)
+	}
+	if e, err := top.EdgeOf(h1); err != nil || e != sw {
+		t.Errorf("EdgeOf = %d, %v", e, err)
+	}
+	// Built-in 2-tier enumeration handles the shared-edge pair...
+	paths, err := top.Paths(h1, h2)
+	if err != nil || len(paths) != 1 {
+		t.Fatalf("paths = %v, %v", paths, err)
+	}
+	// ...and a custom enumerator takes over when installed.
+	called := false
+	top.SetPathFn(func(src, dst int) ([][]int, error) {
+		called = true
+		return [][]int{{0, 1}}, nil
+	})
+	if _, err := top.Paths(h1, h2); err != nil || !called {
+		t.Errorf("custom enumerator not used (err %v)", err)
+	}
+	// Degenerate queries are rejected before the enumerator runs.
+	called = false
+	if _, err := top.Paths(h1, h1); !errors.Is(err, ErrSameHost) || called {
+		t.Errorf("same-host guard bypassed (err %v, called %v)", err, called)
 	}
 }

@@ -1,0 +1,75 @@
+package netsim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"netpowerprop/internal/fault"
+	"netpowerprop/internal/netsim"
+	"netpowerprop/internal/topo"
+	"netpowerprop/internal/traffic"
+	"netpowerprop/internal/units"
+)
+
+// TestZooRunParallelIdentical runs an all-to-all job on zoo topologies —
+// which exercise the custom path enumerator instead of the native Clos
+// walk — and checks RunParallel output equals serial Run output, with and
+// without an injected fault trace.
+func TestZooRunParallelIdentical(t *testing.T) {
+	for _, name := range []string{"dragonfly", "torus3d", "railopt"} {
+		top, _, err := topo.Build(name, topo.Spec{Hosts: 16, LinkSpeed: 100 * units.Gbps})
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		job := traffic.Job{
+			ID: 1, Hosts: top.Hosts(), Period: 1, CommRatio: 0.5,
+			Rate: 10 * units.Gbps, Pattern: traffic.AllToAll,
+		}
+		flows, err := job.Flows(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var optical []int
+		for _, l := range top.Links {
+			if l.Optical {
+				optical = append(optical, l.ID)
+			}
+		}
+		trace, err := fault.Generate(fault.GenConfig{
+			Horizon: 2, Links: optical,
+			Flaps: 4, MTTR: 0.3, PermanentFailures: 1,
+			WakeStuckProb: 0.25, WakeStuckExtra: 0.3,
+		}, 7)
+		if err != nil {
+			t.Fatalf("%s: fault.Generate: %v", name, err)
+		}
+		for _, tc := range []struct {
+			label string
+			tr    *fault.Trace
+		}{
+			{"clean", nil},
+			{"faulted", trace},
+		} {
+			serial := netsim.New(top)
+			serial.Routing = netsim.ConcentrateRouting
+			serial.Faults = tc.tr
+			want, err := serial.Run(flows)
+			if err != nil {
+				t.Fatalf("%s/%s: Run: %v", name, tc.label, err)
+			}
+			par := netsim.New(top)
+			par.Routing = netsim.ConcentrateRouting
+			par.Faults = tc.tr
+			got, err := par.RunParallel(flows, 4)
+			if err != nil {
+				t.Fatalf("%s/%s: RunParallel: %v", name, tc.label, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s/%s: RunParallel result differs from Run", name, tc.label)
+			}
+			if tc.tr != nil && want.Faults == nil {
+				t.Fatalf("%s: faulted run reported no fault summary", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"netpowerprop/internal/fattree"
+)
+
+// maxPaths caps the ECMP path set per host pair: enough diversity for the
+// fairness solver and fault rerouting without quadratic blowups on dense
+// graphs. Enumeration order is by link ID at every branch, so the first
+// maxPaths paths are the same on every run.
+const maxPaths = 32
+
+// InstallPaths equips a topology with a deterministic breadth-first path
+// enumerator: all simple paths between two hosts no longer than the
+// shortest path plus `slack` links, capped at maxPaths, explored in link-ID
+// order. slack 0 yields exactly the shortest-path ECMP set; torus- and
+// dragonfly-style topologies pass slack 2 so one-detour routes join the
+// set and fault-epoch rerouting has somewhere to steer.
+func InstallPaths(t *fattree.Topology, slack int) {
+	t.SetPathFn(func(src, dst int) ([][]int, error) {
+		return enumerate(t, src, dst, slack)
+	})
+}
+
+// enumerate runs the bounded DFS over the distance field from dst.
+func enumerate(t *fattree.Topology, src, dst, slack int) ([][]int, error) {
+	// BFS from dst: dist[v] = hops to dst, -1 unreachable. Host nodes are
+	// degree-1 leaves, so distances through other hosts never shortcut.
+	dist := make([]int, len(t.Nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[dst] = 0
+	queue := []int{dst}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, lid := range t.LinksOf(v) {
+			p := t.Peer(lid, v)
+			if dist[p] < 0 {
+				dist[p] = dist[v] + 1
+				queue = append(queue, p)
+			}
+		}
+	}
+	if dist[src] < 0 {
+		return nil, fmt.Errorf("topo: no path between hosts %d and %d", src, dst)
+	}
+	budget := dist[src] + slack
+
+	// DFS from src in link-ID order, pruned by the distance field: a step
+	// onto p is viable only if the spent length plus p's remaining
+	// distance fits the budget. onPath keeps paths simple.
+	var paths [][]int
+	onPath := make([]bool, len(t.Nodes))
+	onPath[src] = true
+	cur := make([]int, 0, budget)
+	var dfs func(v, spent int)
+	dfs = func(v, spent int) {
+		if len(paths) >= maxPaths {
+			return
+		}
+		for _, lid := range t.LinksOf(v) {
+			p := t.Peer(lid, v)
+			if onPath[p] || dist[p] < 0 || spent+1+dist[p] > budget {
+				continue
+			}
+			// Other hosts are dead ends; only dst terminates a path.
+			if t.Nodes[p].Kind == fattree.KindHost && p != dst {
+				continue
+			}
+			cur = append(cur, lid)
+			if p == dst {
+				paths = append(paths, append([]int(nil), cur...))
+			} else {
+				onPath[p] = true
+				dfs(p, spent+1)
+				onPath[p] = false
+			}
+			cur = cur[:len(cur)-1]
+			if len(paths) >= maxPaths {
+				return
+			}
+		}
+	}
+	dfs(src, 0)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("topo: no path between hosts %d and %d", src, dst)
+	}
+	// Shortest first (stable on discovery order), so ECMP hashing favors
+	// minimal routes and detours serve as fault spares.
+	sort.SliceStable(paths, func(i, j int) bool { return len(paths[i]) < len(paths[j]) })
+	return paths, nil
+}

@@ -14,7 +14,7 @@ trap 'rm -f "$tmp"' EXIT
 
 echo "running root benchmarks..." >&2
 go test -run=NONE -benchmem \
-	-bench 'BenchmarkFabricSim$|BenchmarkRunParallel$|BenchmarkMaxMin$|BenchmarkMaxMinDense$|BenchmarkTable3$|BenchmarkFig2$' \
+	-bench 'BenchmarkFabricSim$|BenchmarkRunParallel$|BenchmarkMaxMin$|BenchmarkMaxMinDense$|BenchmarkTable3$|BenchmarkFig2$|BenchmarkTopoPaths|BenchmarkTopoSim' \
 	. >>"$tmp"
 echo "running event-queue benchmark..." >&2
 go test -run=NONE -benchmem -bench 'BenchmarkSchedule$' ./internal/sim >>"$tmp"

@@ -110,8 +110,33 @@ step_metrics_smoke() {
 		"http://$addr/metrics"
 }
 
+# Topologies determinism: the cross-topology zoo comparison must print the
+# same table twice — same seed, same fault trace, byte for byte — even
+# though rows are built by a parallel fan-out and several generators route
+# through the installed path enumerator.
+step_topologies_determinism() {
+	tmp="$(mktemp -d)"
+	trap 'rm -rf "$tmp"' EXIT
+	go run ./cmd/netsim topologies -hosts 16 -seed 7 >"$tmp/zoo1.txt"
+	go run ./cmd/netsim topologies -hosts 16 -seed 7 >"$tmp/zoo2.txt"
+	cmp "$tmp/zoo1.txt" "$tmp/zoo2.txt"
+}
+
 step_bench_smoke() {
 	go test -run=NONE -bench . -benchtime=1x ./...
+}
+
+# Bench guard: a short measured run of the hot-path benchmarks compared
+# against the frozen BENCH_netsim.json. The default x5 ns/op tolerance
+# absorbs runner noise; override with BENCH_TOLERANCE for slower machines.
+step_bench_guard() {
+	tmp="$(mktemp -d)"
+	trap 'rm -rf "$tmp"' EXIT
+	go build -o "$tmp/benchguard" ./cmd/benchguard
+	go test -run=NONE -benchmem -benchtime=100x \
+		-bench 'BenchmarkFabricSim$|BenchmarkMaxMin$|BenchmarkMaxMinDense$|BenchmarkTopoPaths|BenchmarkTopoSim' \
+		. >"$tmp/bench.out"
+	"$tmp/benchguard" -baseline BENCH_netsim.json "$tmp/bench.out"
 }
 
 step_fuzz_smoke() {
@@ -128,13 +153,15 @@ run_step() {
 	chaos-smoke) step_chaos_smoke ;;
 	jobs-race) step_jobs_race ;;
 	fault-determinism) step_fault_determinism ;;
+	topologies-determinism) step_topologies_determinism ;;
 	kill-resume-smoke) step_kill_resume_smoke ;;
 	metrics-smoke) step_metrics_smoke ;;
 	bench-smoke) step_bench_smoke ;;
+	bench-guard) step_bench_guard ;;
 	fuzz-smoke) step_fuzz_smoke ;;
 	*)
 		echo "unknown step: $1" >&2
-		echo "steps: fmt vet build test chaos-smoke jobs-race fault-determinism kill-resume-smoke metrics-smoke bench-smoke fuzz-smoke all" >&2
+		echo "steps: fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard fuzz-smoke all" >&2
 		return 2
 		;;
 	esac
@@ -145,7 +172,7 @@ if [ $# -eq 0 ]; then
 fi
 
 if [ "$1" = all ]; then
-	for s in fmt vet build test chaos-smoke jobs-race fault-determinism kill-resume-smoke metrics-smoke bench-smoke fuzz-smoke; do
+	for s in fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard fuzz-smoke; do
 		# Steps that set EXIT traps get a subshell so temp dirs clean up
 		# per step rather than at script exit.
 		(run_step "$s")
