@@ -1,0 +1,506 @@
+// Command loadgen is an open-loop load generator for the serve API. It
+// replays a configurable request mix — cache-hit-heavy point queries,
+// sweep-heavy compute, /v1/batch submissions, NDJSON streams — at a fixed
+// request rate with a seeded RNG, so two runs against the same build are
+// the same workload. Arrivals are open-loop (a ticker fires regardless of
+// how many requests are still in flight), which is the arrival process
+// that actually exposes capacity limits: a slow server does not slow the
+// offered load down, it grows the backlog.
+//
+// The report carries request and row counts, shed rate (429/503), error
+// rate, goodput (result rows per second), and p50/p99/p999 latency.
+// -maxp99 and -maxerr turn the run into a pass/fail gate for CI.
+//
+// -compare runs the capacity experiment behind the batch endpoint: the
+// same set of distinct what-if rows is pushed once as individual
+// /v1/whatif requests and once as /v1/batch submissions, both closed-loop
+// at the same concurrency, and the report states the goodput ratio.
+// -minratio asserts a floor on it (the acceptance bar is 2x).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of a running serve instance")
+	mix := flag.String("mix", "mixed", "request mix: hit, sweep, batch, stream, or mixed")
+	rps := flag.Float64("rps", 100, "offered request rate per second (open loop)")
+	duration := flag.Duration("duration", 10*time.Second, "length of the open-loop run")
+	seed := flag.Int64("seed", 1, "RNG seed: same seed, same request sequence")
+	batchRows := flag.Int("batchrows", 32, "rows per /v1/batch submission")
+	conc := flag.Int("conc", 32, "closed-loop workers for -compare")
+	rows := flag.Int("rows", 512, "distinct what-if rows for -compare")
+	compare := flag.Bool("compare", false, "run the singles-vs-batch goodput comparison instead of the open-loop mix")
+	maxP99 := flag.Duration("maxp99", 0, "fail if p99 latency exceeds this (0 disables)")
+	maxErr := flag.Float64("maxerr", -1, "fail if the error rate (errors/requests, shed excluded) exceeds this (negative disables)")
+	minRatio := flag.Float64("minratio", 0, "fail -compare if batch/single goodput ratio is below this (0 disables)")
+	out := flag.String("out", "", "also write the JSON report to this file")
+	flag.Parse()
+
+	client := &http.Client{
+		Timeout: 2 * time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        4 * *conc,
+			MaxIdleConnsPerHost: 4 * *conc,
+		},
+	}
+	base := strings.TrimRight(*addr, "/")
+
+	var report any
+	var failures []string
+	if *compare {
+		r := runCompare(client, base, *rows, *batchRows, *conc)
+		report = r
+		fmt.Printf("compare: %d rows, batch size %d, %d workers\n", r.Rows, r.BatchRows, r.Workers)
+		fmt.Printf("  singles: %8.1f rows/s  (%d errors, %v)\n", r.SingleRowsPerSec, r.SingleErrors, r.SingleElapsed.Round(time.Millisecond))
+		fmt.Printf("  batch:   %8.1f rows/s  (%d errors, %v)\n", r.BatchRowsPerSec, r.BatchErrors, r.BatchElapsed.Round(time.Millisecond))
+		fmt.Printf("  goodput ratio: %.2fx\n", r.Ratio)
+		if *minRatio > 0 && r.Ratio < *minRatio {
+			failures = append(failures, fmt.Sprintf("goodput ratio %.2fx below the %.2fx floor", r.Ratio, *minRatio))
+		}
+		if r.SingleErrors+r.BatchErrors > 0 {
+			failures = append(failures, fmt.Sprintf("%d rows errored", r.SingleErrors+r.BatchErrors))
+		}
+	} else {
+		r := runOpenLoop(client, base, *mix, *rps, *duration, *seed, *batchRows)
+		report = r
+		fmt.Printf("mix=%s rps=%.0f duration=%v seed=%d\n", r.Mix, r.OfferedRPS, r.Duration.Round(time.Millisecond), *seed)
+		fmt.Printf("  requests: %d ok, %d shed (%.1f%%), %d errors (%.2f%%)\n",
+			r.OK, r.Shed, 100*r.ShedRate, r.Errors, 100*r.ErrorRate)
+		fmt.Printf("  goodput:  %.1f rows/s (%d rows)\n", r.GoodputRows, r.Rows)
+		fmt.Printf("  latency:  p50 %v  p99 %v  p999 %v\n",
+			r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.P999.Round(time.Microsecond))
+		if *maxP99 > 0 && r.P99 > *maxP99 {
+			failures = append(failures, fmt.Sprintf("p99 %v exceeds the %v ceiling", r.P99, *maxP99))
+		}
+		if *maxErr >= 0 && r.ErrorRate > *maxErr {
+			failures = append(failures, fmt.Sprintf("error rate %.4f exceeds the %.4f ceiling", r.ErrorRate, *maxErr))
+		}
+	}
+	if *out != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %s\n", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// openLoopReport is the JSON summary of one open-loop run.
+type openLoopReport struct {
+	Mix         string        `json:"mix"`
+	OfferedRPS  float64       `json:"offered_rps"`
+	Duration    time.Duration `json:"duration_ns"`
+	Requests    int           `json:"requests"`
+	OK          int           `json:"ok"`
+	Shed        int           `json:"shed"`
+	Errors      int           `json:"errors"`
+	Rows        int64         `json:"rows"`
+	GoodputRows float64       `json:"goodput_rows_per_sec"`
+	ShedRate    float64       `json:"shed_rate"`
+	ErrorRate   float64       `json:"error_rate"`
+	P50         time.Duration `json:"p50_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	P999        time.Duration `json:"p999_ns"`
+}
+
+// outcome is one finished request as the collector sees it.
+type outcome struct {
+	latency time.Duration
+	rows    int64 // result rows delivered (goodput numerator)
+	shed    bool  // 429 or 503: the server said "later", by design
+	err     bool  // anything else that is not a 2xx with a parseable body
+}
+
+// runOpenLoop offers requests at a fixed rate and collects outcomes.
+func runOpenLoop(client *http.Client, base, mix string, rps float64, d time.Duration, seed int64, batchRows int) openLoopReport {
+	if rps <= 0 {
+		rps = 1
+	}
+	interval := time.Duration(float64(time.Second) / rps)
+	// The RNG seeds each request's parameters up front, on the ticker
+	// goroutine, so the sequence is deterministic regardless of how the
+	// scheduler interleaves the in-flight requests.
+	rng := rand.New(rand.NewSource(seed))
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		outcomes []outcome
+	)
+	record := func(o outcome) {
+		mu.Lock()
+		outcomes = append(outcomes, o)
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	deadline := start.Add(d)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for now := start; now.Before(deadline); now = <-tick.C {
+		shot := nextShot(rng, mix, batchRows)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			record(shot.fire(client, base))
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := openLoopReport{Mix: mix, OfferedRPS: rps, Duration: elapsed, Requests: len(outcomes)}
+	lats := make([]time.Duration, 0, len(outcomes))
+	for _, o := range outcomes {
+		switch {
+		case o.shed:
+			rep.Shed++
+		case o.err:
+			rep.Errors++
+		default:
+			rep.OK++
+			rep.Rows += o.rows
+			lats = append(lats, o.latency)
+		}
+	}
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.GoodputRows = float64(rep.Rows) / secs
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.P50 = percentile(lats, 0.50)
+	rep.P99 = percentile(lats, 0.99)
+	rep.P999 = percentile(lats, 0.999)
+	return rep
+}
+
+// percentile reads the p-quantile from sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// shot is one fully parameterized request, decided before firing so the
+// workload is a pure function of the seed.
+type shot struct {
+	kind string // "hit", "miss", "sweep", "batch", "stream"
+	gpus int
+	step int
+	body string // batch body, prebuilt
+}
+
+// nextShot draws the next request from the mix.
+func nextShot(rng *rand.Rand, mix string, batchRows int) shot {
+	kind := mix
+	if mix == "mixed" {
+		switch f := rng.Float64(); {
+		case f < 0.60:
+			kind = "hit"
+		case f < 0.80:
+			kind = "sweep"
+		case f < 0.90:
+			kind = "batch"
+		default:
+			kind = "stream"
+		}
+	}
+	switch kind {
+	case "hit":
+		// 90% of point queries land on a pool of 4 parameter sets — the
+		// cache-hit-heavy interactive profile; 10% are distinct misses.
+		if rng.Float64() < 0.9 {
+			return shot{kind: "hit", gpus: 1024 << (rng.Intn(4))}
+		}
+		return shot{kind: "miss", gpus: 3000 + rng.Intn(1_000_000)}
+	case "sweep":
+		return shot{kind: "sweep", step: 16 + rng.Intn(48)}
+	case "batch":
+		var sb strings.Builder
+		sb.WriteString(`{"requests":[`)
+		for i := 0; i < batchRows; i++ {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			// Half the rows repeat the hit pool (dedup/caching inside the
+			// batch), half are distinct.
+			g := 1024 << (rng.Intn(4))
+			if i%2 == 1 {
+				g = 3000 + rng.Intn(1_000_000)
+			}
+			fmt.Fprintf(&sb, `{"op":"whatif","gpus":%d}`, g)
+		}
+		sb.WriteString(`]}`)
+		return shot{kind: "batch", body: sb.String()}
+	case "stream":
+		return shot{kind: "stream", step: 16 + rng.Intn(48)}
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown mix %q (want hit, sweep, batch, stream, or mixed)\n", kind)
+		os.Exit(2)
+		return shot{}
+	}
+}
+
+// fire issues the request and classifies the outcome.
+func (s shot) fire(client *http.Client, base string) outcome {
+	start := time.Now()
+	switch s.kind {
+	case "hit", "miss":
+		o := getOutcome(client, fmt.Sprintf("%s/v1/whatif?gpus=%d", base, s.gpus))
+		o.rows, o.latency = 1, time.Since(start)
+		if o.err || o.shed {
+			o.rows = 0
+		}
+		return o
+	case "sweep":
+		o := getOutcome(client, fmt.Sprintf("%s/v1/sweep?steps=%d", base, s.step))
+		o.rows, o.latency = int64(s.step+1), time.Since(start)
+		if o.err || o.shed {
+			o.rows = 0
+		}
+		return o
+	case "batch":
+		return fireBatch(client, base, s.body, start)
+	case "stream":
+		return fireStream(client, fmt.Sprintf("%s/v1/sweep?steps=%d&stream=1", base, s.step), start)
+	}
+	return outcome{err: true}
+}
+
+func getOutcome(client *http.Client, url string) outcome {
+	resp, err := client.Get(url)
+	if err != nil {
+		return outcome{err: true}
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	return classify(resp.StatusCode)
+}
+
+func classify(status int) outcome {
+	switch {
+	case status == http.StatusOK:
+		return outcome{}
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		return outcome{shed: true}
+	default:
+		return outcome{err: true}
+	}
+}
+
+// fireBatch posts a prebuilt /v1/batch body; goodput counts the rows
+// that answered, shed rows shrink it without failing the request.
+func fireBatch(client *http.Client, base, body string, start time.Time) outcome {
+	resp, err := client.Post(base+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		return outcome{err: true}
+	}
+	defer resp.Body.Close()
+	if o := classify(resp.StatusCode); o.shed || o.err {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return o
+	}
+	// Outcomes ride in headers; the body (full per-row results) is
+	// drained without parsing — a bulk ingestion client would parse it,
+	// but the generator only accounts.
+	rows, err1 := strconv.Atoi(resp.Header.Get("X-Batch-Rows"))
+	bad, err2 := strconv.Atoi(resp.Header.Get("X-Batch-Errors")) // includes shed rows
+	io.Copy(io.Discard, resp.Body)                               //nolint:errcheck
+	if err1 != nil || err2 != nil {
+		return outcome{err: true}
+	}
+	return outcome{latency: time.Since(start), rows: int64(rows - bad)}
+}
+
+// fireStream reads an NDJSON stream to the end, counting row frames.
+func fireStream(client *http.Client, url string, start time.Time) outcome {
+	resp, err := client.Get(url)
+	if err != nil {
+		return outcome{err: true}
+	}
+	defer resp.Body.Close()
+	if o := classify(resp.StatusCode); o.shed || o.err {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return o
+	}
+	var rows int64
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	ended := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var frame struct {
+			End   bool   `json:"end"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(line, &frame); err != nil {
+			return outcome{err: true}
+		}
+		if frame.End {
+			ended = true
+			if frame.Error != "" {
+				return outcome{err: true}
+			}
+			break
+		}
+		rows++
+	}
+	if sc.Err() != nil || !ended {
+		return outcome{err: true}
+	}
+	return outcome{latency: time.Since(start), rows: rows}
+}
+
+// compareReport is the JSON summary of the singles-vs-batch experiment.
+type compareReport struct {
+	Rows             int           `json:"rows"`
+	BatchRows        int           `json:"batch_rows"`
+	Workers          int           `json:"workers"`
+	SingleElapsed    time.Duration `json:"single_elapsed_ns"`
+	SingleErrors     int           `json:"single_errors"`
+	SingleRowsPerSec float64       `json:"single_rows_per_sec"`
+	BatchElapsed     time.Duration `json:"batch_elapsed_ns"`
+	BatchErrors      int           `json:"batch_errors"`
+	BatchRowsPerSec  float64       `json:"batch_rows_per_sec"`
+	Ratio            float64       `json:"goodput_ratio"`
+}
+
+// runCompare pushes the same number of distinct what-if rows through the
+// API twice — individual requests, then /v1/batch chunks — closed-loop at
+// the same worker count, and reports rows/sec for each. The two phases
+// use disjoint gpus ranges so neither benefits from the other's cache.
+func runCompare(client *http.Client, base string, rows, batchRows, workers int) compareReport {
+	if workers < 1 {
+		workers = 1
+	}
+	if batchRows < 1 {
+		batchRows = 1
+	}
+	rep := compareReport{Rows: rows, BatchRows: batchRows, Workers: workers}
+
+	// Phase 1: one HTTP request per row.
+	singles := make([]string, rows)
+	for i := range singles {
+		singles[i] = fmt.Sprintf("%s/v1/whatif?gpus=%d", base, 100_000+i)
+	}
+	start := time.Now()
+	rep.SingleErrors = closedLoop(workers, len(singles), func(i int) bool {
+		o := getOutcome(client, singles[i])
+		return !o.err && !o.shed
+	})
+	rep.SingleElapsed = time.Since(start)
+	if s := rep.SingleElapsed.Seconds(); s > 0 {
+		rep.SingleRowsPerSec = float64(rows-rep.SingleErrors) / s
+	}
+
+	// Phase 2: the same row count in /v1/batch chunks.
+	var bodies []string
+	for off := 0; off < rows; off += batchRows {
+		n := batchRows
+		if off+n > rows {
+			n = rows - off
+		}
+		var sb strings.Builder
+		sb.WriteString(`{"requests":[`)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, `{"op":"whatif","gpus":%d}`, 200_000+off+i)
+		}
+		sb.WriteString(`]}`)
+		bodies = append(bodies, sb.String())
+	}
+	// Equal in-flight rows, not equal in-flight requests: one batch
+	// submission carries batchRows rows, so the batch phase uses
+	// conc/batchRows workers. (One worker already saturates the server's
+	// pool — the rows inside a batch dispatch concurrently server-side.)
+	batchWorkers := workers / batchRows
+	if batchWorkers < 1 {
+		batchWorkers = 1
+	}
+	var mu sync.Mutex
+	badRows := 0
+	start = time.Now()
+	closedLoop(batchWorkers, len(bodies), func(i int) bool {
+		o := fireBatch(client, base, bodies[i], time.Now())
+		n := int64(strings.Count(bodies[i], `"op"`))
+		mu.Lock()
+		badRows += int(n - o.rows)
+		mu.Unlock()
+		return !o.err && !o.shed
+	})
+	rep.BatchElapsed = time.Since(start)
+	rep.BatchErrors = badRows
+	if s := rep.BatchElapsed.Seconds(); s > 0 {
+		rep.BatchRowsPerSec = float64(rows-badRows) / s
+	}
+	if rep.SingleRowsPerSec > 0 {
+		rep.Ratio = rep.BatchRowsPerSec / rep.SingleRowsPerSec
+	}
+	return rep
+}
+
+// closedLoop runs n tasks across the worker count and returns how many
+// reported failure.
+func closedLoop(workers, n int, task func(i int) bool) int {
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		failed int
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if !task(i) {
+					mu.Lock()
+					failed++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return failed
+}

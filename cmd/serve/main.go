@@ -14,9 +14,12 @@
 //	GET/POST /v1/scenarios/{name}  run a §4 mechanism scenario (incl.
 //	                               "topologies", the cross-topology zoo
 //	                               power-proportionality comparison)
+//	POST     /v1/batch             answer many requests in one call (amortized
+//	                               normalize/key/cache/dispatch, one frame per row)
 //	POST     /v1/jobs              submit a durable async job (idempotent by canonical key)
 //	GET      /v1/jobs              list jobs
 //	GET      /v1/jobs/{id}         job status, progress, partial rows, result when done
+//	GET      /v1/jobs/{id}/stream  NDJSON row stream, resumable via Last-Row offset
 //	DELETE   /v1/jobs/{id}         cancel a job
 //	GET      /healthz              health JSON (status, drain state, uptime, job depth)
 //	GET      /metrics              cache/latency/robustness/job counters (text format)
@@ -25,7 +28,17 @@
 // (gpus, bw, ratio, netprop, compprop, interp, overlap, budget, props,
 // fixedratio, steps, price, cooling); POST requests take the same fields
 // as a JSON body. Identical queries are answered from a sharded LRU cache
-// and concurrent identical queries collapse into one computation.
+// and concurrent identical queries collapse into one computation. Adding
+// ?stream=1 to any synchronous endpoint streams the result as NDJSON row
+// frames that flush as they are computed, byte-identical to the rows of
+// the buffered result.
+//
+// Admission control: requests may carry X-Tenant (quota accounting key)
+// and X-Priority (low, normal, high). With -quota set, each tenant spends
+// row-count tokens from a token bucket (a 100-row batch costs 100);
+// exhausted tenants receive 429 with a refill-derived Retry-After.
+// Low-priority work is shed early (503) while the queue still has
+// headroom for interactive traffic; high priority may overdraw one burst.
 //
 // With -jobdir set, POST /v1/jobs accepts any request body the synchronous
 // endpoints take (plus "op") and runs it as a durable job: progress is
@@ -54,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	"netpowerprop/internal/admit"
 	"netpowerprop/internal/engine"
 	"netpowerprop/internal/jobs"
 	"netpowerprop/internal/obs"
@@ -67,6 +81,8 @@ func main() {
 	queue := flag.Int("queue", 0, "max queued computations before shedding (0 = 4x workers, negative = unbounded)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request computation timeout")
 	jobdir := flag.String("jobdir", "", "directory for durable job journals (empty disables /v1/jobs)")
+	quota := flag.Float64("quota", 0, "per-tenant sustained row budget per second (0 disables quotas)")
+	burst := flag.Float64("burst", 0, "per-tenant token-bucket capacity in rows (0 = 2x quota)")
 	logLevel := flag.String("loglevel", "info", "log verbosity: debug, info, warn, or error")
 	pprofAddr := flag.String("pprofaddr", "", "listen address for net/http/pprof (empty disables; keep it private)")
 	flag.Parse()
@@ -93,6 +109,10 @@ func main() {
 		}
 	}
 	srv := newServer(eng, jm, *timeout, logger.With("component", "http"), reg)
+	srv.admit = admit.New(admit.Options{
+		RatePerSec: *quota, Burst: *burst,
+		Capacity: eng.Capacity(), Pending: eng.Pending, Registry: reg,
+	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -158,6 +178,7 @@ func servePprof(addr string, logger *obs.Logger) {
 type server struct {
 	eng     *engine.Engine
 	jobs    *jobs.Manager // nil: /v1/jobs disabled
+	admit   *admit.Controller
 	timeout time.Duration
 	started time.Time
 	mux     *http.ServeMux
@@ -187,6 +208,9 @@ func newServer(eng *engine.Engine, jm *jobs.Manager, timeout time.Duration,
 		mux: http.NewServeMux(), log: logger, reg: reg,
 		reqCounters: make(map[string]*obs.Counter),
 		routeHists:  make(map[string]*obs.Histogram)}
+	// Default admission: priorities active, quotas off. main swaps in a
+	// quota-configured controller (with metrics) when -quota is set.
+	s.admit = admit.New(admit.Options{Capacity: eng.Capacity(), Pending: eng.Pending})
 	reg.CounterFunc("netpowerprop_http_panics_total",
 		"HTTP handler panics recovered by the serving middleware.",
 		func() float64 { return float64(s.panics.Load()) })
@@ -201,9 +225,11 @@ func newServer(eng *engine.Engine, jm *jobs.Manager, timeout time.Duration,
 	}
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
 	s.mux.HandleFunc("/v1/scenarios/{name}", s.handleScenario)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	return s
 }
@@ -330,16 +356,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // retryAfterSeconds derives the Retry-After hint from actual queue
 // state: the expected time to drain the pending computations through the
 // worker pool, using the engine's measured mean compute time, clamped to
-// [1, 60] seconds. A draining server reports at least drainRetryAfter —
-// the queue will not empty in this process; clients should wait for the
-// restart.
-func (s *server) retryAfterSeconds() int {
+// [1, 60] seconds. rows is the rejected submission's own row count — a
+// shed 100-row batch must wait for the queue to drain room for 100 rows,
+// not for 1, so batches pass their row count and single requests pass 1.
+// A draining server reports at least drainRetryAfter — the queue will not
+// empty in this process; clients should wait for the restart.
+func (s *server) retryAfterSeconds(rows int) int {
+	if rows < 1 {
+		rows = 1
+	}
 	m := s.eng.Metrics()
 	avg := 0.05 // prior before any computation has finished
 	if m.Computations > 0 {
 		avg = m.ComputeSeconds / float64(m.Computations)
 	}
-	secs := int(math.Ceil(avg * float64(m.Pending) / float64(s.eng.Workers())))
+	secs := int(math.Ceil(avg * float64(m.Pending+int64(rows)-1) / float64(s.eng.Workers())))
 	if s.draining.Load() && secs < drainRetryAfter {
 		secs = drainRetryAfter
 	}
@@ -362,7 +393,7 @@ func (s *server) writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, engine.ErrOverloaded):
 		// Shed load: tell clients when the queue should actually have
 		// drained, not a fixed guess.
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(1)))
 		status = http.StatusServiceUnavailable
 	case errors.As(err, &pe):
 		status = http.StatusInternalServerError
@@ -456,8 +487,52 @@ func parseQuery(r *http.Request) (engine.Request, error) {
 	return req, nil
 }
 
-// serve answers one request through the engine.
+// admitRequest applies the priority/quota admission layer for a request
+// carrying rows rows. It answers the rejection itself (400 for a bad
+// priority, 429 for quota, 503 for a low-priority load shed) and reports
+// whether the request may proceed to the engine.
+func (s *server) admitRequest(w http.ResponseWriter, r *http.Request, rows int) bool {
+	pri, ok := admit.ParsePriority(r.Header.Get("X-Priority"))
+	if !ok {
+		writeJSON(w, http.StatusBadRequest,
+			apiError{Error: fmt.Sprintf("unknown X-Priority %q (want low, normal, or high)", r.Header.Get("X-Priority"))})
+		return false
+	}
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	d := s.admit.Admit(tenant, pri, rows)
+	if d.OK {
+		return true
+	}
+	switch d.Reason {
+	case admit.ReasonQuota:
+		secs := int(math.Ceil(d.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests,
+			apiError{Error: fmt.Sprintf("tenant %q quota exceeded for %d rows", tenant, rows)})
+	default:
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(rows)))
+		writeJSON(w, http.StatusServiceUnavailable,
+			apiError{Error: "low-priority request shed under load"})
+	}
+	return false
+}
+
+// serve answers one request through the engine. ?stream=1 switches to the
+// NDJSON row stream instead of one buffered JSON body.
 func (s *server) serve(w http.ResponseWriter, r *http.Request, req engine.Request) {
+	if !s.admitRequest(w, r, 1) {
+		return
+	}
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		s.serveStream(w, r, req)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 	start := time.Now()
@@ -518,6 +593,10 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 				req.Bandwidth = vals[0]
 				continue
 			}
+			if name == "stream" {
+				// Transport directive (?stream=1), not a scenario parameter.
+				continue
+			}
 			v, err := strconv.ParseFloat(vals[0], 64)
 			if err != nil {
 				s.writeError(w, fmt.Errorf("parameter %s: %w", name, err))
@@ -564,7 +643,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, jobs.ErrClosed) {
 			// Drain rejection: the manager is shutting down; tell clients
 			// when a restarted server should be taking work again.
-			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(1)))
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 			return
 		}

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"netpowerprop/internal/engine"
+	"netpowerprop/internal/jobs"
+)
+
+// This file is the server's high-throughput surfaces: POST /v1/batch
+// (many requests, one call, one response frame per row) and the NDJSON
+// row streams (?stream=1 on synchronous endpoints; GET
+// /v1/jobs/{id}/stream for durable jobs, resumable via Last-Row).
+
+// maxBatchRows bounds one batch submission. Clients with more rows split
+// them — the point of batching is amortization, not unbounded bodies.
+const maxBatchRows = 1024
+
+// batchItem is one row of the /v1/batch response, in request order.
+type batchItem struct {
+	Result *engine.Result `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+	// Cached: served from the result cache. Shared: piggybacked on
+	// another row's (or another request's) in-flight computation.
+	Cached bool `json:"cached,omitempty"`
+	Shared bool `json:"shared,omitempty"`
+}
+
+// batchResponse is the /v1/batch body: per-row outcomes plus aggregate
+// accounting. The call itself answers 200 even when rows failed — each
+// row carries its own error, exactly as N independent calls would have.
+type batchResponse struct {
+	Items     []batchItem `json:"items"`
+	Rows      int         `json:"rows"`
+	Cached    int         `json:"cached"`
+	Errors    int         `json:"errors"`
+	Shed      int         `json:"shed"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+// handleBatch answers many requests in one POST: body {"requests":
+// [{...},...]} where each element is a synchronous endpoint's body plus
+// "op". Normalization, canonical keying, cache lookups, duplicate
+// collapsing, and worker-pool admission are amortized across the batch
+// (engine.DoBatch); quota admission spends the batch's true row count;
+// and when overload sheds rows, the Retry-After header is derived from
+// the shed row count, not from one unit.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Requests []engine.Request `json:"requests"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		s.writeError(w, fmt.Errorf("decode batch body: %w", err))
+		return
+	}
+	if len(body.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "empty batch: requests must hold at least one request"})
+		return
+	}
+	if len(body.Requests) > maxBatchRows {
+		writeJSON(w, http.StatusBadRequest,
+			apiError{Error: fmt.Sprintf("batch of %d rows exceeds the %d-row limit; split it", len(body.Requests), maxBatchRows)})
+		return
+	}
+	if !s.admitRequest(w, r, len(body.Requests)) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	start := time.Now()
+	items := s.eng.DoBatch(ctx, body.Requests)
+	resp := batchResponse{Items: make([]batchItem, len(items)), Rows: len(items)}
+	for i, it := range items {
+		resp.Items[i] = batchItem{Result: it.Result, Cached: it.Cached, Shared: it.Shared}
+		if it.Cached {
+			resp.Cached++
+		}
+		if it.Err != nil {
+			resp.Items[i].Error = it.Err.Error()
+			resp.Errors++
+			if errors.Is(it.Err, engine.ErrOverloaded) {
+				resp.Shed++
+			}
+		}
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if resp.Shed > 0 {
+		// Row-aware hint: the client will resubmit Shed rows, so derive
+		// the wait from that row count against the live queue.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(resp.Shed)))
+	}
+	// Aggregate outcomes ride in headers so bulk clients can account for
+	// the batch without parsing the (potentially large) body, and the
+	// body is compact JSON — this is a programmatic surface, unlike the
+	// human-curlable synchronous endpoints.
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Batch-Rows", strconv.Itoa(resp.Rows))
+	w.Header().Set("X-Batch-Errors", strconv.Itoa(resp.Errors))
+	w.Header().Set("X-Batch-Shed", strconv.Itoa(resp.Shed))
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// streamRowFrame is one NDJSON line of a synchronous ?stream=1 response:
+// the row index and the row's canonical bytes — the same bytes the
+// buffered result assembles, so streamed rows are byte-identical to the
+// non-streaming path.
+type streamRowFrame struct {
+	Row  int             `json:"row"`
+	Data json.RawMessage `json:"data"`
+}
+
+// streamEndFrame terminates an NDJSON stream. Row frames never carry
+// "end", so clients split on it. A mid-stream failure sets Error; a job
+// stream that ended before the job finished (drain/interruption) reports
+// the resume offset in NextRow with End still true.
+type streamEndFrame struct {
+	End   bool   `json:"end"`
+	Rows  int    `json:"rows"`
+	Error string `json:"error,omitempty"`
+	// Job streams only:
+	State    jobs.State        `json:"state,omitempty"`
+	NextRow  int               `json:"next_row,omitempty"`
+	RowsDone int               `json:"rows_done,omitempty"`
+	RowError []engine.RowError `json:"row_errors,omitempty"`
+	Result   *engine.Result    `json:"result,omitempty"`
+}
+
+// serveStream answers one synchronous request as an NDJSON row stream:
+// rows flush as they are computed instead of buffering the whole result.
+// The assembled result still primes the cache, so a later non-streaming
+// query for the same request is a hit.
+func (s *server) serveStream(w http.ResponseWriter, r *http.Request, req engine.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	wrote := false
+	res, err := s.eng.Stream(ctx, req, func(i int, data json.RawMessage) error {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			wrote = true
+		}
+		if err := enc.Encode(streamRowFrame{Row: i, Data: data}); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		if !wrote {
+			// Nothing sent yet (bad request, shed, row 0 failed): answer a
+			// plain JSON error with the usual status mapping.
+			s.writeError(w, err)
+			return
+		}
+		// Mid-stream failure: the 200 header is gone; report in-band.
+		_ = enc.Encode(streamEndFrame{End: true, Error: err.Error()})
+		return
+	}
+	if !wrote {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
+	_ = enc.Encode(streamEndFrame{End: true, Rows: streamRows(res)})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// streamRows is the emitted-row count of a completed streamed result,
+// recomputed from the result shape (the plan is not in scope here).
+func streamRows(res *engine.Result) int {
+	switch {
+	case res == nil:
+		return 0
+	case res.Sweep != nil:
+		return len(res.Sweep)
+	case res.Grid != nil:
+		return len(res.Grid.Bandwidths)
+	case res.Table != nil:
+		return len(res.Table.Rows)
+	}
+	return 1
+}
+
+// handleJobStream streams a durable job's rows as NDJSON, live: rows
+// already checkpointed replay immediately (their journaled bytes
+// verbatim), later rows flush as the runner checkpoints them. The resume
+// offset comes from the Last-Row header (index of the last row the
+// client already holds) or the from query parameter (first row wanted);
+// a reconnecting client passes what it has and receives only the rest.
+// The final frame reports the job state and, when terminal, the
+// assembled result.
+func (s *server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	from := 0
+	if v := r.Header.Get("Last-Row"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("Last-Row: %v", err)})
+			return
+		}
+		from = n + 1
+	} else if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("from: %v", err)})
+			return
+		}
+		from = n
+	}
+	if !s.admitRequest(w, r, 1) {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	wrote := false
+	snap, err := s.jobs.StreamRows(r.Context(), r.PathValue("id"), from, func(rs jobs.RowStatus) error {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			wrote = true
+		}
+		if err := enc.Encode(rs); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, jobs.ErrUnknownJob) {
+			writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+			return
+		}
+		if !wrote {
+			s.writeError(w, err)
+		}
+		// Mid-stream write failure or client cancel: nothing useful to
+		// append; the client reconnects with its Last-Row.
+		return
+	}
+	if !wrote {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
+	end := streamEndFrame{
+		End: true, Rows: snap.Rows, RowsDone: snap.RowsDone,
+		State: snap.State, NextRow: snap.RowsDone,
+		RowError: snap.RowErrors, Result: snap.Result,
+	}
+	_ = enc.Encode(end)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

@@ -1,0 +1,249 @@
+package admit
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"netpowerprop/internal/obs"
+)
+
+// fakeNow is an injectable clock.
+type fakeNow struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeNow() *fakeNow {
+	return &fakeNow{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (f *fakeNow) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeNow) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func TestParsePriority(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Priority
+		ok   bool
+	}{
+		{"", Normal, true},
+		{"normal", Normal, true},
+		{"low", Low, true},
+		{"high", High, true},
+		{"urgent", Normal, false},
+	}
+	for _, c := range cases {
+		got, ok := ParsePriority(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParsePriority(%q) = %v/%v, want %v/%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// With no rate configured, everything is admitted.
+func TestQuotaDisabled(t *testing.T) {
+	c := New(Options{})
+	if c.QuotaEnabled() {
+		t.Fatal("quota enabled with zero rate")
+	}
+	for i := 0; i < 1000; i++ {
+		if d := c.Admit("t", Normal, 100); !d.OK {
+			t.Fatalf("request %d rejected with quotas disabled: %+v", i, d)
+		}
+	}
+}
+
+// A tenant burns its burst, is rejected with a refill-derived
+// Retry-After, and is admitted again once the bucket refills.
+func TestTokenBucketRefill(t *testing.T) {
+	now := newFakeNow()
+	c := New(Options{RatePerSec: 10, Burst: 20, Now: now.Now})
+	if d := c.Admit("a", Normal, 20); !d.OK {
+		t.Fatalf("initial burst rejected: %+v", d)
+	}
+	d := c.Admit("a", Normal, 5)
+	if d.OK || d.Reason != ReasonQuota {
+		t.Fatalf("over-quota admit = %+v, want quota rejection", d)
+	}
+	if d.RetryAfter != 500*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want 500ms (5 tokens at 10/s)", d.RetryAfter)
+	}
+	now.Advance(500 * time.Millisecond)
+	if d := c.Admit("a", Normal, 5); !d.OK {
+		t.Fatalf("post-refill admit rejected: %+v", d)
+	}
+	// Refill never exceeds the burst.
+	now.Advance(time.Hour)
+	if d := c.Admit("a", Normal, 21); d.OK {
+		t.Fatal("admit above burst succeeded after long idle")
+	}
+}
+
+// Quotas meter rows, not requests: a batch spends its row count.
+func TestQuotaCountsRows(t *testing.T) {
+	now := newFakeNow()
+	c := New(Options{RatePerSec: 1, Burst: 10, Now: now.Now})
+	if d := c.Admit("a", Normal, 8); !d.OK {
+		t.Fatalf("8-row batch rejected: %+v", d)
+	}
+	if d := c.Admit("a", Normal, 8); d.OK {
+		t.Fatal("second 8-row batch admitted with 2 tokens left")
+	}
+	if d := c.Admit("a", Normal, 2); !d.OK {
+		t.Fatalf("2-row spend of the remainder rejected: %+v", d)
+	}
+}
+
+// Tenants have independent buckets.
+func TestTenantsIsolated(t *testing.T) {
+	now := newFakeNow()
+	c := New(Options{RatePerSec: 1, Burst: 5, Now: now.Now})
+	if d := c.Admit("a", Normal, 5); !d.OK {
+		t.Fatalf("tenant a rejected: %+v", d)
+	}
+	if d := c.Admit("a", Normal, 1); d.OK {
+		t.Fatal("tenant a admitted past its burst")
+	}
+	if d := c.Admit("b", Normal, 5); !d.OK {
+		t.Fatalf("tenant b rejected after a's exhaustion: %+v", d)
+	}
+}
+
+// Low priority pays double and is shed early under queue pressure.
+func TestLowPriority(t *testing.T) {
+	now := newFakeNow()
+	var pending int64
+	c := New(Options{
+		RatePerSec: 1, Burst: 10, Now: now.Now,
+		Capacity: 10, Pending: func() int64 { return pending },
+	})
+	// Double cost: 10 tokens cover only 5 low-priority rows.
+	if d := c.Admit("a", Low, 5); !d.OK {
+		t.Fatalf("low 5 rows rejected: %+v", d)
+	}
+	if d := c.Admit("a", Low, 1); d.OK {
+		t.Fatal("low row admitted from an empty bucket")
+	}
+	// Early shed at half capacity, even with a full bucket.
+	pending = 5
+	d := c.Admit("b", Low, 1)
+	if d.OK || d.Reason != ReasonLoad {
+		t.Fatalf("low under load = %+v, want load shed", d)
+	}
+	// Normal sails through the same queue depth (engine is the authority).
+	if d := c.Admit("b", Normal, 1); !d.OK {
+		t.Fatalf("normal under half-full queue rejected: %+v", d)
+	}
+	if m := c.Metrics(); m.LoadShed != 1 {
+		t.Errorf("LoadShed = %d, want 1", m.LoadShed)
+	}
+}
+
+// High priority overdraws to -burst before quota kicks in.
+func TestHighPriorityOverdraw(t *testing.T) {
+	now := newFakeNow()
+	c := New(Options{RatePerSec: 1, Burst: 5, Now: now.Now})
+	if d := c.Admit("a", Normal, 5); !d.OK {
+		t.Fatalf("burst spend rejected: %+v", d)
+	}
+	if d := c.Admit("a", Normal, 1); d.OK {
+		t.Fatal("normal admitted from empty bucket")
+	}
+	if d := c.Admit("a", High, 5); !d.OK {
+		t.Fatalf("high overdraw rejected: %+v", d)
+	}
+	d := c.Admit("a", High, 1)
+	if d.OK || d.Reason != ReasonQuota {
+		t.Fatalf("high past the overdraw floor = %+v, want quota rejection", d)
+	}
+	if d.RetryAfter != time.Second {
+		t.Errorf("RetryAfter = %v, want 1s", d.RetryAfter)
+	}
+}
+
+// The tenant table is bounded; the least recently seen bucket is evicted.
+func TestTenantEviction(t *testing.T) {
+	now := newFakeNow()
+	c := New(Options{RatePerSec: 1, Burst: 5, MaxTenants: 3, Now: now.Now})
+	for i := 0; i < 3; i++ {
+		c.Admit(fmt.Sprintf("t%d", i), Normal, 1)
+		now.Advance(time.Millisecond)
+	}
+	c.Admit("t3", Normal, 1) // evicts t0, the stalest
+	if n := c.Tenants(); n != 3 {
+		t.Fatalf("tenants = %d, want 3 after eviction", n)
+	}
+	if m := c.Metrics(); m.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", m.Evictions)
+	}
+	// t0 returns with a fresh (full) bucket — the cost of bounding state.
+	if d := c.Admit("t0", Normal, 5); !d.OK {
+		t.Fatalf("re-added tenant rejected: %+v", d)
+	}
+}
+
+// Metrics render under the netpowerprop_admit_* namespace.
+func TestAdmitMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	now := newFakeNow()
+	c := New(Options{RatePerSec: 1, Burst: 2, Now: now.Now, Registry: reg})
+	c.Admit("a", Normal, 2)
+	c.Admit("a", Normal, 2)
+	var sb strings.Builder
+	if err := reg.Render(&sb); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`netpowerprop_admit_allowed_total{class="normal"} 1`,
+		`netpowerprop_admit_quota_rejected_total{class="normal"} 1`,
+		"netpowerprop_admit_tenants 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// Concurrent admits on one tenant never oversell the bucket.
+func TestAdmitConcurrent(t *testing.T) {
+	now := newFakeNow()
+	c := New(Options{RatePerSec: 1, Burst: 100, Now: now.Now})
+	var wg sync.WaitGroup
+	var admitted atomic64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if c.Admit("hot", Normal, 1).OK {
+					admitted.add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.load(); got != 100 {
+		t.Fatalf("admitted %d rows from a 100-token bucket", got)
+	}
+}
+
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

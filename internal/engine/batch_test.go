@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitPending polls until the engine has admitted at least n computations.
+func waitPending(t *testing.T, e *Engine, n int64) {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for e.Metrics().Pending < n {
+		select {
+		case <-deadline:
+			t.Fatalf("pending = %d, want >= %d", e.Metrics().Pending, n)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// A batch answers every row with the same bytes N independent Do calls
+// would have produced, in input order.
+func TestBatchMatchesDo(t *testing.T) {
+	reqs := []Request{
+		{Op: OpWhatIf},
+		{Op: OpWhatIf, GPUs: 1024},
+		{Op: OpSweep, Steps: 4},
+		{Op: OpCost},
+	}
+	batched := New(Options{})
+	items := batched.DoBatch(context.Background(), reqs)
+	if len(items) != len(reqs) {
+		t.Fatalf("got %d items, want %d", len(items), len(reqs))
+	}
+	single := New(Options{})
+	for i, req := range reqs {
+		if items[i].Err != nil {
+			t.Fatalf("row %d: %v", i, items[i].Err)
+		}
+		want := do(t, single, req)
+		got, err := json.Marshal(items[i].Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(ref) {
+			t.Errorf("row %d differs from Do:\n batch: %s\n    do: %s", i, got, ref)
+		}
+	}
+	m := batched.Metrics()
+	if m.Batches != 1 || m.BatchRows != uint64(len(reqs)) {
+		t.Errorf("batches=%d rows=%d, want 1/%d", m.Batches, m.BatchRows, len(reqs))
+	}
+	if m.Computations != uint64(len(reqs)) {
+		t.Errorf("computations = %d, want %d", m.Computations, len(reqs))
+	}
+}
+
+// Duplicate rows (including differently spelled requests that normalize
+// to one canonical key) collapse to a single computation; the extras are
+// reported as shared.
+func TestBatchDedupesWithinBatch(t *testing.T) {
+	e := New(Options{})
+	reqs := []Request{
+		{Op: OpWhatIf},
+		{Op: OpWhatIf, GPUs: 15360, Bandwidth: "400G", CommRatio: 0.10}, // same key as row 0
+		{Op: OpWhatIf},
+		{Op: OpWhatIf, GPUs: 2048},
+	}
+	items := e.DoBatch(context.Background(), reqs)
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("row %d: %v", i, it.Err)
+		}
+	}
+	if m := e.Metrics(); m.Computations != 2 {
+		t.Errorf("computations = %d, want 2 (duplicates collapsed)", m.Computations)
+	}
+	if items[0].Shared || items[3].Shared {
+		t.Errorf("first row of each group should own its computation: %+v", items)
+	}
+	if !items[1].Shared || !items[2].Shared {
+		t.Errorf("duplicate rows should be shared: %+v", items)
+	}
+	if items[0].Result != items[1].Result || items[1].Result != items[2].Result {
+		t.Error("duplicate rows should share one *Result")
+	}
+}
+
+// Rows already in the cache are answered without computing, and prime the
+// fast path for the rest of the batch's duplicates.
+func TestBatchServesFromCache(t *testing.T) {
+	e := New(Options{})
+	warm := do(t, e, Request{Op: OpWhatIf})
+	items := e.DoBatch(context.Background(), []Request{{Op: OpWhatIf}, {Op: OpCost}})
+	if !items[0].Cached || items[0].Err != nil {
+		t.Fatalf("warm row should be cached: %+v", items[0])
+	}
+	if items[0].Result != warm {
+		t.Error("cached row should return the cached *Result")
+	}
+	if items[1].Cached {
+		t.Errorf("cold row reported cached: %+v", items[1])
+	}
+	if m := e.Metrics(); m.Hits != 1 || m.Misses != 2 || m.Computations != 2 {
+		t.Errorf("hits=%d misses=%d computations=%d, want 1/2/2", m.Hits, m.Misses, m.Computations)
+	}
+}
+
+// A malformed row fails alone; the rest of the batch still computes.
+func TestBatchRowErrorIsolated(t *testing.T) {
+	e := New(Options{})
+	items := e.DoBatch(context.Background(), []Request{
+		{Op: OpWhatIf},
+		{Op: "bogus"},
+		{Op: OpCost},
+	})
+	if items[0].Err != nil || items[2].Err != nil {
+		t.Fatalf("good rows failed: %v / %v", items[0].Err, items[2].Err)
+	}
+	if items[1].Err == nil {
+		t.Fatal("bad row did not fail")
+	}
+	if items[1].Result != nil {
+		t.Error("failed row carries a result")
+	}
+}
+
+// Under overload, admission is per unique miss: rows that fit the queue
+// bound proceed, the rest are shed with ErrOverloaded — matching what N
+// independent requests would have seen.
+func TestBatchPartialShed(t *testing.T) {
+	e := New(Options{Workers: 1, MaxQueue: 1})
+	go e.Do(context.Background(), chaosReq(map[string]float64{"sleep": 0.15})) //nolint:errcheck
+	waitPending(t, e, 1)
+	// Capacity is workers+maxQueue = 2 and one slot is held by the
+	// sleeper: exactly one of the three unique rows is admitted.
+	items := e.DoBatch(context.Background(), []Request{
+		{Op: OpWhatIf},
+		{Op: OpWhatIf, GPUs: 1024},
+		{Op: OpWhatIf, GPUs: 2048},
+	})
+	var ok, shed int
+	for _, it := range items {
+		switch {
+		case it.Err == nil:
+			ok++
+		case errors.Is(it.Err, ErrOverloaded):
+			shed++
+		default:
+			t.Errorf("unexpected error: %v", it.Err)
+		}
+	}
+	if ok != 1 || shed != 2 {
+		t.Fatalf("ok=%d shed=%d, want 1 admitted and 2 shed", ok, shed)
+	}
+	if m := e.Metrics(); m.Sheds != 2 {
+		t.Errorf("sheds = %d, want 2", m.Sheds)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("drain after batch: %v", err)
+	}
+}
+
+// All shed rows of one duplicated key report ErrOverloaded together.
+func TestBatchShedCoversDuplicates(t *testing.T) {
+	e := New(Options{Workers: 1, MaxQueue: 1})
+	go e.Do(context.Background(), chaosReq(map[string]float64{"sleep": 0.15}))  //nolint:errcheck
+	go e.Do(context.Background(), chaosReq(map[string]float64{"sleep": 0.151})) //nolint:errcheck
+	waitPending(t, e, 2)
+	items := e.DoBatch(context.Background(), []Request{
+		{Op: OpWhatIf},
+		{Op: OpWhatIf},
+	})
+	for i, it := range items {
+		if !errors.Is(it.Err, ErrOverloaded) {
+			t.Errorf("row %d = %v, want ErrOverloaded", i, it.Err)
+		}
+	}
+	// One unique key shed once, even though two rows carried it.
+	if m := e.Metrics(); m.Sheds != 1 {
+		t.Errorf("sheds = %d, want 1", m.Sheds)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// A batch submitted with an expired context fails every miss row without
+// dispatching work.
+func TestBatchCanceledContext(t *testing.T) {
+	e := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := e.DoBatch(ctx, []Request{{Op: OpWhatIf}, {Op: OpCost}})
+	for i, it := range items {
+		if !errors.Is(it.Err, context.Canceled) {
+			t.Errorf("row %d = %v, want Canceled", i, it.Err)
+		}
+	}
+	if m := e.Metrics(); m.Computations != 0 {
+		t.Errorf("computations = %d, want 0", m.Computations)
+	}
+}
+
+// An empty batch is a no-op beyond the batch counters.
+func TestBatchEmpty(t *testing.T) {
+	e := New(Options{})
+	if items := e.DoBatch(context.Background(), nil); len(items) != 0 {
+		t.Fatalf("got %d items for empty batch", len(items))
+	}
+	if m := e.Metrics(); m.Batches != 1 || m.BatchRows != 0 {
+		t.Errorf("batches=%d rows=%d, want 1/0", m.Batches, m.BatchRows)
+	}
+}

@@ -72,6 +72,13 @@ type Engine struct {
 	// row-level execution surface internal/jobs checkpoints against.
 	rowsExecuted atomic.Uint64
 	rowNanos     atomic.Int64
+	// batches/batchRows count DoBatch calls and the rows they carried;
+	// streams/streamRows count Stream calls and the row frames they
+	// emitted — the high-throughput serving surfaces.
+	batches    atomic.Uint64
+	batchRows  atomic.Uint64
+	streams    atomic.Uint64
+	streamRows atomic.Uint64
 	// opStats breaks computation count and time down by operation. The map
 	// is built once in New (one entry per registered Op) and never written
 	// afterwards, so lookups are safe without a lock.
@@ -124,6 +131,21 @@ func New(opts Options) *Engine {
 // Workers is the size of the bounded compute pool; servers use it to
 // derive Retry-After hints from queue depth.
 func (e *Engine) Workers() int { return e.workers }
+
+// Capacity is the admission bound — Workers+MaxQueue, the pending count
+// at which further misses are shed — or -1 when the queue is unbounded.
+// Admission layers derive early-shed thresholds from it.
+func (e *Engine) Capacity() int {
+	if e.maxQueue < 0 {
+		return -1
+	}
+	return e.workers + e.maxQueue
+}
+
+// Pending is the live count of admitted computations (queued or
+// running) — the cheap probe admission layers poll on every request,
+// without snapshotting the full Metrics struct.
+func (e *Engine) Pending() int64 { return e.pending.Load() }
 
 var (
 	defaultOnce   sync.Once
@@ -206,28 +228,7 @@ func (e *Engine) computeAndCache(ctx context.Context, key string, req Request) (
 	ch := make(chan outcome, 1)
 	go func() {
 		defer e.pending.Add(-1)
-		select {
-		case e.sem <- struct{}{}:
-		case <-ctx.Done():
-			ch <- outcome{nil, ctx.Err()}
-			return
-		}
-		defer func() { <-e.sem }()
-		e.inFlight.Add(1)
-		start := time.Now()
-		res, err := e.safeCompute(ctx, req)
-		elapsed := int64(time.Since(start))
-		e.computeNanos.Add(elapsed)
-		if st := e.opStats[req.Op]; st != nil {
-			st.count.Add(1)
-			st.nanos.Add(elapsed)
-			st.hist.ObserveDuration(time.Duration(elapsed))
-		}
-		e.inFlight.Add(-1)
-		e.computations.Add(1)
-		if err == nil {
-			e.cache.Add(key, res)
-		}
+		res, err := e.runCompute(ctx, key, req)
 		ch <- outcome{res, err}
 	}()
 	select {
@@ -236,6 +237,36 @@ func (e *Engine) computeAndCache(ctx context.Context, key string, req Request) (
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// runCompute acquires a worker slot, runs one computation with panic
+// containment, updates the compute counters, and populates the cache on
+// success. Admission (pending accounting and shedding) is the caller's
+// responsibility: the interactive path admits per request, the batch path
+// admits per row.
+func (e *Engine) runCompute(ctx context.Context, key string, req Request) (*Result, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	e.inFlight.Add(1)
+	start := time.Now()
+	res, err := e.safeCompute(ctx, req)
+	elapsed := int64(time.Since(start))
+	e.computeNanos.Add(elapsed)
+	if st := e.opStats[req.Op]; st != nil {
+		st.count.Add(1)
+		st.nanos.Add(elapsed)
+		st.hist.ObserveDuration(time.Duration(elapsed))
+	}
+	e.inFlight.Add(-1)
+	e.computations.Add(1)
+	if err == nil {
+		e.cache.Add(key, res)
+	}
+	return res, err
 }
 
 // Prime inserts an already computed result into the cache under its
@@ -281,6 +312,12 @@ type Metrics struct {
 	RowsExecuted uint64
 	// RowSeconds is the cumulative compute time spent in job rows.
 	RowSeconds float64
+	// Batches counts DoBatch calls; BatchRows the rows they carried.
+	Batches   uint64
+	BatchRows uint64
+	// Streams counts Stream calls; StreamRows the row frames emitted.
+	Streams    uint64
+	StreamRows uint64
 	// CacheEntries is the current cache population.
 	CacheEntries int
 	// ComputeSeconds is the cumulative computation time.
@@ -322,6 +359,10 @@ func (e *Engine) Metrics() Metrics {
 		Canceled:       e.canceled.Load(),
 		RowsExecuted:   e.rowsExecuted.Load(),
 		RowSeconds:     float64(e.rowNanos.Load()) / 1e9,
+		Batches:        e.batches.Load(),
+		BatchRows:      e.batchRows.Load(),
+		Streams:        e.streams.Load(),
+		StreamRows:     e.streamRows.Load(),
 		CacheEntries:   e.cache.Len(),
 		ComputeSeconds: float64(e.computeNanos.Load()) / 1e9,
 		PerOp:          perOp,

@@ -63,6 +63,14 @@ func (e *Engine) instrument(log *obs.Logger, reg *obs.Registry) {
 		"Requests abandoned because the client canceled (disconnect).", &e.canceled)
 	counter("netpowerprop_engine_rows_executed_total",
 		"Job rows run through ExecRow.", &e.rowsExecuted)
+	counter("netpowerprop_engine_batches_total",
+		"Batched requests answered through DoBatch.", &e.batches)
+	counter("netpowerprop_engine_batch_rows_total",
+		"Rows carried by batched requests.", &e.batchRows)
+	counter("netpowerprop_engine_streams_total",
+		"Row-streaming requests answered through Stream.", &e.streams)
+	counter("netpowerprop_engine_stream_rows_total",
+		"Row frames emitted by streaming requests.", &e.streamRows)
 	reg.CounterFunc("netpowerprop_engine_cache_evictions_total",
 		"Cache entries displaced by LRU pressure.",
 		func() float64 { return float64(e.cache.Evictions()) })

@@ -171,6 +171,16 @@ type job struct {
 	canceled  bool
 	doneCh    chan struct{}
 	startOnce sync.Once
+	// updated is the row-progress broadcast: closed and replaced under mu
+	// whenever a row settles or the state changes, waking StreamRows
+	// waiters. Waiters re-check under mu, so a spurious wake is harmless.
+	updated chan struct{}
+}
+
+// bump wakes every StreamRows waiter. Callers hold j.mu.
+func (j *job) bump() {
+	close(j.updated)
+	j.updated = make(chan struct{})
 }
 
 // jobID derives the stable job id from the canonical request key, so
@@ -392,6 +402,7 @@ func (m *Manager) newJob(id string, plan *engine.RowPlan, path, trace string) *j
 		attempts: make([]int, plan.Rows()),
 		created:  m.clock.Now(),
 		doneCh:   make(chan struct{}),
+		updated:  make(chan struct{}),
 	}
 }
 
@@ -484,6 +495,7 @@ func (m *Manager) resume(j *job) {
 	j.jl = jl
 	j.state = StateQueued
 	done := j.done
+	j.bump()
 	j.mu.Unlock()
 	m.resumed.Add(1)
 	m.log.Info("job resumed", "job", j.id, "key", j.key,
@@ -538,6 +550,7 @@ func (m *Manager) runJob(j *job) {
 	j.mu.Lock()
 	j.state = StateRunning
 	plan := j.plan
+	j.bump()
 	j.mu.Unlock()
 	for i := 0; i < plan.Rows(); i++ {
 		j.mu.Lock()
@@ -577,6 +590,7 @@ func (m *Manager) runJob(j *job) {
 		j.attempts[i] = attempts
 		j.done++
 		jl := j.jl
+		j.bump()
 		j.mu.Unlock()
 		m.rowsDone.Add(1)
 		if err := jl.append(rec); err != nil {
@@ -681,6 +695,7 @@ func (m *Manager) finishJob(j *job) {
 	j.state = state
 	j.finished = m.clock.Now()
 	jl := j.jl
+	j.bump()
 	j.mu.Unlock()
 	if err := jl.append(record{T: recDone, Status: string(state), At: m.clock.Now().UnixNano()}); err != nil {
 		m.logf("jobs: journal %s terminal: %v", j.id, err)
@@ -712,6 +727,7 @@ func (m *Manager) finishCanceled(j *job) {
 	j.state = StateCanceled
 	j.finished = m.clock.Now()
 	jl := j.jl
+	j.bump()
 	j.mu.Unlock()
 	if jl != nil {
 		if err := jl.append(record{T: recDone, Status: string(StateCanceled), At: m.clock.Now().UnixNano()}); err != nil {
@@ -743,6 +759,7 @@ func (m *Manager) markInterrupted(j *job) {
 	j.cancel()
 	j.startOnce = sync.Once{}
 	j.ctx, j.cancel = context.WithCancel(obs.WithTraceID(m.hardCtx, j.trace))
+	j.bump()
 }
 
 // draining reports whether Close has begun.
@@ -816,6 +833,61 @@ func (m *Manager) List() []*Snapshot {
 		return out[a].ID < out[b].ID
 	})
 	return out
+}
+
+// StreamRows streams a job's settled rows to emit in row order, starting
+// at row from — the resume offset: a client that already holds n rows
+// passes n and receives only what it is missing. Rows already
+// checkpointed replay immediately from memory (their journaled bytes
+// verbatim); later rows are emitted as the runner checkpoints them. The
+// call returns the job's snapshot once every remaining row has been
+// emitted and the job is terminal, or early — with fewer rows — when the
+// job is interrupted (drain or simulated crash closed its journal), so a
+// client reconnects with its new offset after the next resume. An emit
+// error (the client's connection died) aborts the stream with that error.
+func (m *Manager) StreamRows(ctx context.Context, id string, from int, emit func(RowStatus) error) (*Snapshot, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	if from < 0 {
+		from = 0
+	}
+	next := from
+	for {
+		j.mu.Lock()
+		var pending []RowStatus
+		// Rows checkpoint strictly in row order, so everything settled at
+		// or beyond next is a contiguous run.
+		for next < len(j.rows) && (j.rows[next] != nil || j.rowErrs[next] != nil) {
+			pending = append(pending, j.rowStatus(next))
+			next++
+		}
+		st := j.state
+		upd := j.updated
+		j.mu.Unlock()
+		for _, rs := range pending {
+			if err := emit(rs); err != nil {
+				return nil, err
+			}
+		}
+		if next >= len(j.rows) && st.terminal() {
+			return m.snapshot(j, true), nil
+		}
+		if st == StateInterrupted || st == StateCanceled {
+			// No runner will settle further rows on this journal; end the
+			// stream early with the current snapshot so the client can
+			// reconnect with Last-Row after a resume.
+			return m.snapshot(j, true), nil
+		}
+		select {
+		case <-upd:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 }
 
 // Wait blocks until the job reaches a terminal state or the context
@@ -955,6 +1027,17 @@ type RowStatus struct {
 	Data     json.RawMessage `json:"data,omitempty"`
 }
 
+// rowStatus renders one settled row. Callers hold j.mu. The Data bytes
+// are the journaled payload verbatim — the same bytes Assemble consumes —
+// so a streamed row is byte-identical to the row of the final result.
+func (j *job) rowStatus(i int) RowStatus {
+	rs := RowStatus{Row: i, Done: true, Attempts: j.attempts[i], Data: j.rows[i]}
+	if re := j.rowErrs[i]; re != nil {
+		rs.Error, rs.Panic, rs.Data = re.Err, re.Panic, nil
+	}
+	return rs
+}
+
 // Snapshot is a job's externally visible state: status, progress, partial
 // rows, and — once terminal — the assembled result.
 type Snapshot struct {
@@ -995,11 +1078,7 @@ func (m *Manager) snapshot(j *job, full bool) *Snapshot {
 			s.RowsError++
 		}
 		if full && done {
-			rs := RowStatus{Row: i, Done: true, Attempts: j.attempts[i], Data: j.rows[i]}
-			if re := j.rowErrs[i]; re != nil {
-				rs.Error, rs.Panic, rs.Data = re.Err, re.Panic, nil
-			}
-			s.Partial = append(s.Partial, rs)
+			s.Partial = append(s.Partial, j.rowStatus(i))
 		}
 	}
 	if !j.finished.IsZero() {

@@ -136,7 +136,33 @@ step_bench_guard() {
 	go test -run=NONE -benchmem -benchtime=100x \
 		-bench 'BenchmarkFabricSim$|BenchmarkMaxMin$|BenchmarkMaxMinDense$|BenchmarkTopoPaths|BenchmarkTopoSim' \
 		. >"$tmp/bench.out"
+	go test -run=NONE -benchmem -benchtime=100x \
+		-bench 'BenchmarkServeBatch$|BenchmarkServeStream$' \
+		./cmd/serve >>"$tmp/bench.out"
 	"$tmp/benchguard" -baseline BENCH_netsim.json "$tmp/bench.out"
+}
+
+# Loadgen smoke: boot the real server, offer a seeded mixed workload
+# (point queries, sweeps, batches, NDJSON streams) open-loop, and require
+# zero errors; then run the singles-vs-batch capacity comparison and
+# require /v1/batch to sustain at least 2x the goodput of the same rows
+# as individual requests — the claim BENCH_netsim.json records.
+step_loadgen_smoke() {
+	tmp="$(mktemp -d)"
+	go build -o "$tmp/serve" ./cmd/serve
+	go build -o "$tmp/loadgen" ./cmd/loadgen
+	addr="127.0.0.1:18461"
+	# Queue deep enough to hold a batch's rows: batch submissions admit
+	# every unique row into the pool at once, by design.
+	"$tmp/serve" -addr "$addr" -queue 4096 -loglevel warn &
+	pid=$!
+	trap 'kill "$pid" 2>/dev/null; wait "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+	for _ in $(seq 1 50); do
+		if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+		sleep 0.1
+	done
+	"$tmp/loadgen" -addr "http://$addr" -mix mixed -rps 150 -duration 2s -seed 7 -maxerr 0
+	"$tmp/loadgen" -addr "http://$addr" -compare -rows 1024 -batchrows 128 -conc 32 -minratio 2
 }
 
 step_fuzz_smoke() {
@@ -158,10 +184,11 @@ run_step() {
 	metrics-smoke) step_metrics_smoke ;;
 	bench-smoke) step_bench_smoke ;;
 	bench-guard) step_bench_guard ;;
+	loadgen-smoke) step_loadgen_smoke ;;
 	fuzz-smoke) step_fuzz_smoke ;;
 	*)
 		echo "unknown step: $1" >&2
-		echo "steps: fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard fuzz-smoke all" >&2
+		echo "steps: fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard loadgen-smoke fuzz-smoke all" >&2
 		return 2
 		;;
 	esac
@@ -172,7 +199,7 @@ if [ $# -eq 0 ]; then
 fi
 
 if [ "$1" = all ]; then
-	for s in fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard fuzz-smoke; do
+	for s in fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard loadgen-smoke fuzz-smoke; do
 		# Steps that set EXIT traps get a subshell so temp dirs clean up
 		# per step rather than at script exit.
 		(run_step "$s")
