@@ -489,22 +489,24 @@ func parseQuery(r *http.Request) (engine.Request, error) {
 
 // admitRequest applies the priority/quota admission layer for a request
 // carrying rows rows. It answers the rejection itself (400 for a bad
-// priority, 429 for quota, 503 for a low-priority load shed) and reports
-// whether the request may proceed to the engine.
-func (s *server) admitRequest(w http.ResponseWriter, r *http.Request, rows int) bool {
+// priority, 429 for quota, 413 for a request no full bucket could ever
+// cover, 503 for a low-priority load shed) and reports whether the
+// request may proceed to the engine, along with the tenant and priority
+// it was admitted under so callers can refund rows the engine sheds.
+func (s *server) admitRequest(w http.ResponseWriter, r *http.Request, rows int) (tenant string, pri admit.Priority, admitted bool) {
 	pri, ok := admit.ParsePriority(r.Header.Get("X-Priority"))
 	if !ok {
 		writeJSON(w, http.StatusBadRequest,
 			apiError{Error: fmt.Sprintf("unknown X-Priority %q (want low, normal, or high)", r.Header.Get("X-Priority"))})
-		return false
+		return "", pri, false
 	}
-	tenant := r.Header.Get("X-Tenant")
+	tenant = r.Header.Get("X-Tenant")
 	if tenant == "" {
 		tenant = "default"
 	}
 	d := s.admit.Admit(tenant, pri, rows)
 	if d.OK {
-		return true
+		return tenant, pri, true
 	}
 	switch d.Reason {
 	case admit.ReasonQuota:
@@ -515,18 +517,23 @@ func (s *server) admitRequest(w http.ResponseWriter, r *http.Request, rows int) 
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeJSON(w, http.StatusTooManyRequests,
 			apiError{Error: fmt.Sprintf("tenant %q quota exceeded for %d rows", tenant, rows)})
+	case admit.ReasonTooLarge:
+		// Permanent: tokens refill only to burst, so retrying can never
+		// succeed. No Retry-After — the client must split the batch.
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			apiError{Error: fmt.Sprintf("%d rows exceed tenant %q's quota burst; split the batch", rows, tenant)})
 	default:
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(rows)))
 		writeJSON(w, http.StatusServiceUnavailable,
 			apiError{Error: "low-priority request shed under load"})
 	}
-	return false
+	return tenant, pri, false
 }
 
 // serve answers one request through the engine. ?stream=1 switches to the
 // NDJSON row stream instead of one buffered JSON body.
 func (s *server) serve(w http.ResponseWriter, r *http.Request, req engine.Request) {
-	if !s.admitRequest(w, r, 1) {
+	if _, _, ok := s.admitRequest(w, r, 1); !ok {
 		return
 	}
 	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {

@@ -70,7 +70,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			apiError{Error: fmt.Sprintf("batch of %d rows exceeds the %d-row limit; split it", len(body.Requests), maxBatchRows)})
 		return
 	}
-	if !s.admitRequest(w, r, len(body.Requests)) {
+	tenant, pri, ok := s.admitRequest(w, r, len(body.Requests))
+	if !ok {
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
@@ -93,6 +94,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if resp.Shed > 0 {
+		// Shed rows never did their work: refund their tokens so the
+		// client's resubmission does not pay quota twice for them.
+		s.admit.Refund(tenant, pri, resp.Shed)
 		// Row-aware hint: the client will resubmit Shed rows, so derive
 		// the wait from that row count against the live queue.
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(resp.Shed)))
@@ -223,7 +227,7 @@ func (s *server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 		}
 		from = n
 	}
-	if !s.admitRequest(w, r, 1) {
+	if _, _, ok := s.admitRequest(w, r, 1); !ok {
 		return
 	}
 	flusher, _ := w.(http.Flusher)

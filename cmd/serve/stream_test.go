@@ -459,18 +459,91 @@ func TestQuotaAdmission(t *testing.T) {
 	if resp := get("a", "urgent"); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad priority status = %d, want 400", resp.StatusCode)
 	}
-	// Quotas meter batch rows: a 3-row batch needs 3 tokens, tenant c's
-	// burst of 2 cannot cover it.
-	breq, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/batch",
-		strings.NewReader(`{"requests":[{"op":"whatif"},{"op":"cost"},{"op":"whatif","gpus":512}]}`))
-	breq.Header.Set("X-Tenant", "c")
-	bresp, err := http.DefaultClient.Do(breq)
-	if err != nil {
-		t.Fatal(err)
+	// Quotas meter batch rows: tenant c's first 2-row batch drains its
+	// burst of 2, so the identical resubmission is a 429 with a
+	// refill-derived Retry-After.
+	batch := func(body string) *http.Response {
+		breq, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/batch", strings.NewReader(body))
+		breq.Header.Set("X-Tenant", "c")
+		bresp, err := http.DefaultClient.Do(breq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bresp.Body.Close()
+		return bresp
 	}
-	bresp.Body.Close()
+	two := `{"requests":[{"op":"whatif"},{"op":"cost"}]}`
+	if bresp := batch(two); bresp.StatusCode != http.StatusOK {
+		t.Fatalf("2-row batch within burst status = %d, want 200", bresp.StatusCode)
+	}
+	bresp := batch(two)
 	if bresp.StatusCode != http.StatusTooManyRequests {
-		t.Errorf("3-row batch against burst 2 status = %d, want 429", bresp.StatusCode)
+		t.Errorf("2-row batch against drained bucket status = %d, want 429", bresp.StatusCode)
+	}
+	if bresp.Header.Get("Retry-After") == "" {
+		t.Error("drained-bucket rejection carries no Retry-After")
+	}
+	// A 3-row batch needs 3 tokens but the bucket refills only to 2:
+	// waiting can never help, so the rejection is a permanent 413 with
+	// no Retry-After telling the client to split the batch.
+	bresp = batch(`{"requests":[{"op":"whatif"},{"op":"cost"},{"op":"whatif","gpus":512}]}`)
+	if bresp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("3-row batch against burst 2 status = %d, want 413", bresp.StatusCode)
+	}
+	if ra := bresp.Header.Get("Retry-After"); ra != "" {
+		t.Errorf("permanent too-large rejection carries Retry-After %q", ra)
+	}
+}
+
+// Batch rows the engine sheds after quota admission are refunded: the
+// work was never done, so the client's resubmission of those rows does
+// not pay quota twice.
+func TestBatchShedRefundsQuota(t *testing.T) {
+	s, eng := newWiredServer(engine.Options{Workers: 1, MaxQueue: 1}, time.Minute)
+	// Refill is negligible within the test: only the refund can restore
+	// the tokens the first batch spends.
+	s.admit = admit.New(admit.Options{RatePerSec: 0.001, Burst: 10,
+		Capacity: eng.Capacity(), Pending: eng.Pending})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// Occupy the engine's full capacity (1 worker + 1 queue slot) so
+	// every batch row is shed.
+	go http.Get(srv.URL + "/v1/scenarios/chaos?sleep=0.5")  //nolint:errcheck
+	go http.Get(srv.URL + "/v1/scenarios/chaos?sleep=0.51") //nolint:errcheck
+	deadline := time.After(2 * time.Second)
+	for eng.Metrics().Pending < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("sleeper never admitted")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	batch := func(body string) *http.Response {
+		breq, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/batch", strings.NewReader(body))
+		breq.Header.Set("X-Tenant", "r")
+		bresp, err := http.DefaultClient.Do(breq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bresp.Body.Close()
+		return bresp
+	}
+	bresp := batch(`{"requests":[{"op":"whatif"},{"op":"whatif","gpus":1024},{"op":"whatif","gpus":2048},{"op":"whatif","gpus":4096}]}`)
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("shed batch status = %d, want 200 (rows fail individually)", bresp.StatusCode)
+	}
+	if shed := bresp.Header.Get("X-Batch-Shed"); shed != "4" {
+		t.Fatalf("X-Batch-Shed = %q, want 4", shed)
+	}
+	if m := s.admit.Metrics(); m.RefundedRows != 4 {
+		t.Errorf("RefundedRows = %d, want 4", m.RefundedRows)
+	}
+	// The refund restored the 4 tokens, so a full-burst batch is admitted
+	// past the quota layer (and shed again by the engine, not 429'd).
+	if bresp := batch(`{"requests":[{"op":"whatif"},{"op":"whatif"},{"op":"whatif"},{"op":"whatif"},{"op":"whatif"},{"op":"whatif"},{"op":"whatif"},{"op":"whatif"},{"op":"whatif"},{"op":"whatif"}]}`); bresp.StatusCode != http.StatusOK {
+		t.Fatalf("full-burst batch after refund status = %d, want 200", bresp.StatusCode)
 	}
 }
 

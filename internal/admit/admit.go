@@ -75,6 +75,11 @@ const (
 	// ReasonLoad: low-priority work shed early under queue pressure; the
 	// HTTP layer maps it to 503, like an engine shed.
 	ReasonLoad = "load"
+	// ReasonTooLarge: the request's token cost exceeds the bucket's
+	// capacity, so no amount of waiting would ever admit it — retrying
+	// is futile and the client must split the request. The HTTP layer
+	// maps it to 413 with no Retry-After.
+	ReasonTooLarge = "too-large"
 )
 
 // Decision is the outcome of one admission check.
@@ -135,6 +140,8 @@ type Controller struct {
 	allowed   [3]atomic.Uint64 // indexed by class (Low+1)
 	quotaRej  [3]atomic.Uint64
 	loadShed  atomic.Uint64
+	tooLarge  atomic.Uint64
+	refunded  atomic.Uint64
 	evictions atomic.Uint64
 }
 
@@ -196,6 +203,13 @@ func (c *Controller) Admit(tenant string, pri Priority, rows int) Decision {
 	if pri == High {
 		floor = -c.burst
 	}
+	// A cost no full bucket could ever cover is rejected permanently:
+	// tokens refill only to burst, so a finite Retry-After here would
+	// have the client retrying forever, always getting 429.
+	if cost > c.burst-floor {
+		c.tooLarge.Add(1)
+		return Decision{Reason: ReasonTooLarge}
+	}
 
 	now := c.now()
 	c.mu.Lock()
@@ -221,6 +235,23 @@ func (c *Controller) Admit(tenant string, pri Priority, rows int) Decision {
 		Reason:     ReasonQuota,
 		RetryAfter: time.Duration(deficit / c.rate * float64(time.Second)),
 	}
+}
+
+// Refund returns rows' worth of tokens to the tenant's bucket, capped at
+// burst. The serve layer calls it for batch rows the engine shed after
+// quota admission: the work was never done, so a retrying client should
+// not pay for it twice. No-op when quotas are disabled or the bucket has
+// since been evicted (the eviction already granted a full refill).
+func (c *Controller) Refund(tenant string, pri Priority, rows int) {
+	if c.rate <= 0 || rows < 1 {
+		return
+	}
+	c.mu.Lock()
+	if b := c.buckets[tenant]; b != nil {
+		b.tokens = math.Min(c.burst, b.tokens+float64(rows)*pri.cost())
+		c.refunded.Add(uint64(rows))
+	}
+	c.mu.Unlock()
 }
 
 // evict drops the least recently seen bucket once the tenant table is
@@ -255,6 +286,10 @@ type Metrics struct {
 	QuotaRejected map[string]uint64
 	// LoadShed counts low-priority requests shed early under load.
 	LoadShed uint64
+	// TooLarge counts requests whose cost no full bucket could cover.
+	TooLarge uint64
+	// RefundedRows counts rows refunded after an engine shed.
+	RefundedRows uint64
 	// Evictions counts tenant buckets dropped at the table bound.
 	Evictions uint64
 	// Tenants is the current tracked-bucket count.
@@ -267,6 +302,8 @@ func (c *Controller) Metrics() Metrics {
 		Allowed:       make(map[string]uint64, 3),
 		QuotaRejected: make(map[string]uint64, 3),
 		LoadShed:      c.loadShed.Load(),
+		TooLarge:      c.tooLarge.Load(),
+		RefundedRows:  c.refunded.Load(),
 		Evictions:     c.evictions.Load(),
 		Tenants:       c.Tenants(),
 	}
@@ -297,6 +334,12 @@ func (c *Controller) instrument(reg *obs.Registry) {
 	reg.CounterFunc("netpowerprop_admit_load_shed_total",
 		"Low-priority requests shed early under queue pressure.",
 		func() float64 { return float64(c.loadShed.Load()) })
+	reg.CounterFunc("netpowerprop_admit_too_large_total",
+		"Requests rejected permanently: cost exceeds bucket capacity.",
+		func() float64 { return float64(c.tooLarge.Load()) })
+	reg.CounterFunc("netpowerprop_admit_refunded_rows_total",
+		"Rows refunded to tenant buckets after an engine shed.",
+		func() float64 { return float64(c.refunded.Load()) })
 	reg.CounterFunc("netpowerprop_admit_tenant_evictions_total",
 		"Tenant buckets evicted at the table bound.",
 		func() float64 { return float64(c.evictions.Load()) })

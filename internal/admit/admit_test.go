@@ -173,6 +173,74 @@ func TestHighPriorityOverdraw(t *testing.T) {
 	}
 }
 
+// A cost no full bucket could ever cover is rejected permanently — no
+// Retry-After, distinct reason — instead of a finite wait the client
+// would retry against forever.
+func TestTooLargePermanentRejection(t *testing.T) {
+	now := newFakeNow()
+	c := New(Options{RatePerSec: 1, Burst: 4, Now: now.Now})
+	d := c.Admit("a", Normal, 5)
+	if d.OK || d.Reason != ReasonTooLarge || d.RetryAfter != 0 {
+		t.Fatalf("5 rows against burst 4 = %+v, want permanent too-large", d)
+	}
+	// Low pays double: 3 rows cost 6, above the 4-token capacity.
+	d = c.Admit("a", Low, 3)
+	if d.OK || d.Reason != ReasonTooLarge {
+		t.Fatalf("3 low rows against burst 4 = %+v, want too-large", d)
+	}
+	// The rejections spent nothing: the full burst is still available.
+	if d := c.Admit("a", Normal, 4); !d.OK {
+		t.Fatalf("full-burst spend after too-large rejections: %+v", d)
+	}
+	// High may overdraw one burst, so its ceiling is 2×burst — 8 rows can
+	// be admitted (by waiting, or here from a fresh bucket), 9 never can.
+	if d := c.Admit("b", High, 8); !d.OK {
+		t.Fatalf("8 high rows against burst 4 rejected: %+v", d)
+	}
+	d = c.Admit("c", High, 9)
+	if d.OK || d.Reason != ReasonTooLarge {
+		t.Fatalf("9 high rows against burst 4 = %+v, want too-large", d)
+	}
+	if m := c.Metrics(); m.TooLarge != 3 {
+		t.Errorf("TooLarge = %d, want 3", m.TooLarge)
+	}
+}
+
+// Refund restores shed rows' tokens, capped at burst, so a client
+// resubmitting work the engine never did does not pay quota twice.
+func TestRefund(t *testing.T) {
+	now := newFakeNow()
+	c := New(Options{RatePerSec: 1, Burst: 10, Now: now.Now})
+	if d := c.Admit("a", Normal, 10); !d.OK {
+		t.Fatalf("burst spend rejected: %+v", d)
+	}
+	// The engine shed 6 of the 10 rows: the refund makes them spendable.
+	c.Refund("a", Normal, 6)
+	if d := c.Admit("a", Normal, 6); !d.OK {
+		t.Fatalf("refunded rows rejected on resubmission: %+v", d)
+	}
+	if d := c.Admit("a", Normal, 1); d.OK {
+		t.Fatal("refund credited more than the shed rows")
+	}
+	// A refund never fills past burst.
+	c.Refund("a", Normal, 100)
+	if d := c.Admit("a", Normal, 10); !d.OK {
+		t.Fatalf("burst spend after oversized refund rejected: %+v", d)
+	}
+	if d := c.Admit("a", Normal, 1); d.OK {
+		t.Fatal("oversized refund filled past burst")
+	}
+	// Unknown tenants (evicted buckets) and disabled quotas are no-ops.
+	c.Refund("ghost", Normal, 5)
+	if n := c.Tenants(); n != 1 {
+		t.Errorf("refund created a bucket: %d tenants, want 1", n)
+	}
+	New(Options{}).Refund("x", Normal, 5)
+	if m := c.Metrics(); m.RefundedRows != 106 {
+		t.Errorf("RefundedRows = %d, want 106", m.RefundedRows)
+	}
+}
+
 // The tenant table is bounded; the least recently seen bucket is evicted.
 func TestTenantEviction(t *testing.T) {
 	now := newFakeNow()

@@ -107,8 +107,11 @@ func (e *Engine) DoBatch(ctx context.Context, reqs []Request) []BatchItem {
 	// Pass 2: admit unique misses against the bounded queue. Reserving
 	// every admitted row in pending before any compute starts is what
 	// makes batch Retry-After row-aware: a 100-row batch raises the queue
-	// depth by its unique-miss count at once, not by 1.
-	admitted := order[:0]
+	// depth by its unique-miss count at once, not by 1. admitted must be
+	// a fresh slice, not order[:0]: Pass 4 still ranges over order, and
+	// aliasing would let an admitted key overwrite an earlier shed key
+	// whenever pending fluctuates mid-loop under concurrent load.
+	admitted := make([]string, 0, len(order))
 	for _, key := range order {
 		g := groups[key]
 		if p := e.pending.Add(1); e.maxQueue >= 0 && p > int64(e.workers+e.maxQueue) {

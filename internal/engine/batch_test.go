@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -193,6 +194,57 @@ func TestBatchShedCoversDuplicates(t *testing.T) {
 	defer cancel()
 	if err := e.Drain(ctx); err != nil {
 		t.Fatalf("drain: %v", err)
+	}
+}
+
+// Regression: Pass 2's admitted list must not alias order's backing
+// array. When pending drops between admission checks — exactly what
+// happens under concurrent load — a shed key can precede an admitted
+// key; with order[:0] aliasing, the admitted key overwrote the shed
+// key's slot, so Pass 4 skipped the shed group (returning zero-value
+// items: nil Result AND nil Err) and fanned a later group out twice.
+// Hammer batches against a fluctuating queue and assert the invariant
+// every row must satisfy: it carries a result or an error, never neither.
+func TestBatchShedUnderChurnNeverYieldsEmptyItems(t *testing.T) {
+	e := New(Options{Workers: 2, MaxQueue: 1})
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		churn.Add(1)
+		go func(g int) {
+			defer churn.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Unique params defeat the cache and singleflight so each
+				// call really occupies (then frees) a queue slot.
+				e.Do(context.Background(), chaosReq(map[string]float64{ //nolint:errcheck
+					"sleep": 0.001 + float64(g*1_000_000+i)*1e-12,
+				}))
+			}
+		}(g)
+	}
+	for i := 0; i < 150; i++ {
+		reqs := make([]Request, 6)
+		for k := range reqs {
+			reqs[k] = Request{Op: OpWhatIf, GPUs: (i*len(reqs)+k+1)*8 + 16384}
+		}
+		items := e.DoBatch(context.Background(), reqs)
+		for k, it := range items {
+			if it.Result == nil && it.Err == nil {
+				t.Fatalf("batch %d row %d is a zero-value item: no result, no error", i, k)
+			}
+		}
+	}
+	close(stop)
+	churn.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("drain after churn: %v", err)
 	}
 }
 

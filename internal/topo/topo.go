@@ -235,7 +235,12 @@ func Census(t *fattree.Topology) CensusReport {
 		if rep.Links[i].Between != rep.Links[j].Between {
 			return rep.Links[i].Between < rep.Links[j].Between
 		}
-		return rep.Links[i].Speed < rep.Links[j].Speed
+		if rep.Links[i].Speed != rep.Links[j].Speed {
+			return rep.Links[i].Speed < rep.Links[j].Speed
+		}
+		// Final tie-break so groups differing only in opticality do not
+		// land in map-iteration order: electrical sorts before optical.
+		return !rep.Links[i].Optical && rep.Links[j].Optical
 	})
 	return rep
 }
