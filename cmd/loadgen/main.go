@@ -37,6 +37,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of a running serve instance")
+	peers := flag.String("peers", "", "comma-separated base URLs of cluster replicas; open-loop requests round-robin across them (overrides -addr)")
 	mix := flag.String("mix", "mixed", "request mix: hit, sweep, batch, stream, or mixed")
 	rps := flag.Float64("rps", 100, "offered request rate per second (open loop)")
 	duration := flag.Duration("duration", 10*time.Second, "length of the open-loop run")
@@ -59,6 +60,20 @@ func main() {
 		},
 	}
 	base := strings.TrimRight(*addr, "/")
+	targets := []string{base}
+	if *peers != "" {
+		targets = targets[:0]
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+				targets = append(targets, p)
+			}
+		}
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: -peers held no usable addresses")
+			os.Exit(2)
+		}
+		base = targets[0]
+	}
 
 	var report any
 	var failures []string
@@ -76,7 +91,7 @@ func main() {
 			failures = append(failures, fmt.Sprintf("%d rows errored", r.SingleErrors+r.BatchErrors))
 		}
 	} else {
-		r := runOpenLoop(client, base, *mix, *rps, *duration, *seed, *batchRows)
+		r := runOpenLoop(client, targets, *mix, *rps, *duration, *seed, *batchRows)
 		report = r
 		fmt.Printf("mix=%s rps=%.0f duration=%v seed=%d\n", r.Mix, r.OfferedRPS, r.Duration.Round(time.Millisecond), *seed)
 		fmt.Printf("  requests: %d ok, %d shed (%.1f%%), %d errors (%.2f%%)\n",
@@ -84,6 +99,15 @@ func main() {
 		fmt.Printf("  goodput:  %.1f rows/s (%d rows)\n", r.GoodputRows, r.Rows)
 		fmt.Printf("  latency:  p50 %v  p99 %v  p999 %v\n",
 			r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.P999.Round(time.Microsecond))
+		if r.Failovers > 0 {
+			fmt.Printf("  failover: %d retries on another replica\n", r.Failovers)
+		}
+		for _, p := range r.Peers {
+			fmt.Printf("  peer %s: %d ok / %d shed / %d err  p50 %v  p99 %v  rows %d (%d forwarded, %d degraded)\n",
+				p.Addr, p.OK, p.Shed, p.Errors,
+				p.P50.Round(time.Microsecond), p.P99.Round(time.Microsecond),
+				p.Rows, p.ForwardedRows, p.DegradedRows)
+		}
 		if *maxP99 > 0 && r.P99 > *maxP99 {
 			failures = append(failures, fmt.Sprintf("p99 %v exceeds the %v ceiling", r.P99, *maxP99))
 		}
@@ -125,18 +149,48 @@ type openLoopReport struct {
 	P50         time.Duration `json:"p50_ns"`
 	P99         time.Duration `json:"p99_ns"`
 	P999        time.Duration `json:"p999_ns"`
+	// Failovers counts retries of a failed request on another replica
+	// (-peers runs only): a replica dying mid-run shows up here instead
+	// of in Errors, because any surviving replica can serve the request.
+	Failovers int `json:"failovers,omitempty"`
+	// Peers breaks the run down per replica when -peers sprayed the load
+	// across a cluster (omitted for single-target runs).
+	Peers []peerReport `json:"peers,omitempty"`
+}
+
+// peerReport is one replica's slice of a -peers run: its own latency
+// quantiles plus how many of its delivered rows it answered by proxying
+// to the owner (forwarded) or by computing despite not owning the key
+// (degraded) — the X-Cluster-Route accounting.
+type peerReport struct {
+	Addr          string        `json:"addr"`
+	Requests      int           `json:"requests"`
+	OK            int           `json:"ok"`
+	Shed          int           `json:"shed"`
+	Errors        int           `json:"errors"`
+	Rows          int64         `json:"rows"`
+	ForwardedRows int64         `json:"forwarded_rows"`
+	DegradedRows  int64         `json:"degraded_rows"`
+	P50           time.Duration `json:"p50_ns"`
+	P99           time.Duration `json:"p99_ns"`
 }
 
 // outcome is one finished request as the collector sees it.
 type outcome struct {
 	latency time.Duration
-	rows    int64 // result rows delivered (goodput numerator)
-	shed    bool  // 429 or 503: the server said "later", by design
-	err     bool  // anything else that is not a 2xx with a parseable body
+	rows    int64  // result rows delivered (goodput numerator)
+	shed    bool   // 429 or 503: the server said "later", by design
+	err     bool   // anything else that is not a 2xx with a parseable body
+	peer    string // replica that answered (round-robin under -peers)
+	route   string // X-Cluster-Route response header ("" outside cluster mode)
+	// failovers counts how many times this request was retried on
+	// another replica before the recorded outcome.
+	failovers int
 }
 
-// runOpenLoop offers requests at a fixed rate and collects outcomes.
-func runOpenLoop(client *http.Client, base, mix string, rps float64, d time.Duration, seed int64, batchRows int) openLoopReport {
+// runOpenLoop offers requests at a fixed rate across the targets
+// (round-robin) and collects outcomes.
+func runOpenLoop(client *http.Client, targets []string, mix string, rps float64, d time.Duration, seed int64, batchRows int) openLoopReport {
 	if rps <= 0 {
 		rps = 1
 	}
@@ -161,20 +215,40 @@ func runOpenLoop(client *http.Client, base, mix string, rps float64, d time.Dura
 	deadline := start.Add(d)
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
+	n := 0
 	for now := start; now.Before(deadline); now = <-tick.C {
 		shot := nextShot(rng, mix, batchRows)
+		idx := n % len(targets)
+		n++
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			record(shot.fire(client, base))
+			o := shot.fire(client, targets[idx])
+			o.peer = targets[idx]
+			// Client-side failover: every replica answers every request
+			// (misses proxy to the key's owner, or compute locally when
+			// the owner is gone), so a transport error or a stream cut
+			// mid-flight retries on the next replica before it counts as
+			// a failure. Shed (429/503) does not fail over — that is
+			// backpressure, not breakage.
+			for k := 1; o.err && k < len(targets); k++ {
+				alt := targets[(idx+k)%len(targets)]
+				o = shot.fire(client, alt)
+				o.peer, o.failovers = alt, k
+			}
+			record(o)
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	rep := openLoopReport{Mix: mix, OfferedRPS: rps, Duration: elapsed, Requests: len(outcomes)}
+	if len(targets) > 1 {
+		rep.Peers = peerBreakdown(targets, outcomes)
+	}
 	lats := make([]time.Duration, 0, len(outcomes))
 	for _, o := range outcomes {
+		rep.Failovers += o.failovers
 		switch {
 		case o.shed:
 			rep.Shed++
@@ -198,6 +272,47 @@ func runOpenLoop(client *http.Client, base, mix string, rps float64, d time.Dura
 	rep.P99 = percentile(lats, 0.99)
 	rep.P999 = percentile(lats, 0.999)
 	return rep
+}
+
+// peerBreakdown aggregates outcomes per target replica, in the spray
+// order's target sequence.
+func peerBreakdown(targets []string, outcomes []outcome) []peerReport {
+	byPeer := make(map[string]*peerReport, len(targets))
+	lats := make(map[string][]time.Duration, len(targets))
+	reports := make([]peerReport, len(targets))
+	for i, addr := range targets {
+		reports[i].Addr = addr
+		byPeer[addr] = &reports[i]
+	}
+	for _, o := range outcomes {
+		p := byPeer[o.peer]
+		if p == nil {
+			continue
+		}
+		p.Requests++
+		switch {
+		case o.shed:
+			p.Shed++
+		case o.err:
+			p.Errors++
+		default:
+			p.OK++
+			p.Rows += o.rows
+			lats[o.peer] = append(lats[o.peer], o.latency)
+			switch o.route {
+			case "forwarded":
+				p.ForwardedRows += o.rows
+			case "degraded":
+				p.DegradedRows += o.rows
+			}
+		}
+	}
+	for addr, l := range lats {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		byPeer[addr].P50 = percentile(l, 0.50)
+		byPeer[addr].P99 = percentile(l, 0.99)
+	}
+	return reports
 }
 
 // percentile reads the p-quantile from sorted latencies.
@@ -305,7 +420,9 @@ func getOutcome(client *http.Client, url string) outcome {
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck
-	return classify(resp.StatusCode)
+	o := classify(resp.StatusCode)
+	o.route = resp.Header.Get("X-Cluster-Route")
+	return o
 }
 
 func classify(status int) outcome {
@@ -340,7 +457,8 @@ func fireBatch(client *http.Client, base, body string, start time.Time) outcome 
 	if err1 != nil || err2 != nil {
 		return outcome{err: true}
 	}
-	return outcome{latency: time.Since(start), rows: int64(rows - bad)}
+	return outcome{latency: time.Since(start), rows: int64(rows - bad),
+		route: resp.Header.Get("X-Cluster-Route")}
 }
 
 // fireStream reads an NDJSON stream to the end, counting row frames.
@@ -382,7 +500,8 @@ func fireStream(client *http.Client, url string, start time.Time) outcome {
 	if sc.Err() != nil || !ended {
 		return outcome{err: true}
 	}
-	return outcome{latency: time.Since(start), rows: rows}
+	return outcome{latency: time.Since(start), rows: rows,
+		route: resp.Header.Get("X-Cluster-Route")}
 }
 
 // compareReport is the JSON summary of the singles-vs-batch experiment.

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"netpowerprop/internal/cluster"
+)
+
+// This file is the server's cluster surface: GET /v1/cluster (this
+// replica's ring and peer-health view plus forwarding counters) and
+// POST /v1/cluster/gossip (the anti-entropy exchange endpoint peers
+// push digests to). Both answer 503 outside cluster mode.
+
+// clusterEnabled guards the cluster endpoints behind -peers.
+func (s *server) clusterEnabled(w http.ResponseWriter) bool {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			apiError{Error: "cluster mode disabled: start the server with -peers and -cluster-addr"})
+		return false
+	}
+	return true
+}
+
+// handleClusterStatus reports this replica's view of the cluster.
+func (s *server) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
+	if !s.clusterEnabled(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Status())
+}
+
+// handleClusterGossip is the receive side of one anti-entropy exchange:
+// merge the sender's digest into the local peer table and reply with
+// ours. Peers POST here every gossip round.
+func (s *server) handleClusterGossip(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterEnabled(w) {
+		return
+	}
+	var d cluster.Digest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err := dec.Decode(&d); err != nil {
+		s.writeError(w, fmt.Errorf("decode gossip digest: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.HandleGossip(d))
+}

@@ -68,6 +68,7 @@ import (
 	"time"
 
 	"netpowerprop/internal/admit"
+	"netpowerprop/internal/cluster"
 	"netpowerprop/internal/engine"
 	"netpowerprop/internal/jobs"
 	"netpowerprop/internal/obs"
@@ -83,8 +84,16 @@ func main() {
 	jobdir := flag.String("jobdir", "", "directory for durable job journals (empty disables /v1/jobs)")
 	quota := flag.Float64("quota", 0, "per-tenant sustained row budget per second (0 disables quotas)")
 	burst := flag.Float64("burst", 0, "per-tenant token-bucket capacity in rows (0 = 2x quota)")
+	targetP99 := flag.Duration("targetp99", 0, "p99 latency objective for the adaptive low-priority shed threshold (0 keeps the fixed half-capacity bound)")
 	logLevel := flag.String("loglevel", "info", "log verbosity: debug, info, warn, or error")
 	pprofAddr := flag.String("pprofaddr", "", "listen address for net/http/pprof (empty disables; keep it private)")
+	peers := flag.String("peers", "", "comma-separated peer replica addresses (enables cluster mode)")
+	clusterAddr := flag.String("cluster-addr", "", "this replica's advertised address (required with -peers)")
+	gossipInterval := flag.Duration("gossip-interval", 500*time.Millisecond, "anti-entropy gossip round period")
+	gossipSeed := flag.Int64("gossip-seed", 1, "seed for gossip target selection and forward retry jitter")
+	hedge := flag.Duration("hedge", 250*time.Millisecond, "delay before hedging a stalled cross-replica hop (negative disables)")
+	owner := flag.String("owner", "", "replica name for job-journal owner leases (defaults to -cluster-addr; empty outside cluster mode disables leases)")
+	leaseTTL := flag.Duration("leasettl", 10*time.Second, "job-journal owner lease time-to-live")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -97,9 +106,45 @@ func main() {
 	eng := engine.New(engine.Options{CacheSize: *cacheSize, CacheShards: *shards,
 		Workers: *workers, MaxQueue: *queue,
 		Logger: logger.With("component", "engine"), Registry: reg})
+
+	// Cluster mode: shard requests across replicas by canonical key,
+	// gossip peer health, and install the engine's remote-dispatch hook so
+	// cache misses proxy to the key's owner. clusterCtx outlives the
+	// signal context — the gossip loop must keep running through shutdown
+	// to spread this replica's draining tombstone.
+	started := time.Now()
+	clusterCtx, clusterStop := context.WithCancel(context.Background())
+	defer clusterStop()
+	var node *cluster.Node
+	if *peers != "" {
+		if *clusterAddr == "" {
+			log.Fatalf("serve: -peers requires -cluster-addr (this replica's advertised address)")
+		}
+		node = cluster.New(cluster.Options{
+			Self:           *clusterAddr,
+			Peers:          strings.Split(*peers, ","),
+			Seed:           *gossipSeed,
+			HedgeDelay:     *hedge,
+			GossipInterval: *gossipInterval,
+			Retry:          jobs.RetryPolicy{MaxAttempts: 3, Base: 50 * time.Millisecond, Max: time.Second, Seed: uint64(*gossipSeed)},
+			QueueDepth:     eng.Pending,
+			Uptime:         func() float64 { return time.Since(started).Seconds() },
+			Logger:         logger.With("component", "cluster"),
+			Registry:       reg,
+		})
+		eng.SetRemote(node.Dispatch)
+		go node.Run(clusterCtx)
+		logger.Info("cluster mode", "self", node.Self(), "peers", *peers)
+	}
+	ownerName := *owner
+	if ownerName == "" && node != nil {
+		ownerName = node.Self()
+	}
+
 	var jm *jobs.Manager
 	if *jobdir != "" {
 		jm, err = jobs.Open(jobs.Options{Dir: *jobdir, Exec: eng, Logf: log.Printf,
+			Owner: ownerName, LeaseTTL: *leaseTTL,
 			Logger: logger.With("component", "jobs"), Registry: reg})
 		if err != nil {
 			log.Fatalf("serve: open job store: %v", err)
@@ -107,11 +152,36 @@ func main() {
 		if n := jm.ResumeAll(); n > 0 {
 			logger.Info("resumed interrupted jobs", "count", n, "dir", *jobdir)
 		}
+		if ownerName != "" {
+			// Adoption sweep: pick up journals whose owner drained or died
+			// (released or expired leases) so their jobs finish here.
+			go func() {
+				period := *leaseTTL / 2
+				if period < time.Second {
+					period = time.Second
+				}
+				t := time.NewTicker(period)
+				defer t.Stop()
+				for {
+					select {
+					case <-clusterCtx.Done():
+						return
+					case <-t.C:
+						if n := jm.ClaimStale(); n > 0 {
+							logger.Info("adopted stale job journals", "count", n)
+						}
+					}
+				}
+			}()
+		}
 	}
 	srv := newServer(eng, jm, *timeout, logger.With("component", "http"), reg)
+	srv.cluster = node
 	srv.admit = admit.New(admit.Options{
 		RatePerSec: *quota, Burst: *burst,
 		Capacity: eng.Capacity(), Pending: eng.Pending, Registry: reg,
+		P99:       func() float64 { return srv.latency.Quantile(0.99) },
+		TargetP99: *targetP99,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -135,6 +205,11 @@ func main() {
 	}
 	logger.Info("shutting down")
 	srv.draining.Store(true)
+	if node != nil {
+		// Gossip the drain first: the tombstone spreads while in-flight
+		// work finishes, so peers stop routing new keys here immediately.
+		node.SetDraining()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -179,6 +254,7 @@ type server struct {
 	eng     *engine.Engine
 	jobs    *jobs.Manager // nil: /v1/jobs disabled
 	admit   *admit.Controller
+	cluster *cluster.Node // nil: single-node
 	timeout time.Duration
 	started time.Time
 	mux     *http.ServeMux
@@ -194,6 +270,10 @@ type server struct {
 	metricsMu   sync.Mutex
 	reqCounters map[string]*obs.Counter
 	routeHists  map[string]*obs.Histogram
+	// latency aggregates serving latency across every route: the probe
+	// behind the adaptive low-priority shed threshold (-targetp99),
+	// which needs one overall p99 rather than the per-route series.
+	latency *obs.Histogram
 }
 
 func newServer(eng *engine.Engine, jm *jobs.Manager, timeout time.Duration,
@@ -208,8 +288,12 @@ func newServer(eng *engine.Engine, jm *jobs.Manager, timeout time.Duration,
 		mux: http.NewServeMux(), log: logger, reg: reg,
 		reqCounters: make(map[string]*obs.Counter),
 		routeHists:  make(map[string]*obs.Histogram)}
-	// Default admission: priorities active, quotas off. main swaps in a
-	// quota-configured controller (with metrics) when -quota is set.
+	s.latency = reg.Histogram("netpowerprop_http_latency_overall_seconds",
+		"HTTP request latency across all routes; feeds the adaptive low-priority shed threshold.",
+		obs.DefLatencyBuckets)
+	// Default admission: priorities active, quotas off, fixed shed
+	// threshold. main swaps in a fully configured controller (quota,
+	// metrics, adaptive shed) once the flags are known.
 	s.admit = admit.New(admit.Options{Capacity: eng.Capacity(), Pending: eng.Pending})
 	reg.CounterFunc("netpowerprop_http_panics_total",
 		"HTTP handler panics recovered by the serving middleware.",
@@ -223,6 +307,8 @@ func newServer(eng *engine.Engine, jm *jobs.Manager, timeout time.Duration,
 		engine.OpFig4, engine.OpSweep, engine.OpCost} {
 		s.mux.HandleFunc("/v1/"+string(op), s.handleOp(op))
 	}
+	s.mux.HandleFunc("GET /v1/cluster", s.handleClusterStatus)
+	s.mux.HandleFunc("POST /v1/cluster/gossip", s.handleClusterGossip)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
 	s.mux.HandleFunc("/v1/scenarios/{name}", s.handleScenario)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -290,6 +376,7 @@ func (s *server) observe(route string, status int, d time.Duration) {
 	s.metricsMu.Unlock()
 	c.Inc()
 	h.ObserveDuration(d)
+	s.latency.ObserveDuration(d)
 }
 
 // ServeHTTP is the serving middleware: it stamps (or propagates) the
@@ -530,20 +617,58 @@ func (s *server) admitRequest(w http.ResponseWriter, r *http.Request, rows int) 
 	return tenant, pri, false
 }
 
+// forwardedAdmit reports whether the request is an intra-cluster hop
+// whose admission was already charged at the ingress replica. Only
+// honored in cluster mode — outside it the header would be an
+// unauthenticated quota bypass.
+func (s *server) forwardedAdmit(r *http.Request) bool {
+	return s.cluster != nil && r.Header.Get("X-Forwarded-Admit") == "1"
+}
+
 // serve answers one request through the engine. ?stream=1 switches to the
 // NDJSON row stream instead of one buffered JSON body.
+//
+// Cluster mode adds two obligations: a hop carrying X-Forwarded-Admit
+// skips the quota layer (the ingress replica already charged it — the
+// double-billing fix) and pins the engine to local compute so proxy
+// chains cannot loop; and every response reports how it was answered in
+// X-Cluster-Route (local, forwarded, or degraded).
 func (s *server) serve(w http.ResponseWriter, r *http.Request, req engine.Request) {
-	if _, _, ok := s.admitRequest(w, r, 1); !ok {
-		return
+	forwarded := s.forwardedAdmit(r)
+	if !forwarded {
+		if _, _, ok := s.admitRequest(w, r, 1); !ok {
+			return
+		}
 	}
 	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		if s.cluster != nil {
+			// Streams always compute locally: rows flush as computed, which
+			// cannot be proxied without buffering (and failover resume needs
+			// every replica to produce identical bytes anyway).
+			w.Header().Set("X-Cluster-Route", cluster.RouteLocal)
+		}
 		s.serveStream(w, r, req)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	ctx := r.Context()
+	var note *cluster.RouteNote
+	if s.cluster != nil {
+		ctx, note = cluster.WithRouteNote(ctx)
+	}
+	if forwarded {
+		ctx = engine.WithLocalOnly(ctx)
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.timeout)
 	defer cancel()
 	start := time.Now()
 	res, cached, err := s.eng.Do(ctx, req)
+	if s.cluster != nil {
+		route := note.Value()
+		if route == "" {
+			route = cluster.RouteLocal
+		}
+		w.Header().Set("X-Cluster-Route", route)
+	}
 	if err != nil {
 		s.writeError(w, err)
 		return

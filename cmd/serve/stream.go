@@ -138,11 +138,45 @@ type streamEndFrame struct {
 	Result   *engine.Result    `json:"result,omitempty"`
 }
 
+// streamOffset resolves the first row a streaming client wants: the
+// Last-Row header (index of the last row it already holds, so emission
+// starts at the next one) or the from query parameter (first row
+// wanted). Zero streams from the top. This is the failover contract: a
+// client cut off mid-stream by a replica crash reconnects to any other
+// replica with Last-Row set, and because every replica computes
+// identical bytes, the concatenation is byte-identical to one
+// uninterrupted stream.
+func streamOffset(r *http.Request) (int, error) {
+	if v := r.Header.Get("Last-Row"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("Last-Row: %w", err)
+		}
+		return n + 1, nil
+	}
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("from: %w", err)
+		}
+		return n, nil
+	}
+	return 0, nil
+}
+
 // serveStream answers one synchronous request as an NDJSON row stream:
 // rows flush as they are computed instead of buffering the whole result.
 // The assembled result still primes the cache, so a later non-streaming
-// query for the same request is a hit.
+// query for the same request is a hit. Rows before the client's resume
+// offset (Last-Row header / from parameter) are computed but not
+// emitted — the row indices and bytes are deterministic, so a resumed
+// stream continues exactly where the broken one stopped.
 func (s *server) serveStream(w http.ResponseWriter, r *http.Request, req engine.Request) {
+	from, err := streamOffset(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 	flusher, _ := w.(http.Flusher)
@@ -153,6 +187,9 @@ func (s *server) serveStream(w http.ResponseWriter, r *http.Request, req engine.
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			w.WriteHeader(http.StatusOK)
 			wrote = true
+		}
+		if i < from {
+			return nil
 		}
 		if err := enc.Encode(streamRowFrame{Row: i, Data: data}); err != nil {
 			return err
@@ -211,21 +248,10 @@ func (s *server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	if !s.jobsEnabled(w) {
 		return
 	}
-	from := 0
-	if v := r.Header.Get("Last-Row"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("Last-Row: %v", err)})
-			return
-		}
-		from = n + 1
-	} else if v := r.URL.Query().Get("from"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("from: %v", err)})
-			return
-		}
-		from = n
+	from, err := streamOffset(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
 	}
 	if _, _, ok := s.admitRequest(w, r, 1); !ok {
 		return

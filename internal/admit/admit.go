@@ -108,6 +108,17 @@ type Options struct {
 	// Pending probes the live engine queue depth (nil disables the
 	// low-priority early shed).
 	Pending func() int64
+	// P99 probes the observed serving latency p99 in seconds (typically
+	// an obs.Histogram.Quantile closure over the request-duration
+	// histogram). Together with TargetP99 it makes the low-priority shed
+	// threshold adaptive — see adaptive.go. Nil keeps the fixed
+	// half-capacity bound.
+	P99 func() float64
+	// TargetP99 is the latency objective the adaptive threshold defends.
+	// Zero disables adaptation.
+	TargetP99 time.Duration
+	// AdaptEvery rate-limits threshold re-evaluation (default 1s).
+	AdaptEvery time.Duration
 	// MaxTenants bounds tracked buckets (default 4096); the least
 	// recently seen bucket is evicted at the bound, which at worst
 	// refunds an idle tenant its burst.
@@ -134,6 +145,14 @@ type Controller struct {
 	maxTenants int
 	now        func() time.Time
 
+	// Adaptive low-priority shed state (see adaptive.go).
+	p99         func() float64
+	targetP99   time.Duration
+	adaptEvery  time.Duration
+	threshold   atomic.Int64
+	lastAdapt   atomic.Int64
+	adaptations atomic.Uint64
+
 	mu      sync.Mutex
 	buckets map[string]*bucket
 
@@ -159,6 +178,9 @@ func New(opts Options) *Controller {
 	if opts.Burst < 1 {
 		opts.Burst = 1
 	}
+	if opts.AdaptEvery <= 0 {
+		opts.AdaptEvery = time.Second
+	}
 	c := &Controller{
 		rate:       opts.RatePerSec,
 		burst:      opts.Burst,
@@ -166,8 +188,16 @@ func New(opts Options) *Controller {
 		pending:    opts.Pending,
 		maxTenants: opts.MaxTenants,
 		now:        opts.Now,
+		p99:        opts.P99,
+		targetP99:  opts.TargetP99,
+		adaptEvery: opts.AdaptEvery,
 		buckets:    make(map[string]*bucket),
 	}
+	// The adaptive walk starts from the fixed bound and moves only on
+	// probe evidence; lastAdapt starts at the construction instant so the
+	// first step waits a full interval of real observations.
+	c.threshold.Store(int64((opts.Capacity + 1) / 2))
+	c.lastAdapt.Store(c.now().UnixNano())
 	c.instrument(opts.Registry)
 	return c
 }
@@ -182,11 +212,12 @@ func (c *Controller) Admit(tenant string, pri Priority, rows int) Decision {
 	if rows < 1 {
 		rows = 1
 	}
-	// Low priority yields while the queue is still half-empty: the
-	// remaining headroom is reserved for normal and high traffic, which
-	// only the engine's own bound sheds.
+	// Low priority yields while the queue still has headroom reserved
+	// for normal and high traffic, which only the engine's own bound
+	// sheds. The bound is fixed at half capacity, or walks with observed
+	// p99 latency when a probe is configured (adaptive.go).
 	if pri == Low && c.capacity > 0 && c.pending != nil {
-		if p := c.pending(); p >= int64((c.capacity+1)/2) {
+		if p := c.pending(); p >= c.shedThreshold() {
 			c.loadShed.Add(1)
 			return Decision{Reason: ReasonLoad, RetryAfter: time.Second}
 		}
@@ -294,6 +325,11 @@ type Metrics struct {
 	Evictions uint64
 	// Tenants is the current tracked-bucket count.
 	Tenants int
+	// ShedThreshold is the current effective low-priority shed bound
+	// (0 when the early shed is disabled).
+	ShedThreshold int64
+	// Adaptations counts adaptive threshold moves.
+	Adaptations uint64
 }
 
 // Metrics snapshots the counters.
@@ -306,6 +342,8 @@ func (c *Controller) Metrics() Metrics {
 		RefundedRows:  c.refunded.Load(),
 		Evictions:     c.evictions.Load(),
 		Tenants:       c.Tenants(),
+		ShedThreshold: c.ShedThreshold(),
+		Adaptations:   c.adaptations.Load(),
 	}
 	for _, pri := range []Priority{Low, Normal, High} {
 		m.Allowed[pri.String()] = c.allowed[pri+1].Load()
@@ -346,4 +384,10 @@ func (c *Controller) instrument(reg *obs.Registry) {
 	reg.GaugeFunc("netpowerprop_admit_tenants",
 		"Tenant buckets currently tracked.",
 		func() float64 { return float64(c.Tenants()) })
+	reg.GaugeFunc("netpowerprop_admit_shed_threshold",
+		"Current low-priority early-shed bound on engine pending count.",
+		func() float64 { return float64(c.ShedThreshold()) })
+	reg.CounterFunc("netpowerprop_admit_shed_adaptations_total",
+		"Moves of the adaptive low-priority shed threshold.",
+		func() float64 { return float64(c.adaptations.Load()) })
 }

@@ -1,0 +1,578 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netpowerprop/internal/engine"
+	"netpowerprop/internal/jobs"
+	"netpowerprop/internal/obs"
+)
+
+// Route values carried on the X-Cluster-Route response header: where
+// this replica got the answer.
+const (
+	// RouteLocal: this replica owned the key (or runs solo).
+	RouteLocal = "local"
+	// RouteForwarded: the answer came from the owning replica.
+	RouteForwarded = "forwarded"
+	// RouteDegraded: the owner was unreachable; this replica computed
+	// locally instead of failing the request.
+	RouteDegraded = "degraded"
+)
+
+// minHopBudget is the floor on a cross-replica hop's deadline; below it
+// a forward cannot realistically complete, so the hop is not attempted
+// with less.
+const minHopBudget = 25 * time.Millisecond
+
+// Options configures a Node.
+type Options struct {
+	// Self is this replica's advertised cluster address (host:port or
+	// http://host:port).
+	Self string
+	// Peers are the other replicas' addresses (the static boot list;
+	// gossip discovers the rest).
+	Peers []string
+	// Seed drives gossip target selection and retry jitter.
+	Seed int64
+	// Incarnation is this replica's start instant (Unix nanoseconds);
+	// zero means the Node picks time.Now().
+	Incarnation int64
+	// VNodes is the ring's virtual-node count (DefaultVNodes when <= 0).
+	VNodes int
+	// HopTimeout caps one cross-replica hop (default 2s); the effective
+	// hop budget is min(HopTimeout, half the request's remaining time).
+	HopTimeout time.Duration
+	// HedgeDelay is how long to wait on the owner before racing a second
+	// copy of the request to the ring successor (default 250ms; negative
+	// disables hedging).
+	HedgeDelay time.Duration
+	// Retry is the cross-replica retry schedule, sharing the jobs
+	// package's seeded exponential backoff.
+	Retry jobs.RetryPolicy
+	// GossipInterval is the anti-entropy round period (default 500ms).
+	GossipInterval time.Duration
+	// Fanout, DeadAfter, FailAfter tune the gossiper (see GossipOptions).
+	Fanout, DeadAfter, FailAfter int
+	// Client issues forward and gossip requests (default: dedicated
+	// client with HopTimeout as overall timeout backstop).
+	Client *http.Client
+	// Exchange overrides the gossip transport (tests); default is HTTP
+	// POST to <peer>/v1/cluster/gossip.
+	Exchange ExchangeFunc
+	// QueueDepth reports this replica's engine backlog for gossip load
+	// hints. Nil gossips zero.
+	QueueDepth func() int64
+	// Uptime reports this replica's uptime seconds. Nil gossips zero.
+	Uptime func() float64
+	// Logger receives cluster events. Nil discards.
+	Logger *obs.Logger
+	// Registry receives netpowerprop_cluster_* metrics. Nil skips.
+	Registry *obs.Registry
+}
+
+// Node is one replica's view of the cluster: the gossiper, the ring
+// cache, and the forwarding path that implements engine.RemoteFunc.
+type Node struct {
+	self       string
+	vnodes     int
+	hopTimeout time.Duration
+	hedgeDelay time.Duration
+	retry      jobs.RetryPolicy
+	interval   time.Duration
+	client     *http.Client
+	log        *obs.Logger
+	gossip     *Gossiper
+	queueDepth func() int64
+	uptime     func() float64
+	// sleep is the backoff sleeper, injectable so retry tests need not
+	// wait out real delays.
+	sleep func(ctx context.Context, d time.Duration) error
+
+	ring atomic.Pointer[ringCache]
+
+	forwarded     atomic.Uint64
+	forwardErrors atomic.Uint64
+	hedges        atomic.Uint64
+	hedgeWins     atomic.Uint64
+	degraded      atomic.Uint64
+	retries       atomic.Uint64
+}
+
+// ringCache pins a built ring to the gossip membership version it was
+// built from.
+type ringCache struct {
+	version uint64
+	ring    *Ring
+}
+
+// New builds a Node. It does not start gossiping — call Run.
+func New(opts Options) *Node {
+	if opts.Logger == nil {
+		opts.Logger = obs.Nop()
+	}
+	if opts.HopTimeout <= 0 {
+		opts.HopTimeout = 2 * time.Second
+	}
+	if opts.HedgeDelay == 0 {
+		opts.HedgeDelay = 250 * time.Millisecond
+	}
+	if opts.GossipInterval <= 0 {
+		opts.GossipInterval = 500 * time.Millisecond
+	}
+	if opts.Incarnation == 0 {
+		opts.Incarnation = time.Now().UnixNano()
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: opts.HopTimeout}
+	}
+	self := normalizeAddr(opts.Self)
+	peers := make([]string, 0, len(opts.Peers))
+	for _, p := range opts.Peers {
+		if a := normalizeAddr(p); a != "" && a != self {
+			peers = append(peers, a)
+		}
+	}
+	n := &Node{
+		self:       self,
+		vnodes:     opts.VNodes,
+		hopTimeout: opts.HopTimeout,
+		hedgeDelay: opts.HedgeDelay,
+		retry:      opts.Retry,
+		interval:   opts.GossipInterval,
+		client:     opts.Client,
+		log:        opts.Logger.With("peer", self),
+		queueDepth: opts.QueueDepth,
+		uptime:     opts.Uptime,
+	}
+	n.sleep = func(ctx context.Context, d time.Duration) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	exchange := opts.Exchange
+	if exchange == nil {
+		exchange = n.httpExchange
+	}
+	n.gossip = NewGossiper(GossipOptions{
+		Self:        self,
+		Peers:       peers,
+		Seed:        opts.Seed,
+		Incarnation: opts.Incarnation,
+		Fanout:      opts.Fanout,
+		DeadAfter:   opts.DeadAfter,
+		FailAfter:   opts.FailAfter,
+		Exchange:    exchange,
+		Logger:      n.log,
+	})
+	if opts.Registry != nil {
+		n.instrument(opts.Registry)
+	}
+	return n
+}
+
+// instrument registers the netpowerprop_cluster_* metric family.
+func (n *Node) instrument(reg *obs.Registry) {
+	counter := func(name, help string, v *atomic.Uint64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	counter("netpowerprop_cluster_forwarded_total",
+		"Requests proxied to their owning replica.", &n.forwarded)
+	counter("netpowerprop_cluster_forward_errors_total",
+		"Cross-replica hops that failed (before any retry or degradation).", &n.forwardErrors)
+	counter("netpowerprop_cluster_hedges_total",
+		"Hedged reads launched after the owner stalled past the hedge delay.", &n.hedges)
+	counter("netpowerprop_cluster_hedge_wins_total",
+		"Hedged reads that answered before the owner.", &n.hedgeWins)
+	counter("netpowerprop_cluster_degraded_total",
+		"Requests demoted to local computation because no owner was reachable.", &n.degraded)
+	counter("netpowerprop_cluster_retries_total",
+		"Cross-replica hop retries (backoff sleeps taken).", &n.retries)
+	reg.CounterFunc("netpowerprop_cluster_gossip_rounds_total",
+		"Anti-entropy gossip rounds run.",
+		func() float64 { return float64(n.gossip.Rounds()) })
+	reg.CounterFunc("netpowerprop_cluster_peer_deaths_total",
+		"Local death verdicts issued about peers.",
+		func() float64 { return float64(n.gossip.Deaths()) })
+	reg.GaugeFunc("netpowerprop_cluster_peers_alive",
+		"Replicas currently alive in this replica's view (self included).",
+		func() float64 { return float64(len(n.gossip.Alive())) })
+}
+
+// normalizeAddr canonicalizes a peer address: scheme added when absent,
+// trailing slash dropped. All ring hashing and peer-table keys use the
+// normalized form, so "host:8080" and "http://host:8080/" are one peer.
+func normalizeAddr(a string) string {
+	a = strings.TrimSpace(a)
+	if a == "" {
+		return ""
+	}
+	if !strings.Contains(a, "://") {
+		a = "http://" + a
+	}
+	return strings.TrimRight(a, "/")
+}
+
+// Self is this replica's normalized cluster address.
+func (n *Node) Self() string { return n.self }
+
+// Gossip exposes the gossiper (serve's drain hook, tests).
+func (n *Node) Gossip() *Gossiper { return n.gossip }
+
+// Ring returns the current consistent-hash ring, rebuilt (and cached)
+// whenever gossip membership changes.
+func (n *Node) Ring() *Ring {
+	v := n.gossip.Version()
+	if c := n.ring.Load(); c != nil && c.version == v {
+		return c.ring
+	}
+	r := NewRing(n.gossip.Alive(), n.vnodes)
+	n.ring.Store(&ringCache{version: v, ring: r})
+	return r
+}
+
+// Run drives the gossip loop until ctx is done: refresh local load
+// hints, then one anti-entropy round per interval.
+func (n *Node) Run(ctx context.Context) {
+	t := time.NewTicker(n.interval)
+	defer t.Stop()
+	for {
+		n.tick(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// tick is one gossip round with fresh load hints.
+func (n *Node) tick(ctx context.Context) {
+	var depth int64
+	if n.queueDepth != nil {
+		depth = n.queueDepth()
+	}
+	var up float64
+	if n.uptime != nil {
+		up = n.uptime()
+	}
+	n.gossip.SetLocal(depth, up)
+	n.gossip.Tick(ctx)
+}
+
+// SetDraining marks this replica draining; the next gossip rounds spread
+// it, and every ring drops this replica for new keys.
+func (n *Node) SetDraining() { n.gossip.SetDraining() }
+
+// HandleGossip is the receive side of an anti-entropy exchange: merge
+// the caller's digest, reply with ours. Wired to POST /v1/cluster/gossip.
+func (n *Node) HandleGossip(d Digest) Digest {
+	n.gossip.MergeDigest(d)
+	if d.From != "" {
+		// An inbound digest is direct evidence the sender's process is up,
+		// whatever our failure counter thought.
+		n.gossip.ObserveSuccess(d.From)
+	}
+	return n.gossip.Digest()
+}
+
+// httpExchange is the production gossip transport: POST the digest to
+// the peer's gossip endpoint, merge its reply.
+func (n *Node) httpExchange(ctx context.Context, peer string, d Digest) (Digest, error) {
+	body, err := json.Marshal(d)
+	if err != nil {
+		return Digest{}, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, n.hopBudget(ctx))
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		peer+"/v1/cluster/gossip", bytes.NewReader(body))
+	if err != nil {
+		return Digest{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return Digest{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return Digest{}, fmt.Errorf("gossip %s: status %d", peer, resp.StatusCode)
+	}
+	var reply Digest
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return Digest{}, fmt.Errorf("gossip %s: decode reply: %w", peer, err)
+	}
+	return reply, nil
+}
+
+// routeNoteKey carries the RouteNote through the engine to Dispatch.
+type routeNoteKey struct{}
+
+// RouteNote is a slot the HTTP layer threads through the request context
+// so Dispatch can report which path answered (the X-Cluster-Route
+// header). Concurrency-safe because hedged forwards share a context.
+type RouteNote struct {
+	mu sync.Mutex
+	v  string
+}
+
+// Set records the route taken.
+func (rn *RouteNote) Set(v string) {
+	if rn == nil {
+		return
+	}
+	rn.mu.Lock()
+	rn.v = v
+	rn.mu.Unlock()
+}
+
+// Value is the recorded route ("" when Dispatch never ran — e.g. a
+// cache hit).
+func (rn *RouteNote) Value() string {
+	if rn == nil {
+		return ""
+	}
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	return rn.v
+}
+
+// WithRouteNote attaches a fresh RouteNote to the context.
+func WithRouteNote(ctx context.Context) (context.Context, *RouteNote) {
+	rn := &RouteNote{}
+	return context.WithValue(ctx, routeNoteKey{}, rn), rn
+}
+
+// noteRoute records the route on the context's note, if any.
+func noteRoute(ctx context.Context, v string) {
+	if rn, ok := ctx.Value(routeNoteKey{}).(*RouteNote); ok {
+		rn.Set(v)
+	}
+}
+
+// hopBudget is one cross-replica hop's deadline: min(HopTimeout, half
+// the request's remaining time), floored at minHopBudget — half, so a
+// failed hop always leaves time for a retry or the local fallback.
+func (n *Node) hopBudget(ctx context.Context) time.Duration {
+	budget := n.hopTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(dl) / 2; remaining < budget {
+			budget = remaining
+		}
+	}
+	if budget < minHopBudget {
+		budget = minHopBudget
+	}
+	return budget
+}
+
+// Dispatch is the engine's remote hook (engine.RemoteFunc): decide the
+// key's owner on the ring and, when it is another replica, proxy the
+// request there with per-hop deadlines, seeded backoff retries, and a
+// hedged read to the ring successor. The degradation ladder:
+//
+//  1. owner is self (or ring empty) → (nil, false, nil): compute locally.
+//  2. owner is remote → forward, retrying with backoff; between attempts
+//     the ring is re-read, so a death verdict re-routes mid-request.
+//  3. every attempt failed but the request still has time →
+//     (nil, false, nil) counted as degraded: compute locally rather than
+//     fail — every replica computes identical bytes; the ring only
+//     concentrates cache ownership.
+//  4. request deadline exhausted → (nil, true, ctx.Err()).
+func (n *Node) Dispatch(ctx context.Context, key string, req engine.Request) (*engine.Result, bool, error) {
+	ring := n.Ring()
+	owner := ring.Owner(key)
+	if owner == "" || owner == n.self {
+		noteRoute(ctx, RouteLocal)
+		return nil, false, nil
+	}
+	policy := n.retry
+	if policy.MaxAttempts <= 0 {
+		policy.MaxAttempts = 3
+	}
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			n.retries.Add(1)
+			if err := n.sleep(ctx, policy.Delay(key, 0, attempt)); err != nil {
+				return nil, true, err
+			}
+			// Re-read the ring: gossip may have moved the key while we
+			// backed off (owner died or drained).
+			ring = n.Ring()
+			owner = ring.Owner(key)
+			if owner == "" || owner == n.self {
+				noteRoute(ctx, RouteLocal)
+				return nil, false, nil
+			}
+		}
+		res, err := n.forwardHedged(ctx, ring, owner, key, req)
+		if err == nil {
+			n.forwarded.Add(1)
+			noteRoute(ctx, RouteForwarded)
+			return res, true, nil
+		}
+		n.forwardErrors.Add(1)
+		n.log.Debug("forward failed", "owner", owner, "attempt", attempt+1, "err", err.Error())
+		if ctx.Err() != nil {
+			return nil, true, ctx.Err()
+		}
+	}
+	n.degraded.Add(1)
+	noteRoute(ctx, RouteDegraded)
+	n.log.Warn("degrading to local compute", "owner", owner, "key_hash", hash64(key))
+	return nil, false, nil
+}
+
+// forwardOutcome is one forward attempt's result.
+type forwardOutcome struct {
+	res  *engine.Result
+	err  error
+	addr string
+}
+
+// forwardHedged sends the request to the owner and, if the owner stalls
+// past the hedge delay, races a second copy to the ring successor. First
+// success wins; both failing returns the first error.
+func (n *Node) forwardHedged(ctx context.Context, ring *Ring, owner, key string, req engine.Request) (*engine.Result, error) {
+	hopCtx, cancel := context.WithTimeout(ctx, n.hopBudget(ctx))
+	defer cancel()
+	ch := make(chan forwardOutcome, 2)
+	send := func(addr string) {
+		res, err := n.forward(hopCtx, addr, req)
+		ch <- forwardOutcome{res: res, err: err, addr: addr}
+	}
+	go send(owner)
+	outstanding := 1
+	var hedgeC <-chan time.Time
+	hedgeTarget := ""
+	if n.hedgeDelay > 0 {
+		if t := ring.Successor(key, owner, n.self); t != "" {
+			hedgeTarget = t
+			timer := time.NewTimer(n.hedgeDelay)
+			defer timer.Stop()
+			hedgeC = timer.C
+		}
+	}
+	var firstErr error
+	for {
+		select {
+		case out := <-ch:
+			if out.err == nil {
+				n.gossip.ObserveSuccess(out.addr)
+				if out.addr != owner {
+					n.hedgeWins.Add(1)
+				}
+				return out.res, nil
+			}
+			n.gossip.ObserveFailure(out.addr)
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if outstanding--; outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			n.hedges.Add(1)
+			outstanding++
+			go send(hedgeTarget)
+		case <-hopCtx.Done():
+			if firstErr == nil {
+				firstErr = hopCtx.Err()
+			}
+			return nil, firstErr
+		}
+	}
+}
+
+// forward proxies one request to a replica over the public JSON API.
+// X-Forwarded-Admit tells the receiver admission was already charged at
+// the ingress replica and that it must answer locally (no re-forward);
+// X-Trace-Id carries the hop's provenance.
+func (n *Node) forward(ctx context.Context, addr string, req engine.Request) (*engine.Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	path := "/v1/" + string(req.Op)
+	if req.Op == engine.OpScenario {
+		path = "/v1/scenarios/" + url.PathEscape(req.Scenario)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Forwarded-Admit", "1")
+	if id := obs.TraceID(ctx); obs.ValidTraceID(id) {
+		hreq.Header.Set("X-Trace-Id", id)
+	}
+	resp, err := n.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("forward %s%s: status %d: %s", addr, path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var env struct {
+		Result *engine.Result `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return nil, fmt.Errorf("forward %s%s: decode: %w", addr, path, err)
+	}
+	if env.Result == nil {
+		return nil, fmt.Errorf("forward %s%s: empty result", addr, path)
+	}
+	return env.Result, nil
+}
+
+// Status is the /v1/cluster view of this replica.
+type Status struct {
+	Self          string      `json:"self"`
+	RingMembers   []string    `json:"ring_members"`
+	Peers         []PeerState `json:"peers"`
+	Forwarded     uint64      `json:"forwarded"`
+	ForwardErrors uint64      `json:"forward_errors"`
+	Hedges        uint64      `json:"hedges"`
+	HedgeWins     uint64      `json:"hedge_wins"`
+	Degraded      uint64      `json:"degraded"`
+	Retries       uint64      `json:"retries"`
+	GossipRounds  uint64      `json:"gossip_rounds"`
+	PeerDeaths    uint64      `json:"peer_deaths"`
+}
+
+// Status snapshots the replica's cluster view.
+func (n *Node) Status() Status {
+	return Status{
+		Self:          n.self,
+		RingMembers:   n.Ring().Members(),
+		Peers:         n.gossip.Snapshot(),
+		Forwarded:     n.forwarded.Load(),
+		ForwardErrors: n.forwardErrors.Load(),
+		Hedges:        n.hedges.Load(),
+		HedgeWins:     n.hedgeWins.Load(),
+		Degraded:      n.degraded.Load(),
+		Retries:       n.retries.Load(),
+		GossipRounds:  n.gossip.Rounds(),
+		PeerDeaths:    n.gossip.Deaths(),
+	}
+}

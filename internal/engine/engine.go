@@ -79,6 +79,11 @@ type Engine struct {
 	batchRows  atomic.Uint64
 	streams    atomic.Uint64
 	streamRows atomic.Uint64
+	// remote holds the cluster dispatch hook (see remote.go); remoteHits
+	// counts misses answered by the owning replica instead of computed
+	// locally.
+	remote     atomic.Pointer[remoteBox]
+	remoteHits atomic.Uint64
 	// opStats breaks computation count and time down by operation. The map
 	// is built once in New (one entry per registered Op) and never written
 	// afterwards, so lookups are safe without a lock.
@@ -184,7 +189,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (res *Result, cached bool,
 		e.log.Debug("cache miss", "trace", obs.TraceID(ctx), "op", string(norm.Op))
 	}
 	res, shared, err := e.flight.do(ctx, key, func() (*Result, error) {
-		return e.computeAndCache(ctx, key, norm)
+		return e.dispatch(ctx, key, norm)
 	})
 	if shared {
 		e.shared.Add(1)
@@ -318,6 +323,9 @@ type Metrics struct {
 	// Streams counts Stream calls; StreamRows the row frames emitted.
 	Streams    uint64
 	StreamRows uint64
+	// RemoteHits counts misses answered by the owning cluster replica
+	// through the remote-dispatch hook instead of computed locally.
+	RemoteHits uint64
 	// CacheEntries is the current cache population.
 	CacheEntries int
 	// ComputeSeconds is the cumulative computation time.
@@ -363,6 +371,7 @@ func (e *Engine) Metrics() Metrics {
 		BatchRows:      e.batchRows.Load(),
 		Streams:        e.streams.Load(),
 		StreamRows:     e.streamRows.Load(),
+		RemoteHits:     e.remoteHits.Load(),
 		CacheEntries:   e.cache.Len(),
 		ComputeSeconds: float64(e.computeNanos.Load()) / 1e9,
 		PerOp:          perOp,

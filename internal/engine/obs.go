@@ -71,6 +71,8 @@ func (e *Engine) instrument(log *obs.Logger, reg *obs.Registry) {
 		"Row-streaming requests answered through Stream.", &e.streams)
 	counter("netpowerprop_engine_stream_rows_total",
 		"Row frames emitted by streaming requests.", &e.streamRows)
+	counter("netpowerprop_engine_remote_hits_total",
+		"Misses answered by the owning cluster replica via remote dispatch.", &e.remoteHits)
 	reg.CounterFunc("netpowerprop_engine_cache_evictions_total",
 		"Cache entries displaced by LRU pressure.",
 		func() float64 { return float64(e.cache.Evictions()) })

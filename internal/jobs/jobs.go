@@ -80,6 +80,11 @@ var ErrClosed = errors.New("jobs: manager closed")
 // ErrUnknownJob is returned for ids the manager does not hold.
 var ErrUnknownJob = errors.New("jobs: unknown job")
 
+// ErrLeaseHeld is returned by Submit when the job's journal in a shared
+// directory is live-held by another replica: that replica is running the
+// job, and this one must not touch the journal. Callers poll or redirect.
+var ErrLeaseHeld = errors.New("jobs: journal leased to another replica")
+
 // Options configures a Manager. Dir and Exec are required; zero values
 // elsewhere select defaults.
 type Options struct {
@@ -110,18 +115,31 @@ type Options struct {
 	// netpowerprop_jobs_* namespace, including a row-latency histogram.
 	// Register at most one manager per registry.
 	Registry *obs.Registry
+	// Owner, when non-empty, enables the owner-lease protocol for a
+	// journal directory shared between replicas: this manager only
+	// loads, runs, and resumes journals whose lease it holds, releases
+	// leases on drain and completion, and may adopt stale leases via
+	// ClaimStale. Use a stable per-replica name (its cluster address).
+	// Empty disables leases entirely — single-node behavior unchanged.
+	Owner string
+	// LeaseTTL is how long a claim outlives its last renewal (default
+	// 10s). Renewed on every row checkpoint, so only a crashed replica
+	// lets its leases expire.
+	LeaseTTL time.Duration
 }
 
 // Manager owns the job table, the journal directory, and the runner pool.
 type Manager struct {
-	dir     string
-	exec    Executor
-	clock   Clock
-	retry   RetryPolicy
-	hook    func(id string, row int) error
-	logf    func(format string, args ...any)
-	log     *obs.Logger
-	rowHist *obs.Histogram
+	dir      string
+	exec     Executor
+	clock    Clock
+	retry    RetryPolicy
+	hook     func(id string, row int) error
+	logf     func(format string, args ...any)
+	log      *obs.Logger
+	rowHist  *obs.Histogram
+	owner    string
+	leaseTTL time.Duration
 
 	slots     chan struct{}
 	drain     chan struct{}
@@ -143,6 +161,7 @@ type Manager struct {
 	rowsDone    atomic.Uint64
 	rowRetries  atomic.Uint64
 	rowFailures atomic.Uint64
+	adopted     atomic.Uint64
 }
 
 // job is one durable unit of work.
@@ -221,6 +240,9 @@ func Open(opts Options) (*Manager, error) {
 	if opts.Logger == nil {
 		opts.Logger = obs.Nop()
 	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 10 * time.Second
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		dir:      opts.Dir,
@@ -230,6 +252,8 @@ func Open(opts Options) (*Manager, error) {
 		hook:     opts.OnRowCheckpoint,
 		logf:     opts.Logf,
 		log:      opts.Logger,
+		owner:    opts.Owner,
+		leaseTTL: opts.LeaseTTL,
 		slots:    make(chan struct{}, opts.MaxConcurrent),
 		drain:    make(chan struct{}),
 		hardCtx:  ctx,
@@ -276,6 +300,8 @@ func (m *Manager) instrument(reg *obs.Registry) {
 		"Row attempts beyond the first.", &m.rowRetries)
 	counter("netpowerprop_jobs_row_failures_total",
 		"Rows that exhausted their retries.", &m.rowFailures)
+	counter("netpowerprop_jobs_adopted_total",
+		"Journals adopted from other replicas via the lease protocol.", &m.adopted)
 	depth := func(state string, count func(Depth) int) {
 		reg.GaugeFunc("netpowerprop_jobs_depth",
 			"Jobs currently in each lifecycle state.",
@@ -301,39 +327,42 @@ func (m *Manager) recover() error {
 			continue
 		}
 		path := filepath.Join(m.dir, e.Name())
-		if err := m.recoverFile(path); err != nil {
+		if _, err := m.adoptJournal(path); err != nil {
 			m.logf("jobs: skipping journal %s: %v", path, err)
 		}
 	}
 	return nil
 }
 
-// recoverFile replays one journal into a job.
-func (m *Manager) recoverFile(path string) error {
+// recoverFile replays one journal into a job, returning the job id. A
+// journal whose id the manager already holds is left untouched (the
+// in-memory job is authoritative). Callers gate on adoptJournal when
+// leases are enabled.
+func (m *Manager) recoverFile(path string) (string, error) {
 	recs, cleanOff, torn, err := readJournal(path)
 	if err != nil {
-		return err
+		return "", err
 	}
 	if torn {
 		// Drop the partial tail now so a resume appends onto clean bytes.
 		if err := os.Truncate(path, cleanOff); err != nil {
-			return fmt.Errorf("truncate torn tail: %w", err)
+			return "", fmt.Errorf("truncate torn tail: %w", err)
 		}
 		m.logf("jobs: journal %s had a torn tail; truncated to the %d-byte durable prefix", path, cleanOff)
 	}
 	if len(recs) == 0 || recs[0].T != recSubmit || recs[0].Req == nil {
-		return errors.New("no submit record")
+		return "", errors.New("no submit record")
 	}
 	sub := recs[0]
 	plan, err := m.exec.Plan(*sub.Req)
 	if err != nil {
-		return fmt.Errorf("replan: %w", err)
+		return "", fmt.Errorf("replan: %w", err)
 	}
 	if plan.Key() != sub.Key {
-		return fmt.Errorf("canonical key changed (journal %q, plan %q)", sub.Key, plan.Key())
+		return "", fmt.Errorf("canonical key changed (journal %q, plan %q)", sub.Key, plan.Key())
 	}
 	if plan.Rows() != sub.Rows {
-		return fmt.Errorf("row count changed (journal %d, plan %d)", sub.Rows, plan.Rows())
+		return "", fmt.Errorf("row count changed (journal %d, plan %d)", sub.Rows, plan.Rows())
 	}
 	j := m.newJob(sub.ID, plan, path, sub.Trace)
 	var terminal State
@@ -361,7 +390,7 @@ func (m *Manager) recoverFile(path string) error {
 	case StateDone, StateDegraded:
 		res, err := plan.Assemble(j.rows, j.markers())
 		if err != nil {
-			return fmt.Errorf("reassemble: %w", err)
+			return "", fmt.Errorf("reassemble: %w", err)
 		}
 		j.result = res
 		j.state = terminal
@@ -378,8 +407,15 @@ func (m *Manager) recoverFile(path string) error {
 		m.log.Info("job recovered", "job", j.id, "key", j.key,
 			"rows_done", j.done, "rows", plan.Rows(), "trace", j.trace)
 	}
+	m.mu.Lock()
+	if _, ok := m.jobs[j.id]; ok {
+		m.mu.Unlock()
+		j.cancel()
+		return j.id, nil
+	}
 	m.jobs[j.id] = j
-	return nil
+	m.mu.Unlock()
+	return j.id, nil
 }
 
 // newJob allocates the in-memory job shell. The trace ID is embedded in
@@ -439,6 +475,7 @@ func (m *Manager) Submit(ctx context.Context, req engine.Request) (*Snapshot, bo
 		m.mu.Unlock()
 		return nil, false, ErrClosed
 	}
+	rerun := false
 	if j, ok := m.jobs[id]; ok {
 		j.mu.Lock()
 		st := j.state
@@ -453,8 +490,42 @@ func (m *Manager) Submit(ctx context.Context, req engine.Request) (*Snapshot, bo
 			return m.snapshot(j, true), false, nil
 		}
 		delete(m.jobs, id) // canceled: rerun from scratch
+		rerun = true
 	}
-	j := m.newJob(id, plan, filepath.Join(m.dir, id+".jsonl"), trace)
+	path := filepath.Join(m.dir, id+".jsonl")
+	if m.leasesEnabled() {
+		if _, err := os.Stat(path); err == nil && !rerun {
+			// A journal exists on disk that we do not hold in memory:
+			// another replica wrote it into the shared directory. Adopt it
+			// if its lease allows, rather than truncating its checkpoints.
+			m.mu.Unlock()
+			if loaded, err := m.adoptJournal(path); err != nil {
+				return nil, false, fmt.Errorf("jobs: adopt %s: %w", id, err)
+			} else if !loaded {
+				return nil, false, ErrLeaseHeld
+			}
+			m.mu.Lock()
+			j := m.jobs[id]
+			m.mu.Unlock()
+			if j == nil {
+				return nil, false, ErrUnknownJob
+			}
+			j.mu.Lock()
+			st := j.state
+			j.mu.Unlock()
+			m.adopted.Add(1)
+			m.log.Info("job adopted on submit", "job", id, "state", string(st), "trace", trace)
+			if st == StateInterrupted {
+				m.resume(j)
+			}
+			return m.snapshot(j, true), false, nil
+		}
+		if !m.claimLease(path) {
+			m.mu.Unlock()
+			return nil, false, ErrLeaseHeld
+		}
+	}
+	j := m.newJob(id, plan, path, trace)
 	jl, err := createJournal(j.path)
 	if err != nil {
 		m.mu.Unlock()
@@ -484,6 +555,13 @@ func (m *Manager) resume(j *job) {
 	j.mu.Lock()
 	if j.state != StateInterrupted {
 		j.mu.Unlock()
+		return
+	}
+	if !m.claimLease(j.path) {
+		// Another replica adopted the journal between our recovery and
+		// this resume; it owns the job now. Ours stays interrupted.
+		j.mu.Unlock()
+		m.logf("jobs: resume %s: lease held elsewhere", j.id)
 		return
 	}
 	jl, err := appendJournal(j.path)
@@ -598,6 +676,9 @@ func (m *Manager) runJob(j *job) {
 			m.markInterrupted(j)
 			return
 		}
+		// Each durable checkpoint renews the lease, so a live runner's
+		// claim on a shared journal directory never expires between rows.
+		m.renewLease(j.path)
 		if m.log.Enabled(obs.LevelInfo) {
 			kv := []any{"job", j.id, "key", j.key, "row", i,
 				"attempts", attempts, "trace", j.trace}
@@ -701,6 +782,7 @@ func (m *Manager) finishJob(j *job) {
 		m.logf("jobs: journal %s terminal: %v", j.id, err)
 	}
 	jl.close()
+	m.releaseLease(j.path)
 	if state == StateDone {
 		m.completed.Add(1)
 		m.log.Info("job done", "job", j.id, "key", j.key,
@@ -735,6 +817,7 @@ func (m *Manager) finishCanceled(j *job) {
 		}
 		jl.close()
 	}
+	m.releaseLease(j.path)
 	m.canceledN.Add(1)
 	m.log.Info("job canceled", "job", j.id, "key", j.key, "trace", j.trace)
 	j.cancel()
@@ -752,6 +835,12 @@ func (m *Manager) markInterrupted(j *job) {
 	j.state = StateInterrupted
 	if j.jl != nil {
 		j.jl.close()
+	}
+	// A drained job's journal is a clean handoff: release the lease so a
+	// surviving replica's ClaimStale can adopt it immediately instead of
+	// waiting out the TTL.
+	if m.draining() {
+		m.releaseLease(j.path)
 	}
 	m.log.Info("job interrupted", "job", j.id, "key", j.key,
 		"rows_done", j.done, "rows", len(j.rows), "trace", j.trace)
@@ -997,6 +1086,9 @@ type Metrics struct {
 	RowRetries uint64
 	// RowFailures counts rows that exhausted retries.
 	RowFailures uint64
+	// Adopted counts journals claimed from other replicas by ClaimStale
+	// or an adopting Submit.
+	Adopted uint64
 	// Depth is the current per-state job census.
 	Depth Depth
 }
@@ -1013,6 +1105,7 @@ func (m *Manager) Metrics() Metrics {
 		RowsDone:    m.rowsDone.Load(),
 		RowRetries:  m.rowRetries.Load(),
 		RowFailures: m.rowFailures.Load(),
+		Adopted:     m.adopted.Load(),
 		Depth:       m.Depth(),
 	}
 }

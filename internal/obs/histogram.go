@@ -95,6 +95,43 @@ func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
 	return cum, run, h.Sum()
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observations by
+// linear interpolation inside the bucket the quantile lands in — the
+// same estimate Prometheus's histogram_quantile computes. With no
+// observations it returns 0; a quantile landing in the +Inf bucket
+// returns the highest finite bound (the histogram cannot resolve the
+// tail beyond its last bucket). The estimate reads a point-in-time
+// snapshot, so it is safe to call concurrently with Observe.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	cum, count, _ := h.snapshot()
+	if count == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	for i, bound := range h.bounds {
+		c := float64(cum[i])
+		if c < rank {
+			continue
+		}
+		lower, lowerCum := 0.0, 0.0
+		if i > 0 {
+			lower, lowerCum = h.bounds[i-1], float64(cum[i-1])
+		}
+		inBucket := c - lowerCum
+		if inBucket <= 0 {
+			return bound
+		}
+		return lower + (bound-lower)*(rank-lowerCum)/inBucket
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Bounds returns the bucket upper bounds (without +Inf).
 func (h *Histogram) Bounds() []float64 {
 	out := make([]float64, len(h.bounds))

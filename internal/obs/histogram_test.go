@@ -48,6 +48,42 @@ func TestHistogramObserveDuration(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.2, 0.4, 0.8})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	// 100 observations, uniformly placed: 50 in (0,0.1], 30 in (0.1,0.2],
+	// 15 in (0.2,0.4], 5 in (0.4,0.8].
+	fill := func(n int, v float64) {
+		for i := 0; i < n; i++ {
+			h.Observe(v)
+		}
+	}
+	fill(50, 0.05)
+	fill(30, 0.15)
+	fill(15, 0.3)
+	fill(5, 0.6)
+	cases := []struct{ q, want float64 }{
+		{0.50, 0.1},                   // rank 50 = exactly the first bucket's full count
+		{0.25, 0.05},                  // rank 25, halfway through bucket (0, 0.1]
+		{0.80, 0.2},                   // rank 80 = cumulative through second bucket
+		{0.99, 0.4 + 0.4*(99-95)/5.0}, // interpolated in (0.4, 0.8]
+		{1.00, 0.8},
+		{0.00, 0.0},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// A quantile landing beyond the last finite bound clamps to it.
+	fill(900, 100)
+	if got := h.Quantile(0.99); got != 0.8 {
+		t.Errorf("tail Quantile = %v, want highest finite bound 0.8", got)
+	}
+}
+
 func TestHistogramPanicsOnBadBounds(t *testing.T) {
 	for _, bounds := range [][]float64{nil, {}, {1, 0.5}} {
 		func() {

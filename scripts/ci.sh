@@ -165,6 +165,121 @@ step_loadgen_smoke() {
 	"$tmp/loadgen" -addr "http://$addr" -compare -rows 1024 -batchrows 128 -conc 32 -minratio 2
 }
 
+# Cluster smoke: boot three gossiping replicas (serve built with -race)
+# plus a single-node control, spray the seeded mixed workload across all
+# three replicas, and SIGKILL one mid-run. Three things must hold:
+#
+#   1. The load run ends with zero failed rows — survivors absorb the dead
+#      replica's keyspace (degraded local compute) and the client fails
+#      over, so the kill is invisible to the workload.
+#   2. A sweep stream cut off by the kill resumes on a survivor with
+#      Last-Row, and the spliced bytes equal the single-node golden.
+#   3. A journaled job running on the killed replica is adopted from the
+#      shared job directory by a survivor (lease expiry + claim sweep) and
+#      finishes without recomputing checkpointed rows: the journal's row
+#      record count matches an uninterrupted single-node run's.
+step_cluster_smoke() {
+	tmp="$(mktemp -d)"
+	go build -race -o "$tmp/serve" ./cmd/serve
+	go build -o "$tmp/loadgen" ./cmd/loadgen
+	a="127.0.0.1:18471"
+	b="127.0.0.1:18472"
+	c="127.0.0.1:18473"
+	solo="127.0.0.1:18474"
+	peers="http://$a,http://$b,http://$c"
+	for addr in "$a" "$b" "$c"; do
+		"$tmp/serve" -addr "$addr" -peers "$peers" -cluster-addr "http://$addr" \
+			-gossip-interval 100ms -jobdir "$tmp/jobs" -leasettl 2s \
+			-queue 4096 -loglevel warn &
+		eval "p_${addr##*:}=$!"
+	done
+	"$tmp/serve" -addr "$solo" -jobdir "$tmp/jobs-solo" -queue 4096 -loglevel warn &
+	p_solo=$!
+	pids="$p_18471 $p_18472 $p_18473 $p_solo"
+	trap 'kill $pids 2>/dev/null; wait $pids 2>/dev/null; rm -rf "$tmp"' EXIT
+	for addr in "$a" "$b" "$c" "$solo"; do
+		for _ in $(seq 1 100); do
+			if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+			sleep 0.1
+		done
+	done
+
+	# Golden: one uninterrupted sweep stream from the single-node control.
+	curl -sf "http://$solo/v1/sweep?steps=40&stream=1" >"$tmp/golden.ndjson"
+
+	# Cut stream: the first 10 frames from the replica about to die.
+	curl -sfN "http://$c/v1/sweep?steps=40&stream=1" | head -n 10 >"$tmp/head.ndjson"
+
+	# Journaled job on the doomed replica, plus the uninterrupted control
+	# run of the same job on the single node. Wait until the doomed job is
+	# checkpointing rows so the kill lands mid-job.
+	id="$(curl -sf -X POST "http://$c/v1/jobs" -d '{"op":"sweep","steps":20000}' |
+		grep -o '"id": *"[^"]*"' | head -n 1 | sed 's/.*"\([^"]*\)"$/\1/')"
+	if [ -z "$id" ]; then
+		echo "job submission to $c returned no id" >&2
+		return 1
+	fi
+	curl -sf -X POST "http://$solo/v1/jobs" -d '{"op":"sweep","steps":20000}' >/dev/null
+	for _ in $(seq 1 200); do
+		rows="$(cat "$tmp"/jobs/*.jsonl 2>/dev/null | grep -c '"t":"row"')" || rows=0
+		if [ "$rows" -ge 500 ]; then break; fi
+		sleep 0.05
+	done
+
+	# Open-loop spray across all three replicas; kill one a second in.
+	"$tmp/loadgen" -peers "$peers" -mix mixed -rps 60 -duration 4s -seed 7 \
+		-maxerr 0 >"$tmp/loadgen.out" &
+	lg=$!
+	sleep 1
+	kill -9 "$p_18473"
+	rc=0
+	wait "$lg" || rc=$?
+	cat "$tmp/loadgen.out"
+	if [ "$rc" -ne 0 ]; then
+		echo "loadgen failed ($rc): the replica kill was client-visible" >&2
+		return 1
+	fi
+
+	# Resume the cut stream on a survivor: Last-Row names the last frame
+	# the client holds; head + tail must equal the golden byte for byte.
+	curl -sf -H "Last-Row: 9" "http://$a/v1/sweep?steps=40&stream=1" >"$tmp/tail.ndjson"
+	cat "$tmp/head.ndjson" "$tmp/tail.ndjson" >"$tmp/spliced.ndjson"
+	if ! cmp "$tmp/golden.ndjson" "$tmp/spliced.ndjson"; then
+		echo "spliced failover stream differs from the single-node golden" >&2
+		return 1
+	fi
+
+	# The killed replica's job must finish on a survivor.
+	adopted=""
+	for _ in $(seq 1 300); do
+		for addr in "$a" "$b"; do
+			if curl -sf "http://$addr/v1/jobs/$id" 2>/dev/null | grep -q '"state": *"done"'; then
+				adopted="$addr"
+				break
+			fi
+		done
+		if [ -n "$adopted" ]; then break; fi
+		sleep 0.1
+	done
+	if [ -z "$adopted" ]; then
+		echo "job $id was not adopted and finished by a survivor within 30s" >&2
+		return 1
+	fi
+
+	# No recompute: wait out the control job, then compare row records.
+	for _ in $(seq 1 300); do
+		if curl -sf "http://$solo/v1/jobs" | grep -q '"state": *"done"'; then break; fi
+		sleep 0.1
+	done
+	killed_rows="$(cat "$tmp"/jobs/*.jsonl | grep -c '"t":"row"')"
+	clean_rows="$(cat "$tmp"/jobs-solo/*.jsonl | grep -c '"t":"row"')"
+	if [ "$killed_rows" -ne "$clean_rows" ]; then
+		echo "journal row records: cluster=$killed_rows single-node=$clean_rows (a checkpointed row was recomputed)" >&2
+		return 1
+	fi
+	echo "cluster smoke OK: kill invisible to the workload, byte-identical stream splice, job adopted by $adopted with $killed_rows row records (no recompute)"
+}
+
 step_fuzz_smoke() {
 	go test -run=NONE -fuzz 'FuzzMaxMinDense$' -fuzztime=200x ./internal/netsim
 }
@@ -185,10 +300,11 @@ run_step() {
 	bench-smoke) step_bench_smoke ;;
 	bench-guard) step_bench_guard ;;
 	loadgen-smoke) step_loadgen_smoke ;;
+	cluster-smoke) step_cluster_smoke ;;
 	fuzz-smoke) step_fuzz_smoke ;;
 	*)
 		echo "unknown step: $1" >&2
-		echo "steps: fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard loadgen-smoke fuzz-smoke all" >&2
+		echo "steps: fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard loadgen-smoke cluster-smoke fuzz-smoke all" >&2
 		return 2
 		;;
 	esac
@@ -199,7 +315,7 @@ if [ $# -eq 0 ]; then
 fi
 
 if [ "$1" = all ]; then
-	for s in fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard loadgen-smoke fuzz-smoke; do
+	for s in fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard loadgen-smoke cluster-smoke fuzz-smoke; do
 		# Steps that set EXIT traps get a subshell so temp dirs clean up
 		# per step rather than at script exit.
 		(run_step "$s")
