@@ -44,5 +44,12 @@ func (s *server) handleClusterGossip(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, fmt.Errorf("decode gossip digest: %w", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.cluster.HandleGossip(d))
+	reply, err := s.cluster.HandleGossip(d)
+	if err != nil {
+		// Injected one-way partition: the digest was "lost" before this
+		// node saw it, so the sender must observe a failed exchange.
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, reply)
 }

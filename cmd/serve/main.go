@@ -68,6 +68,7 @@ import (
 	"time"
 
 	"netpowerprop/internal/admit"
+	"netpowerprop/internal/chaos"
 	"netpowerprop/internal/cluster"
 	"netpowerprop/internal/engine"
 	"netpowerprop/internal/jobs"
@@ -94,6 +95,7 @@ func main() {
 	hedge := flag.Duration("hedge", 250*time.Millisecond, "delay before hedging a stalled cross-replica hop (negative disables)")
 	owner := flag.String("owner", "", "replica name for job-journal owner leases (defaults to -cluster-addr; empty outside cluster mode disables leases)")
 	leaseTTL := flag.Duration("leasettl", 10*time.Second, "job-journal owner lease time-to-live")
+	chaosSpec := flag.String("chaos", "", "failpoint plan, e.g. \"seed=7;site=jobs.journal.fsync kind=fsyncfail count=1\" (testing only)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -102,6 +104,18 @@ func main() {
 	}
 	logger := obs.New(os.Stderr, level)
 	reg := obs.NewRegistry()
+	// Chaos metrics are always registered so dashboards can assert the
+	// armed gauge is zero in production; the failpoints themselves stay
+	// disarmed (a single atomic load on every site) unless -chaos is set.
+	chaos.Instrument(reg)
+	if *chaosSpec != "" {
+		plan, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			log.Fatalf("serve: -chaos: %v", err)
+		}
+		chaos.Arm(plan)
+		logger.Warn("chaos failpoints ARMED — this process will inject faults", "plan", plan.String())
+	}
 
 	eng := engine.New(engine.Options{CacheSize: *cacheSize, CacheShards: *shards,
 		Workers: *workers, MaxQueue: *queue,
@@ -338,6 +352,16 @@ func (w *statusWriter) WriteHeader(status int) {
 func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
+	}
+	// Failpoint: response-write faults model a sick downstream socket —
+	// added latency (slow reader) or a hard write error (connection
+	// reset). Disarmed cost is one atomic load.
+	if f := chaos.Fire(chaos.SiteResponseWrite); f.Active() {
+		if f.Kind == chaos.KindLatency {
+			time.Sleep(f.Delay)
+		} else if f.Err != nil {
+			return 0, f.Err
+		}
 	}
 	n, err := w.ResponseWriter.Write(b)
 	w.bytes += n
@@ -779,6 +803,13 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 			return
 		}
+		if errors.Is(err, jobs.ErrJournalDegraded) ||
+			errors.Is(err, jobs.ErrJournalWrite) || errors.Is(err, jobs.ErrJournalSync) {
+			// The journal can no longer promise durability; this node
+			// refuses new jobs until restarted (compute endpoints stay up).
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+			return
+		}
 		s.writeError(w, err)
 		return
 	}
@@ -848,6 +879,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		h.Status, h.Reason = "degraded", "draining: shutdown in progress"
 	}
 	if s.jobs != nil {
+		// A failed journal write or fsync means durability can no longer
+		// be promised: the node refuses new jobs (503 from POST /v1/jobs)
+		// but keeps serving compute-only traffic, and says so here.
+		if jerr := s.jobs.JournalErr(); jerr != nil && h.Status == "ok" {
+			h.Status, h.Reason = "degraded", "job journal failed: "+jerr.Error()
+		}
 		d := s.jobs.Depth()
 		h.Jobs = &d
 	}

@@ -1,0 +1,36 @@
+package chaos
+
+import "testing"
+
+// The disarmed fast path must be allocation-free — exactly zero, not
+// "within tolerance": these evaluations sit on the serve hot path.
+func TestDisarmedFireAllocatesNothing(t *testing.T) {
+	Disarm()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if f := Fire(SiteResponseWrite); f.Active() {
+			t.Fatal("disarmed site injected")
+		}
+		if err := Error(SiteJournalFsync); err != nil {
+			t.Fatal("disarmed site errored")
+		}
+		if Drop(SiteGossipDeliver, "http://peer:1") {
+			t.Fatal("disarmed site dropped")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed evaluations allocate %g times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkChaosDisarmed guards the "disarmed failpoints add 0
+// allocs/op" claim: a site evaluation with no plan armed must be a
+// single atomic load, nothing more.
+func BenchmarkChaosDisarmed(b *testing.B) {
+	Disarm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if f := Fire(SiteResponseWrite); f.Active() {
+			b.Fatal("disarmed site injected")
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is one peer's circuit position.
+type BreakerState string
+
+const (
+	// BreakerClosed: traffic flows; consecutive failures are counted.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: the peer tripped; forwards are rejected without a
+	// network attempt until the cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: cooldown elapsed; exactly one probe request may
+	// pass. Success re-closes the circuit, failure re-opens it.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// Default breaker tuning: trip after 5 consecutive typed failures, probe
+// again after 2s.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 2 * time.Second
+)
+
+// BreakerOptions configures a Breaker.
+type BreakerOptions struct {
+	// Threshold is the consecutive-failure count that opens a peer's
+	// circuit (DefaultBreakerThreshold when <= 0).
+	Threshold int
+	// Cooldown is how long an open circuit rejects before allowing a
+	// half-open probe (DefaultBreakerCooldown when <= 0).
+	Cooldown time.Duration
+	// Now injects the clock so breaker timing is deterministic in tests;
+	// defaults to time.Now.
+	Now func() time.Time
+}
+
+// Breaker is a per-peer circuit breaker for the forward/hedge path.
+// A peer that fails Threshold consecutive times is cut off for
+// Cooldown; after that a single half-open probe decides whether the
+// circuit re-closes. All transitions are driven by the injected clock,
+// never a background goroutine, so behavior is reproducible.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu    sync.Mutex
+	peers map[string]*breakerEntry
+
+	opens    atomic.Uint64
+	rejects  atomic.Uint64
+	probes   atomic.Uint64
+	recloses atomic.Uint64
+}
+
+type breakerEntry struct {
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // half-open probe currently in flight
+	opens    uint64
+}
+
+// NewBreaker builds a Breaker with defaults filled in.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	if opts.Threshold <= 0 {
+		opts.Threshold = DefaultBreakerThreshold
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = DefaultBreakerCooldown
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Breaker{
+		threshold: opts.Threshold,
+		cooldown:  opts.Cooldown,
+		now:       opts.Now,
+		peers:     make(map[string]*breakerEntry),
+	}
+}
+
+func (b *Breaker) entry(peer string) *breakerEntry {
+	e := b.peers[peer]
+	if e == nil {
+		e = &breakerEntry{state: BreakerClosed}
+		b.peers[peer] = e
+	}
+	return e
+}
+
+// Allow reports whether a request to peer may proceed. While open it
+// returns false (counted as a reject) until the cooldown elapses, then
+// admits exactly one half-open probe at a time.
+func (b *Breaker) Allow(peer string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(peer)
+	switch e.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(e.openedAt) < b.cooldown {
+			b.rejects.Add(1)
+			return false
+		}
+		e.state = BreakerHalfOpen
+		e.probing = true
+		b.probes.Add(1)
+		return true
+	default: // half-open
+		if e.probing {
+			b.rejects.Add(1)
+			return false
+		}
+		e.probing = true
+		b.probes.Add(1)
+		return true
+	}
+}
+
+// Success records a completed request: the circuit re-closes (from any
+// state) and the failure streak resets.
+func (b *Breaker) Success(peer string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(peer)
+	if e.state != BreakerClosed {
+		b.recloses.Add(1)
+	}
+	e.state = BreakerClosed
+	e.fails = 0
+	e.probing = false
+}
+
+// Failure records a typed forward failure. A half-open probe failing
+// re-opens immediately; a closed circuit opens once the consecutive
+// streak reaches the threshold.
+func (b *Breaker) Failure(peer string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(peer)
+	switch e.state {
+	case BreakerHalfOpen:
+		e.probing = false
+		b.open(e)
+	case BreakerClosed:
+		e.fails++
+		if e.fails >= b.threshold {
+			b.open(e)
+		}
+	}
+}
+
+// open transitions an entry to open. Callers hold b.mu.
+func (b *Breaker) open(e *breakerEntry) {
+	e.state = BreakerOpen
+	e.openedAt = b.now()
+	e.fails = 0
+	e.opens++
+	b.opens.Add(1)
+}
+
+// State reports peer's current circuit position (closed when unknown).
+// Purely observational: it does not start a half-open probe.
+func (b *Breaker) State(peer string) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.peers[peer]
+	if e == nil {
+		return BreakerClosed
+	}
+	if e.state == BreakerOpen && b.now().Sub(e.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return e.state
+}
+
+// Opens, Rejects, Probes, Recloses are lifetime totals across peers.
+func (b *Breaker) Opens() uint64    { return b.opens.Load() }
+func (b *Breaker) Rejects() uint64  { return b.rejects.Load() }
+func (b *Breaker) Probes() uint64   { return b.probes.Load() }
+func (b *Breaker) Recloses() uint64 { return b.recloses.Load() }
+
+// OpenCount is how many peers are currently not closed.
+func (b *Breaker) OpenCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	nOpen := 0
+	for _, e := range b.peers {
+		if e.state != BreakerClosed {
+			nOpen++
+		}
+	}
+	return nOpen
+}
+
+// BreakerStatus is one peer's circuit in /v1/cluster.
+type BreakerStatus struct {
+	Peer  string       `json:"peer"`
+	State BreakerState `json:"state"`
+	Fails int          `json:"consecutive_failures"`
+	Opens uint64       `json:"opens"`
+}
+
+// Snapshot lists every tracked peer's circuit, sorted by address.
+func (b *Breaker) Snapshot() []BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BreakerStatus, 0, len(b.peers))
+	for peer, e := range b.peers {
+		out = append(out, BreakerStatus{Peer: peer, State: e.state, Fails: e.fails, Opens: e.opens})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}

@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netpowerprop/internal/engine"
+	"netpowerprop/internal/jobs"
+)
+
+// fakeNow is a hand-advanced clock for deterministic breaker timing.
+type fakeNow struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeNow() *fakeNow { return &fakeNow{t: time.Unix(1000, 0)} }
+
+func (f *fakeNow) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeNow) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := newFakeNow()
+	b := NewBreaker(BreakerOptions{Threshold: 3, Cooldown: time.Second, Now: clk.Now})
+	for i := 0; i < 2; i++ {
+		b.Failure("p")
+		if !b.Allow("p") {
+			t.Fatalf("closed circuit rejected after %d failures", i+1)
+		}
+	}
+	// A success resets the streak: two more failures must not open.
+	b.Success("p")
+	b.Failure("p")
+	b.Failure("p")
+	if got := b.State("p"); got != BreakerClosed {
+		t.Fatalf("state = %s after reset+2 failures, want closed", got)
+	}
+	b.Failure("p")
+	if got := b.State("p"); got != BreakerOpen {
+		t.Fatalf("state = %s after threshold, want open", got)
+	}
+	if b.Allow("p") {
+		t.Fatal("open circuit allowed a request inside cooldown")
+	}
+	if b.Opens() != 1 || b.Rejects() != 1 {
+		t.Fatalf("opens=%d rejects=%d, want 1 and 1", b.Opens(), b.Rejects())
+	}
+}
+
+func TestBreakerHalfOpenProbeDecides(t *testing.T) {
+	clk := newFakeNow()
+	b := NewBreaker(BreakerOptions{Threshold: 1, Cooldown: time.Second, Now: clk.Now})
+	b.Failure("p")
+	clk.Advance(time.Second)
+	if got := b.State("p"); got != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %s, want half-open", got)
+	}
+	// Exactly one probe is admitted at a time.
+	if !b.Allow("p") {
+		t.Fatal("half-open refused the probe")
+	}
+	if b.Allow("p") {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe failure re-opens for another full cooldown.
+	b.Failure("p")
+	if got := b.State("p"); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %s, want open", got)
+	}
+	clk.Advance(time.Second)
+	if !b.Allow("p") {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	b.Success("p")
+	if got := b.State("p"); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %s, want closed", got)
+	}
+	if b.Recloses() != 1 || b.Probes() != 2 || b.Opens() != 2 {
+		t.Fatalf("recloses=%d probes=%d opens=%d, want 1/2/2", b.Recloses(), b.Probes(), b.Opens())
+	}
+	if b.OpenCount() != 0 {
+		t.Fatalf("OpenCount = %d, want 0", b.OpenCount())
+	}
+}
+
+func TestBreakerPeersAreIndependent(t *testing.T) {
+	b := NewBreaker(BreakerOptions{Threshold: 1, Cooldown: time.Hour, Now: newFakeNow().Now})
+	b.Failure("sick")
+	if b.Allow("sick") {
+		t.Fatal("sick peer's circuit should be open")
+	}
+	if !b.Allow("healthy") {
+		t.Fatal("healthy peer's circuit tripped by the sick one")
+	}
+	snap := b.Snapshot()
+	if len(snap) != 2 || snap[0].Peer != "healthy" || snap[1].Peer != "sick" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[1].State != BreakerOpen || snap[1].Opens != 1 {
+		t.Fatalf("sick entry = %+v", snap[1])
+	}
+}
+
+func TestRetryBudgetSpendAndRefill(t *testing.T) {
+	b := NewRetryBudget(0.5, 2)
+	if !b.Spend("p") || !b.Spend("p") {
+		t.Fatal("fresh bucket (burst 2) refused a retry")
+	}
+	if b.Spend("p") {
+		t.Fatal("empty bucket granted a retry")
+	}
+	if b.Exhausted() != 1 {
+		t.Fatalf("exhausted = %d, want 1", b.Exhausted())
+	}
+	// Two deposits refill one retry token.
+	b.Deposit("p")
+	b.Deposit("p")
+	if !b.Spend("p") {
+		t.Fatal("refilled bucket refused a retry")
+	}
+	// Deposits cap at the burst.
+	for i := 0; i < 100; i++ {
+		b.Deposit("q")
+	}
+	if got := b.Tokens("q"); got != 2 {
+		t.Fatalf("tokens = %g, want capped at 2", got)
+	}
+}
+
+// statusServer is an httptest replica answering a fixed status until
+// flipped healthy.
+func failingServer(t *testing.T) (*httptest.Server, *atomic.Int64, *atomic.Bool) {
+	t.Helper()
+	var calls atomic.Int64
+	var healthy atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if !healthy.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"result": &engine.Result{Op: engine.OpWhatIf}})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls, &healthy
+}
+
+// The forward path's breaker: consecutive typed failures open the
+// owner's circuit, after which Dispatch degrades to local compute with
+// no network attempt at all, and a half-open probe after the cooldown
+// re-closes it once the peer recovers.
+func TestDispatchBreakerOpensSkipsThenRecloses(t *testing.T) {
+	ts, calls, healthy := failingServer(t)
+	clk := newFakeNow()
+	n := newTestNode(t, "http://self:1", []string{ts.URL}, func(o *Options) {
+		o.Retry = jobs.RetryPolicy{MaxAttempts: 1, Base: time.Millisecond, Max: time.Millisecond, Jitter: -1}
+		o.BreakerThreshold = 3
+		o.BreakerCooldown = time.Minute
+		o.Now = clk.Now
+	})
+	key := keyOwnedBy(t, n, ts.URL)
+	req := engine.Request{Op: engine.OpWhatIf}
+
+	for i := 0; i < 3; i++ {
+		if _, handled, err := n.Dispatch(context.Background(), key, req); handled || err != nil {
+			t.Fatalf("Dispatch %d = (%v, %v), want degrade-to-local", i, handled, err)
+		}
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("backend calls = %d, want 3", got)
+	}
+	st := n.Status()
+	if st.BreakerOpen != 1 {
+		t.Fatalf("breaker_open = %d, want 1 (owner tripped)", st.BreakerOpen)
+	}
+
+	// Circuit open: the next dispatch must not touch the network.
+	ctx, note := WithRouteNote(context.Background())
+	if _, handled, err := n.Dispatch(ctx, key, req); handled || err != nil {
+		t.Fatalf("Dispatch with open breaker = (%v, %v)", handled, err)
+	}
+	if note.Value() != RouteDegraded {
+		t.Fatalf("route = %q, want %q", note.Value(), RouteDegraded)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("open circuit still reached the backend (%d calls)", got)
+	}
+	if st := n.Status(); st.BreakerSkips != 1 {
+		t.Fatalf("breaker_skips = %d, want 1", st.BreakerSkips)
+	}
+
+	// Heal the peer, elapse the cooldown: the half-open probe re-closes.
+	healthy.Store(true)
+	clk.Advance(time.Minute)
+	res, handled, err := n.Dispatch(context.Background(), key, req)
+	if err != nil || !handled || res == nil {
+		t.Fatalf("probe Dispatch = (%v, %v, %v), want forwarded success", res, handled, err)
+	}
+	st = n.Status()
+	if st.BreakerOpen != 0 {
+		t.Fatalf("breaker_open = %d after successful probe, want 0", st.BreakerOpen)
+	}
+	if n.Breaker().Recloses() != 1 {
+		t.Fatalf("recloses = %d, want 1", n.Breaker().Recloses())
+	}
+}
+
+// Retry budget: a sick owner burns its per-peer tokens, after which
+// Dispatch stops retrying and degrades immediately — one attempt per
+// request, never a retry storm.
+func TestDispatchRetryBudgetExhaustionStopsRetries(t *testing.T) {
+	ts, calls, _ := failingServer(t)
+	n := newTestNode(t, "http://self:1", []string{ts.URL}, func(o *Options) {
+		o.RetryBudgetRatio = 0.001
+		o.RetryBudgetBurst = 2
+		o.BreakerThreshold = 1000 // keep the breaker out of this test
+	})
+	key := keyOwnedBy(t, n, ts.URL)
+	req := engine.Request{Op: engine.OpWhatIf}
+
+	// First dispatch: 1 initial + 2 budgeted retries.
+	if _, handled, err := n.Dispatch(context.Background(), key, req); handled || err != nil {
+		t.Fatalf("Dispatch = (%v, %v)", handled, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("backend calls = %d, want 3 (budget allowed 2 retries)", got)
+	}
+	// Second dispatch: budget empty — initial attempt only.
+	if _, handled, err := n.Dispatch(context.Background(), key, req); handled || err != nil {
+		t.Fatalf("Dispatch = (%v, %v)", handled, err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("backend calls = %d, want 4 (no retries left)", got)
+	}
+	st := n.Status()
+	if st.BudgetExhausted != 1 {
+		t.Fatalf("retry_budget_exhausted = %d, want 1", st.BudgetExhausted)
+	}
+	if st.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", st.Retries)
+	}
+}

@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netpowerprop/internal/chaos"
+	"netpowerprop/internal/engine"
+	"netpowerprop/internal/obs"
+)
+
+// armChaos parses and arms a failpoint spec for one test, disarming and
+// zeroing hit counters on cleanup.
+func armChaos(t *testing.T, spec string) {
+	t.Helper()
+	p, err := chaos.Parse(spec)
+	if err != nil {
+		t.Fatalf("chaos.Parse(%q): %v", spec, err)
+	}
+	chaos.Arm(p)
+	t.Cleanup(func() {
+		chaos.Disarm()
+		chaos.ResetCounts()
+	})
+}
+
+// Satellite regression: the losing side of a hedged forward must be
+// canceled promptly and can never double-charge admission or
+// double-count cluster counters. An injected slow-peer failpoint holds
+// the owner in its RTT sleep; the hedge wins, and because the shared
+// hop context is canceled on return, the owner's copy must die inside
+// the sleep — it may never reach the wire (where it would re-present
+// the already-charged X-Forwarded-Admit request).
+func TestHedgeLoserCanceledPromptlyNoDoubleCharge(t *testing.T) {
+	var ownerCalls, hedgeCalls, unadmitted atomic.Int64
+	slow := resultServer(t, func(*http.Request) { ownerCalls.Add(1) })
+	defer slow.Close()
+	fast := resultServer(t, func(r *http.Request) {
+		hedgeCalls.Add(1)
+		if r.Header.Get("X-Forwarded-Admit") != "1" {
+			unadmitted.Add(1)
+		}
+	})
+	defer fast.Close()
+
+	// Hold the owner in an injected 200ms round-trip delay — far past
+	// the 5ms hedge trigger, but well inside the hop budget, so only a
+	// prompt cancel (not the deadline) can stop its request going out.
+	armChaos(t, fmt.Sprintf(
+		"seed=7;site=cluster.forward.rtt kind=latency delay=200ms peer=%s",
+		normalizeAddr(slow.URL)))
+
+	n := newTestNode(t, "http://self:1", []string{slow.URL, fast.URL}, func(o *Options) {
+		o.HedgeDelay = 5 * time.Millisecond
+	})
+	key := keyOwnedBy(t, n, slow.URL)
+	if succ := n.Ring().Successor(key, normalizeAddr(slow.URL), "http://self:1"); succ != normalizeAddr(fast.URL) {
+		t.Fatalf("successor = %q, want %q", succ, fast.URL)
+	}
+
+	res, handled, err := n.Dispatch(context.Background(), key, engine.Request{Op: engine.OpWhatIf})
+	if err != nil || !handled || res == nil {
+		t.Fatalf("Dispatch = (%v, %v, %v), want hedged success", res, handled, err)
+	}
+	st := n.Status()
+	if st.Forwarded != 1 || st.Hedges != 1 || st.HedgeWins != 1 || st.ForwardErrors != 0 {
+		t.Fatalf("forwarded=%d hedges=%d hedge_wins=%d forward_errors=%d, want 1/1/1/0",
+			st.Forwarded, st.Hedges, st.HedgeWins, st.ForwardErrors)
+	}
+
+	// Outlive the injected delay: if the loser had NOT been canceled,
+	// its sleep would finish and the owner backend would see a second
+	// admission-exempt request.
+	time.Sleep(250 * time.Millisecond)
+	if got := ownerCalls.Load(); got != 0 {
+		t.Fatalf("owner backend saw %d requests after losing the hedge — loser not canceled", got)
+	}
+	if hedgeCalls.Load() != 1 || unadmitted.Load() != 0 {
+		t.Fatalf("hedge backend calls=%d unadmitted=%d, want exactly one pre-admitted request",
+			hedgeCalls.Load(), unadmitted.Load())
+	}
+	// Counters must not move after the fact: the loser's outcome lands
+	// unread, so it can neither double-count nor poison the breaker.
+	after := n.Status()
+	if after.Forwarded != 1 || after.Hedges != 1 || after.HedgeWins != 1 || after.ForwardErrors != 0 {
+		t.Fatalf("counters moved after settle: %+v", after)
+	}
+	for _, bs := range after.Breakers {
+		if bs.Fails != 0 || bs.State != BreakerClosed {
+			t.Fatalf("loser poisoned breaker for %s: %+v", bs.Peer, bs)
+		}
+	}
+}
+
+// oneWayMesh wires three gossipers with an in-memory exchange that
+// consults the cluster.gossip.deliver failpoint exactly the way a real
+// process does: at the receiving node, keyed by the traffic's origin.
+// Only the partition victim (b) consults the plan, mirroring per-process
+// chaos arming in the CI matrix.
+func oneWayMesh(addrs []string, seed int64, victim string) map[string]*Gossiper {
+	gs := make(map[string]*Gossiper)
+	exchange := func(_ context.Context, peer string, d Digest) (Digest, error) {
+		// Request delivery at the receiver.
+		if peer == victim && chaos.Drop(chaos.SiteGossipDeliver, d.From) {
+			return Digest{}, errors.New("request dropped (one-way partition)")
+		}
+		g := gs[peer]
+		g.MergeDigest(d)
+		g.ObserveSuccess(d.From)
+		reply := g.Digest()
+		// Reply delivery back at the initiator.
+		if d.From == victim && chaos.Drop(chaos.SiteGossipDeliver, peer) {
+			return Digest{}, errors.New("reply dropped (one-way partition)")
+		}
+		return reply, nil
+	}
+	for i, addr := range addrs {
+		var peers []string
+		for _, a := range addrs {
+			if a != addr {
+				peers = append(peers, a)
+			}
+		}
+		gs[addr] = NewGossiper(GossipOptions{
+			Self:        addr,
+			Peers:       peers,
+			Seed:        seed,
+			Incarnation: int64(100 * (i + 1)),
+			Exchange:    exchange,
+			Logger:      obs.Nop(),
+		})
+	}
+	return gs
+}
+
+// Satellite coverage: gossip under a one-way partition. Traffic from a
+// into b is dropped (requests and replies), so b convicts a of death by
+// direct failure even though a is alive. The false verdict must be
+// self-refuted by a's incarnation bump after the partition heals, and
+// both the conviction round and the post-heal reconvergence round count
+// must be pinned by the seed.
+func TestGossipOneWayPartitionSelfRefutesAfterHeal(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1"}
+	a, b := addrs[0], addrs[1]
+
+	run := func() (deathRound, healRound int) {
+		t.Helper()
+		gs := oneWayMesh(addrs, 21, b)
+		tick := func() {
+			var order []string
+			for addr := range gs {
+				order = append(order, addr)
+			}
+			sort.Strings(order)
+			for _, addr := range order {
+				gs[addr].Tick(context.Background())
+			}
+		}
+		allSee := func(want []string) bool {
+			sort.Strings(want)
+			for _, g := range gs {
+				if !reflect.DeepEqual(g.Alive(), want) {
+					return false
+				}
+			}
+			return true
+		}
+		for i := 0; i < 3; i++ {
+			tick()
+		}
+		if !allSee(addrs) {
+			t.Fatal("mesh did not converge before the partition")
+		}
+		inc0, _ := gs[a].State(a)
+
+		armChaos(t, "seed=21;site=cluster.gossip.deliver kind=partition peer="+a)
+		for round := 1; ; round++ {
+			if round > 12 {
+				t.Fatalf("b never convicted a within 12 rounds: %v", gs[b].Alive())
+			}
+			tick()
+			if st, ok := gs[b].State(a); ok && st.State == HealthDead {
+				deathRound = round
+				break
+			}
+		}
+
+		chaos.Disarm()
+		chaos.ResetCounts()
+		for round := 1; ; round++ {
+			if round > 12 {
+				t.Fatalf("mesh never reconverged within 12 rounds of healing: a=%v b=%v c=%v",
+					gs[a].Alive(), gs[b].Alive(), gs[addrs[2]].Alive())
+			}
+			tick()
+			if allSee(addrs) {
+				healRound = round
+				break
+			}
+		}
+		// Recovery must be a self-refutation — a's incarnation advanced
+		// past the slandered one everywhere — not mere forgetting.
+		got, _ := gs[b].State(a)
+		if got.Incarnation <= inc0.Incarnation {
+			t.Fatalf("a's incarnation at b = %d, want > %d (self-refutation)",
+				got.Incarnation, inc0.Incarnation)
+		}
+		return deathRound, healRound
+	}
+
+	d1, h1 := run()
+	d2, h2 := run()
+	if d1 != d2 || h1 != h2 {
+		t.Fatalf("convergence not seed-pinned: run1 death=%d heal=%d, run2 death=%d heal=%d",
+			d1, h1, d2, h2)
+	}
+	// Pin the schedule: a drift here means the seeded gossip/chaos
+	// schedule changed and every chaos-matrix expectation moved with it.
+	if d1 != 2 || h1 != 2 {
+		t.Fatalf("seed-21 schedule moved: death round %d (want 2), heal round %d (want 2)", d1, h1)
+	}
+}

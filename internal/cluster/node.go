@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netpowerprop/internal/chaos"
 	"netpowerprop/internal/engine"
 	"netpowerprop/internal/jobs"
 	"netpowerprop/internal/obs"
@@ -75,9 +77,23 @@ type Options struct {
 	QueueDepth func() int64
 	// Uptime reports this replica's uptime seconds. Nil gossips zero.
 	Uptime func() float64
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's forward circuit (DefaultBreakerThreshold when <= 0).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects before a
+	// half-open probe (DefaultBreakerCooldown when <= 0).
+	BreakerCooldown time.Duration
+	// RetryBudgetRatio/RetryBudgetBurst tune the per-peer retry budget
+	// (see RetryBudget; defaults when <= 0).
+	RetryBudgetRatio float64
+	RetryBudgetBurst float64
+	// Now injects the breaker clock for deterministic tests; defaults to
+	// time.Now.
+	Now func() time.Time
 	// Logger receives cluster events. Nil discards.
 	Logger *obs.Logger
-	// Registry receives netpowerprop_cluster_* metrics. Nil skips.
+	// Registry receives netpowerprop_cluster_* and netpowerprop_breaker_*
+	// metrics. Nil skips.
 	Registry *obs.Registry
 }
 
@@ -99,6 +115,9 @@ type Node struct {
 	// wait out real delays.
 	sleep func(ctx context.Context, d time.Duration) error
 
+	breaker *Breaker
+	budget  *RetryBudget
+
 	ring atomic.Pointer[ringCache]
 
 	forwarded     atomic.Uint64
@@ -107,6 +126,10 @@ type Node struct {
 	hedgeWins     atomic.Uint64
 	degraded      atomic.Uint64
 	retries       atomic.Uint64
+	// breakerSkips counts dispatches sent straight to local compute
+	// because the owner's circuit was open; budget exhaustions live on
+	// n.budget.
+	breakerSkips atomic.Uint64
 }
 
 // ringCache pins a built ring to the gossip membership version it was
@@ -154,6 +177,12 @@ func New(opts Options) *Node {
 		log:        opts.Logger.With("peer", self),
 		queueDepth: opts.QueueDepth,
 		uptime:     opts.Uptime,
+		breaker: NewBreaker(BreakerOptions{
+			Threshold: opts.BreakerThreshold,
+			Cooldown:  opts.BreakerCooldown,
+			Now:       opts.Now,
+		}),
+		budget: NewRetryBudget(opts.RetryBudgetRatio, opts.RetryBudgetBurst),
 	}
 	n.sleep = func(ctx context.Context, d time.Duration) error {
 		t := time.NewTimer(d)
@@ -212,6 +241,27 @@ func (n *Node) instrument(reg *obs.Registry) {
 	reg.GaugeFunc("netpowerprop_cluster_peers_alive",
 		"Replicas currently alive in this replica's view (self included).",
 		func() float64 { return float64(len(n.gossip.Alive())) })
+	counter("netpowerprop_cluster_breaker_skips_total",
+		"Dispatches degraded to local compute because the owner's circuit was open.",
+		&n.breakerSkips)
+	reg.CounterFunc("netpowerprop_cluster_retry_budget_exhausted_total",
+		"Cross-replica retries refused by an empty per-peer retry budget.",
+		func() float64 { return float64(n.budget.Exhausted()) })
+	reg.CounterFunc("netpowerprop_breaker_opens_total",
+		"Circuit-breaker transitions to open (per-peer trips summed).",
+		func() float64 { return float64(n.breaker.Opens()) })
+	reg.CounterFunc("netpowerprop_breaker_rejects_total",
+		"Forward attempts rejected without a network call by an open circuit.",
+		func() float64 { return float64(n.breaker.Rejects()) })
+	reg.CounterFunc("netpowerprop_breaker_probes_total",
+		"Half-open probe requests admitted.",
+		func() float64 { return float64(n.breaker.Probes()) })
+	reg.CounterFunc("netpowerprop_breaker_recloses_total",
+		"Circuits re-closed after a successful probe.",
+		func() float64 { return float64(n.breaker.Recloses()) })
+	reg.GaugeFunc("netpowerprop_breaker_open",
+		"Peers whose forward circuit is currently open or half-open.",
+		func() float64 { return float64(n.breaker.OpenCount()) })
 }
 
 // normalizeAddr canonicalizes a peer address: scheme added when absent,
@@ -279,16 +329,26 @@ func (n *Node) tick(ctx context.Context) {
 // it, and every ring drops this replica for new keys.
 func (n *Node) SetDraining() { n.gossip.SetDraining() }
 
+// ErrGossipDropped marks an inbound digest lost to an injected
+// one-way partition: the HTTP layer answers 503 so the sender sees a
+// failed exchange, exactly like a lost packet.
+var ErrGossipDropped = errors.New("cluster: inbound gossip digest dropped (injected fault)")
+
 // HandleGossip is the receive side of an anti-entropy exchange: merge
 // the caller's digest, reply with ours. Wired to POST /v1/cluster/gossip.
-func (n *Node) HandleGossip(d Digest) Digest {
+func (n *Node) HandleGossip(d Digest) (Digest, error) {
+	if d.From != "" && chaos.Drop(chaos.SiteGossipDeliver, d.From) {
+		// Failpoint: traffic FROM d.From into this node is partitioned
+		// away — neither merged nor answered.
+		return Digest{}, ErrGossipDropped
+	}
 	n.gossip.MergeDigest(d)
 	if d.From != "" {
 		// An inbound digest is direct evidence the sender's process is up,
 		// whatever our failure counter thought.
 		n.gossip.ObserveSuccess(d.From)
 	}
-	return n.gossip.Digest()
+	return n.gossip.Digest(), nil
 }
 
 // httpExchange is the production gossip transport: POST the digest to
@@ -391,11 +451,13 @@ func (n *Node) hopBudget(ctx context.Context) time.Duration {
 //  1. owner is self (or ring empty) → (nil, false, nil): compute locally.
 //  2. owner is remote → forward, retrying with backoff; between attempts
 //     the ring is re-read, so a death verdict re-routes mid-request.
-//  3. every attempt failed but the request still has time →
+//  3. owner's circuit breaker is open, or the per-peer retry budget is
+//     exhausted → immediate degrade-to-local, no network attempt.
+//  4. every attempt failed but the request still has time →
 //     (nil, false, nil) counted as degraded: compute locally rather than
 //     fail — every replica computes identical bytes; the ring only
 //     concentrates cache ownership.
-//  4. request deadline exhausted → (nil, true, ctx.Err()).
+//  5. request deadline exhausted → (nil, true, ctx.Err()).
 func (n *Node) Dispatch(ctx context.Context, key string, req engine.Request) (*engine.Result, bool, error) {
 	ring := n.Ring()
 	owner := ring.Owner(key)
@@ -407,8 +469,16 @@ func (n *Node) Dispatch(ctx context.Context, key string, req engine.Request) (*e
 	if policy.MaxAttempts <= 0 {
 		policy.MaxAttempts = 3
 	}
+	n.budget.Deposit(owner)
+attempts:
 	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			// Retries draw on the owner's budget: when a sick peer has
+			// burned it, degrade immediately instead of piling on.
+			if !n.budget.Spend(owner) {
+				n.log.Warn("retry budget exhausted, degrading", "owner", owner)
+				break attempts
+			}
 			n.retries.Add(1)
 			if err := n.sleep(ctx, policy.Delay(key, 0, attempt)); err != nil {
 				return nil, true, err
@@ -421,6 +491,13 @@ func (n *Node) Dispatch(ctx context.Context, key string, req engine.Request) (*e
 				noteRoute(ctx, RouteLocal)
 				return nil, false, nil
 			}
+		}
+		if !n.breaker.Allow(owner) {
+			// Circuit open: the owner has failed consecutively and its
+			// cooldown has not elapsed. No network attempt at all.
+			n.breakerSkips.Add(1)
+			n.log.Debug("breaker open, degrading", "owner", owner)
+			break attempts
 		}
 		res, err := n.forwardHedged(ctx, ring, owner, key, req)
 		if err == nil {
@@ -449,7 +526,10 @@ type forwardOutcome struct {
 
 // forwardHedged sends the request to the owner and, if the owner stalls
 // past the hedge delay, races a second copy to the ring successor. First
-// success wins; both failing returns the first error.
+// success wins — the deferred cancel tears down the losing copy's
+// request immediately — and both failing returns the first error. The
+// losing outcome lands in the buffered channel unread, so a loser can
+// never double-count success/failure observers or hedge counters.
 func (n *Node) forwardHedged(ctx context.Context, ring *Ring, owner, key string, req engine.Request) (*engine.Result, error) {
 	hopCtx, cancel := context.WithTimeout(ctx, n.hopBudget(ctx))
 	defer cancel()
@@ -458,6 +538,7 @@ func (n *Node) forwardHedged(ctx context.Context, ring *Ring, owner, key string,
 		res, err := n.forward(hopCtx, addr, req)
 		ch <- forwardOutcome{res: res, err: err, addr: addr}
 	}
+	inflight := map[string]bool{owner: true}
 	go send(owner)
 	outstanding := 1
 	var hedgeC <-chan time.Time
@@ -474,14 +555,22 @@ func (n *Node) forwardHedged(ctx context.Context, ring *Ring, owner, key string,
 	for {
 		select {
 		case out := <-ch:
+			delete(inflight, out.addr)
 			if out.err == nil {
 				n.gossip.ObserveSuccess(out.addr)
+				n.breaker.Success(out.addr)
 				if out.addr != owner {
 					n.hedgeWins.Add(1)
 				}
 				return out.res, nil
 			}
-			n.gossip.ObserveFailure(out.addr)
+			if ctx.Err() == nil {
+				// Only peer-attributable failures feed the health verdicts:
+				// a parent-context cancellation (client gone) says nothing
+				// about the peer.
+				n.gossip.ObserveFailure(out.addr)
+				n.breaker.Failure(out.addr)
+			}
 			if firstErr == nil {
 				firstErr = out.err
 			}
@@ -490,10 +579,27 @@ func (n *Node) forwardHedged(ctx context.Context, ring *Ring, owner, key string,
 			}
 		case <-hedgeC:
 			hedgeC = nil
+			if !n.breaker.Allow(hedgeTarget) {
+				// The successor's circuit is open too; don't burn a hedge
+				// on a peer already judged sick.
+				continue
+			}
 			n.hedges.Add(1)
 			outstanding++
+			inflight[hedgeTarget] = true
 			go send(hedgeTarget)
 		case <-hopCtx.Done():
+			if ctx.Err() == nil {
+				// The hop budget expired with requests still in flight:
+				// that is a slowness verdict on every peer that never
+				// answered, and must feed the breaker/gossip exactly like a
+				// returned error (a black-holed peer produces no outcome to
+				// read, so this is the only place it can be charged).
+				for addr := range inflight {
+					n.gossip.ObserveFailure(addr)
+					n.breaker.Failure(addr)
+				}
+			}
 			if firstErr == nil {
 				firstErr = hopCtx.Err()
 			}
@@ -507,6 +613,19 @@ func (n *Node) forwardHedged(ctx context.Context, ring *Ring, owner, key string,
 // the ingress replica and that it must answer locally (no re-forward);
 // X-Trace-Id carries the hop's provenance.
 func (n *Node) forward(ctx context.Context, addr string, req engine.Request) (*engine.Result, error) {
+	// Failpoints: injected round-trip latency, then send faults — an
+	// error returns immediately, a drop black-holes the request until
+	// the hop deadline (the worst kind of sick peer).
+	if err := chaos.SleepPeer(ctx, chaos.SiteForwardRTT, addr); err != nil {
+		return nil, err
+	}
+	if f := chaos.FirePeer(chaos.SiteForwardSend, addr); f.Active() {
+		if f.Kind == chaos.KindDrop || f.Kind == chaos.KindPartition {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return nil, f.Err
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -558,21 +677,44 @@ type Status struct {
 	Retries       uint64      `json:"retries"`
 	GossipRounds  uint64      `json:"gossip_rounds"`
 	PeerDeaths    uint64      `json:"peer_deaths"`
+	// Breakers is every tracked peer's forward circuit; BreakerOpen is
+	// how many are currently not closed (the chaos-matrix "all re-closed"
+	// gate reads it).
+	Breakers        []BreakerStatus `json:"breakers,omitempty"`
+	BreakerOpen     int             `json:"breaker_open"`
+	BreakerSkips    uint64          `json:"breaker_skips"`
+	RetryBudgets    []BudgetStatus  `json:"retry_budgets,omitempty"`
+	BudgetExhausted uint64          `json:"retry_budget_exhausted"`
+	// ChaosInjected sums faults injected in this process across all
+	// chaos sites (zero when disarmed).
+	ChaosInjected uint64 `json:"chaos_injected"`
 }
 
 // Status snapshots the replica's cluster view.
 func (n *Node) Status() Status {
 	return Status{
-		Self:          n.self,
-		RingMembers:   n.Ring().Members(),
-		Peers:         n.gossip.Snapshot(),
-		Forwarded:     n.forwarded.Load(),
-		ForwardErrors: n.forwardErrors.Load(),
-		Hedges:        n.hedges.Load(),
-		HedgeWins:     n.hedgeWins.Load(),
-		Degraded:      n.degraded.Load(),
-		Retries:       n.retries.Load(),
-		GossipRounds:  n.gossip.Rounds(),
-		PeerDeaths:    n.gossip.Deaths(),
+		Self:            n.self,
+		RingMembers:     n.Ring().Members(),
+		Peers:           n.gossip.Snapshot(),
+		Forwarded:       n.forwarded.Load(),
+		ForwardErrors:   n.forwardErrors.Load(),
+		Hedges:          n.hedges.Load(),
+		HedgeWins:       n.hedgeWins.Load(),
+		Degraded:        n.degraded.Load(),
+		Retries:         n.retries.Load(),
+		GossipRounds:    n.gossip.Rounds(),
+		PeerDeaths:      n.gossip.Deaths(),
+		Breakers:        n.breaker.Snapshot(),
+		BreakerOpen:     n.breaker.OpenCount(),
+		BreakerSkips:    n.breakerSkips.Load(),
+		RetryBudgets:    n.budget.Snapshot(),
+		BudgetExhausted: n.budget.Exhausted(),
+		ChaosInjected:   chaos.Injections(),
 	}
 }
+
+// Breaker exposes the forward-path circuit breakers (status, tests).
+func (n *Node) Breaker() *Breaker { return n.breaker }
+
+// RetryBudget exposes the per-peer retry budget (status, tests).
+func (n *Node) RetryBudget() *RetryBudget { return n.budget }

@@ -66,9 +66,12 @@ func TestLoadShedding(t *testing.T) {
 	release := make(chan struct{})
 	launched := make(chan struct{}, 8)
 	// Occupy the worker and the one queue slot with distinct slow requests.
+	// The sleeps must be long enough that both stay pending while the poll
+	// loop below looks — on a single-core runner a millisecond window can
+	// fall entirely between two samples.
 	done := make(chan error, 2)
 	for i := 0; i < 2; i++ {
-		sleep := 0.001 * float64(i+1) // distinct keys, so no singleflight collapse
+		sleep := 0.2 * float64(i+1) // distinct keys, so no singleflight collapse
 		go func() {
 			launched <- struct{}{}
 			<-release

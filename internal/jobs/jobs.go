@@ -162,6 +162,13 @@ type Manager struct {
 	rowRetries  atomic.Uint64
 	rowFailures atomic.Uint64
 	adopted     atomic.Uint64
+
+	// journalErr latches the first journal append failure. Once set the
+	// manager is journal-degraded: Submit refuses new durable work (the
+	// node cannot keep its durability promises) while in-flight state
+	// stays queryable and compute-only traffic is unaffected.
+	journalErr  atomic.Pointer[error]
+	journalErrs atomic.Uint64
 }
 
 // job is one durable unit of work.
@@ -302,6 +309,16 @@ func (m *Manager) instrument(reg *obs.Registry) {
 		"Rows that exhausted their retries.", &m.rowFailures)
 	counter("netpowerprop_jobs_adopted_total",
 		"Journals adopted from other replicas via the lease protocol.", &m.adopted)
+	counter("netpowerprop_jobs_journal_errors_total",
+		"Journal append/fsync failures observed.", &m.journalErrs)
+	reg.GaugeFunc("netpowerprop_jobs_journal_degraded",
+		"1 once a journal append has failed and new jobs are refused.",
+		func() float64 {
+			if m.JournalErr() != nil {
+				return 1
+			}
+			return 0
+		})
 	depth := func(state string, count func(Depth) int) {
 		reg.GaugeFunc("netpowerprop_jobs_depth",
 			"Jobs currently in each lifecycle state.",
@@ -314,6 +331,30 @@ func (m *Manager) instrument(reg *obs.Registry) {
 	depth("done", func(d Depth) int { return d.Done })
 	depth("degraded", func(d Depth) int { return d.Degraded })
 	depth("canceled", func(d Depth) int { return d.Canceled })
+}
+
+// noteJournalErr latches a typed journal append failure, flipping the
+// manager into journal-degraded mode. Non-journal errors are ignored.
+func (m *Manager) noteJournalErr(where string, err error) {
+	if err == nil || (!errors.Is(err, ErrJournalWrite) && !errors.Is(err, ErrJournalSync)) {
+		return
+	}
+	m.journalErrs.Add(1)
+	e := err
+	if m.journalErr.CompareAndSwap(nil, &e) {
+		m.log.Error("journal degraded, refusing new jobs", "where", where, "cause", err)
+	}
+}
+
+// JournalErr returns the first journal append failure observed, or nil
+// while the write-ahead log is healthy. A non-nil value means the node
+// is degraded for durable work: /healthz reports it and Submit returns
+// ErrJournalDegraded.
+func (m *Manager) JournalErr() error {
+	if p := m.journalErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // recover replays every journal in the directory.
@@ -470,6 +511,9 @@ func (m *Manager) Submit(ctx context.Context, req engine.Request) (*Snapshot, bo
 		trace = obs.NewTraceID()
 	}
 	id := jobID(plan.Key())
+	if jerr := m.JournalErr(); jerr != nil {
+		return nil, false, fmt.Errorf("%w: %w", ErrJournalDegraded, jerr)
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -539,6 +583,7 @@ func (m *Manager) Submit(ctx context.Context, req engine.Request) (*Snapshot, bo
 	}); err != nil {
 		jl.close()
 		m.mu.Unlock()
+		m.noteJournalErr("submit", err)
 		return nil, false, err
 	}
 	m.jobs[id] = j
@@ -673,6 +718,7 @@ func (m *Manager) runJob(j *job) {
 		m.rowsDone.Add(1)
 		if err := jl.append(rec); err != nil {
 			m.logf("jobs: journal %s row %d: %v", j.id, i, err)
+			m.noteJournalErr("row checkpoint", err)
 			m.markInterrupted(j)
 			return
 		}
@@ -780,6 +826,7 @@ func (m *Manager) finishJob(j *job) {
 	j.mu.Unlock()
 	if err := jl.append(record{T: recDone, Status: string(state), At: m.clock.Now().UnixNano()}); err != nil {
 		m.logf("jobs: journal %s terminal: %v", j.id, err)
+		m.noteJournalErr("terminal record", err)
 	}
 	jl.close()
 	m.releaseLease(j.path)
@@ -814,6 +861,7 @@ func (m *Manager) finishCanceled(j *job) {
 	if jl != nil {
 		if err := jl.append(record{T: recDone, Status: string(StateCanceled), At: m.clock.Now().UnixNano()}); err != nil {
 			m.logf("jobs: journal %s cancel: %v", j.id, err)
+			m.noteJournalErr("cancel record", err)
 		}
 		jl.close()
 	}
@@ -1089,6 +1137,8 @@ type Metrics struct {
 	// Adopted counts journals claimed from other replicas by ClaimStale
 	// or an adopting Submit.
 	Adopted uint64
+	// JournalErrors counts journal append/fsync failures observed.
+	JournalErrors uint64
 	// Depth is the current per-state job census.
 	Depth Depth
 }
@@ -1096,17 +1146,18 @@ type Metrics struct {
 // Metrics snapshots the counters.
 func (m *Manager) Metrics() Metrics {
 	return Metrics{
-		Submitted:   m.submitted.Load(),
-		Completed:   m.completed.Load(),
-		Degraded:    m.degradedN.Load(),
-		Canceled:    m.canceledN.Load(),
-		Recovered:   m.recovered.Load(),
-		Resumed:     m.resumed.Load(),
-		RowsDone:    m.rowsDone.Load(),
-		RowRetries:  m.rowRetries.Load(),
-		RowFailures: m.rowFailures.Load(),
-		Adopted:     m.adopted.Load(),
-		Depth:       m.Depth(),
+		Submitted:     m.submitted.Load(),
+		Completed:     m.completed.Load(),
+		Degraded:      m.degradedN.Load(),
+		Canceled:      m.canceledN.Load(),
+		Recovered:     m.recovered.Load(),
+		Resumed:       m.resumed.Load(),
+		RowsDone:      m.rowsDone.Load(),
+		RowRetries:    m.rowRetries.Load(),
+		RowFailures:   m.rowFailures.Load(),
+		Adopted:       m.adopted.Load(),
+		JournalErrors: m.journalErrs.Load(),
+		Depth:         m.Depth(),
 	}
 }
 

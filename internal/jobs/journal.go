@@ -4,12 +4,33 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sync"
 
+	"netpowerprop/internal/chaos"
 	"netpowerprop/internal/engine"
+)
+
+// Typed journal-failure surfaces. A journal append that fails leaves
+// the node unable to make durability promises: callers match these
+// with errors.Is to distinguish a broken write-ahead log from an
+// engine or request failure.
+var (
+	// ErrJournalWrite marks a failed (or short) journal record write:
+	// the record may be partially on disk as a torn tail.
+	ErrJournalWrite = errors.New("jobs: journal write failed")
+	// ErrJournalSync marks a failed fsync after a record write: the
+	// bytes were handed to the kernel but durability is unknown. Per
+	// fsync semantics a failed sync poisons the file's dirty state, so
+	// the journal must be treated as broken from here on.
+	ErrJournalSync = errors.New("jobs: journal fsync failed")
+	// ErrJournalDegraded is returned by Submit once any journal append
+	// has failed: the manager stops accepting new durable work while
+	// compute-only traffic continues.
+	ErrJournalDegraded = errors.New("jobs: journal degraded, not accepting new jobs")
 )
 
 // The journal is a per-job JSONL write-ahead log. One file per job,
@@ -89,11 +110,22 @@ func (j *journal) append(rec record) error {
 	if j.f == nil {
 		return fmt.Errorf("jobs: journal %s is closed", j.path)
 	}
+	if n, ferr := chaos.FileWrite(chaos.SiteJournalWrite, len(b)); ferr != nil {
+		if n > 0 {
+			// Injected short write: the prefix really reaches the file,
+			// leaving the torn tail recovery must truncate.
+			j.f.Write(b[:n])
+		}
+		return fmt.Errorf("%w: %s: %w", ErrJournalWrite, j.path, ferr)
+	}
 	if _, err := j.f.Write(b); err != nil {
-		return fmt.Errorf("jobs: append journal: %w", err)
+		return fmt.Errorf("%w: %s: %w", ErrJournalWrite, j.path, err)
+	}
+	if ferr := chaos.Error(chaos.SiteJournalFsync); ferr != nil {
+		return fmt.Errorf("%w: %s: %w", ErrJournalSync, j.path, ferr)
 	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("jobs: sync journal: %w", err)
+		return fmt.Errorf("%w: %s: %w", ErrJournalSync, j.path, err)
 	}
 	return nil
 }

@@ -1,0 +1,138 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"netpowerprop/internal/chaos"
+	"netpowerprop/internal/engine"
+)
+
+func armChaos(t *testing.T, spec string) {
+	t.Helper()
+	p, err := chaos.Parse(spec)
+	if err != nil {
+		t.Fatalf("chaos.Parse(%q): %v", spec, err)
+	}
+	chaos.Arm(p)
+	t.Cleanup(func() {
+		chaos.Disarm()
+		chaos.ResetCounts()
+	})
+}
+
+// An injected fsync failure on a row checkpoint must surface as the
+// typed ErrJournalSync, interrupt the job, flip the manager into
+// journal-degraded mode (new Submits refused with ErrJournalDegraded),
+// and still recover on restart: the resumed run is byte-identical to an
+// uninterrupted one with no checkpointed row recomputed.
+func TestJournalFsyncFaultDegradesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	req := sweepReq(6)
+
+	refEng := engine.New(engine.Options{})
+	ref, _, err := refEng.Do(context.Background(), req)
+	if err != nil {
+		t.Fatalf("reference Do: %v", err)
+	}
+
+	// Fsync hit 0 is the submit record; rows are hits 1..7. Fail hit 4
+	// (row 3's checkpoint), once.
+	armChaos(t, "seed=1;site=jobs.journal.fsync kind=fsyncfail count=1 after=4")
+	m1, _ := newManager(t, dir, Options{})
+	snap, _, err := m1.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, m1, snap.ID, StateInterrupted)
+
+	jerr := m1.JournalErr()
+	if !errors.Is(jerr, ErrJournalSync) {
+		t.Fatalf("JournalErr = %v, want ErrJournalSync", jerr)
+	}
+	if !errors.Is(jerr, chaos.ErrInjected) {
+		t.Fatalf("JournalErr = %v, want chaos.ErrInjected in chain", jerr)
+	}
+	if _, _, err := m1.Submit(context.Background(), sweepReq(3)); !errors.Is(err, ErrJournalDegraded) {
+		t.Fatalf("Submit while degraded = %v, want ErrJournalDegraded", err)
+	}
+	if got := m1.Metrics().JournalErrors; got != 1 {
+		t.Fatalf("JournalErrors = %d, want 1", got)
+	}
+
+	// Restart without chaos: the journal replays and the job finishes
+	// byte-identically, skipping every checkpointed row.
+	chaos.Disarm()
+	m2, _ := newManager(t, dir, Options{})
+	if m2.JournalErr() != nil {
+		t.Fatalf("fresh manager inherited journal degradation: %v", m2.JournalErr())
+	}
+	if n := m2.ResumeAll(); n != 1 {
+		t.Fatalf("ResumeAll = %d, want 1", n)
+	}
+	final, err := m2.Wait(context.Background(), snap.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("state = %s, want done", final.State)
+	}
+	if got, want := resultJSON(t, final.Result), resultJSON(t, ref); got != want {
+		t.Errorf("recovered result differs:\n got: %s\nwant: %s", got, want)
+	}
+	if records, distinct := journalRowRecords(t, dir, snap.ID); records != 7 || distinct != 7 {
+		t.Errorf("journal has %d row records over %d rows, want 7 over 7", records, distinct)
+	}
+}
+
+// An injected short write leaves a torn tail; recovery truncates it and
+// recomputes only the torn row, so the journal still ends with exactly
+// one record per row.
+func TestJournalShortWriteLeavesTornTailAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	req := sweepReq(6)
+
+	// Write hit 0 is the submit record; tear row 2's checkpoint (hit 3).
+	armChaos(t, "seed=1;site=jobs.journal.write kind=shortwrite count=1 after=3")
+	m1, _ := newManager(t, dir, Options{})
+	snap, _, err := m1.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, m1, snap.ID, StateInterrupted)
+	if jerr := m1.JournalErr(); !errors.Is(jerr, ErrJournalWrite) {
+		t.Fatalf("JournalErr = %v, want ErrJournalWrite", jerr)
+	}
+
+	chaos.Disarm()
+	m2, _ := newManager(t, dir, Options{})
+	if n := m2.ResumeAll(); n != 1 {
+		t.Fatalf("ResumeAll = %d, want 1", n)
+	}
+	final, err := m2.Wait(context.Background(), snap.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("state = %s, want done", final.State)
+	}
+	if records, distinct := journalRowRecords(t, dir, snap.ID); records != 7 || distinct != 7 {
+		t.Errorf("journal has %d row records over %d rows, want 7 over 7", records, distinct)
+	}
+}
+
+// An injected ENOSPC on the submit record itself must refuse the job
+// with the typed write error and degrade the manager.
+func TestJournalENOSPCOnSubmitRefusesJob(t *testing.T) {
+	dir := t.TempDir()
+	armChaos(t, "seed=1;site=jobs.journal.write kind=enospc count=1")
+	m, _ := newManager(t, dir, Options{})
+	_, _, err := m.Submit(context.Background(), sweepReq(4))
+	if !errors.Is(err, ErrJournalWrite) {
+		t.Fatalf("Submit = %v, want ErrJournalWrite", err)
+	}
+	if _, _, err := m.Submit(context.Background(), sweepReq(5)); !errors.Is(err, ErrJournalDegraded) {
+		t.Fatalf("second Submit = %v, want ErrJournalDegraded", err)
+	}
+}

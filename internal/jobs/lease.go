@@ -27,6 +27,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"netpowerprop/internal/chaos"
 )
 
 // leaseFile is the on-disk lease record.
@@ -88,6 +90,9 @@ func (m *Manager) writeLease(journalPath string, released bool) error {
 	b, err := json.Marshal(lf)
 	if err != nil {
 		return err
+	}
+	if ferr := chaos.ErrorPeer(chaos.SiteLeaseWrite, m.owner); ferr != nil {
+		return ferr
 	}
 	path := leasePath(journalPath)
 	tmp := fmt.Sprintf("%s.%d.tmp", path, os.Getpid())

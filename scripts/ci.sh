@@ -139,6 +139,9 @@ step_bench_guard() {
 	go test -run=NONE -benchmem -benchtime=100x \
 		-bench 'BenchmarkServeBatch$|BenchmarkServeStream$' \
 		./cmd/serve >>"$tmp/bench.out"
+	go test -run=NONE -benchmem -benchtime=10000x \
+		-bench 'BenchmarkChaosDisarmed$' \
+		./internal/chaos >>"$tmp/bench.out"
 	"$tmp/benchguard" -baseline BENCH_netsim.json "$tmp/bench.out"
 }
 
@@ -284,6 +287,272 @@ step_fuzz_smoke() {
 	go test -run=NONE -fuzz 'FuzzMaxMinDense$' -fuzztime=200x ./internal/netsim
 }
 
+# wait_healthz polls a replica's /healthz until it answers.
+wait_healthz() {
+	for _ in $(seq 1 100); do
+		if curl -sf "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+		sleep 0.1
+	done
+	echo "replica $1 never became healthy" >&2
+	return 1
+}
+
+# admit_allowed_sum totals netpowerprop_admit_allowed_total (all priority
+# classes) across the given replicas — the "admission charged exactly
+# once" probe.
+admit_allowed_sum() {
+	total=0
+	for addr in "$@"; do
+		v="$(curl -sf "http://$addr/metrics" |
+			awk '/^netpowerprop_admit_allowed_total/ {s+=$2} END {printf "%d", s}')"
+		total=$((total + ${v:-0}))
+	done
+	echo "$total"
+}
+
+# chaos_matrix_seed runs one fault schedule: a 3-replica -race cluster,
+# each replica armed with a seed-derived count-bounded failpoint plan
+# (forward errors and drops, added RTT, gossip drops, response-write
+# latency), then checks the run's invariants:
+#
+#   1. 20 point queries sprayed across the replicas under live faults
+#      charge admission exactly once each (forwards and hedges carry
+#      X-Forwarded-Admit; degrades reuse the ingress charge).
+#   2. The seeded mixed open-loop workload ends with zero failed rows.
+#   3. A sweep stream from every replica is byte-identical to the
+#      fault-free control's.
+#   4. At least one fault actually injected (the schedule is not inert).
+#   5. Every circuit breaker re-closes once the bounded faults clear.
+chaos_matrix_seed() {
+	seed="$1"
+	tmp="$2"
+	ma="127.0.0.1:18481"
+	mb="127.0.0.1:18482"
+	mc="127.0.0.1:18483"
+	mpeers="http://$ma,http://$mb,http://$mc"
+	spec_a="seed=$seed;site=cluster.forward.send kind=error count=6;site=cluster.gossip.send kind=drop count=4"
+	spec_b="seed=$seed;site=cluster.forward.rtt kind=latency delay=40ms count=10;site=cluster.gossip.deliver kind=drop count=4"
+	spec_c="seed=$seed;site=serve.response.write kind=latency delay=15ms count=6;site=cluster.forward.send kind=drop count=2"
+	mpids=""
+	for entry in "$ma|$spec_a" "$mb|$spec_b" "$mc|$spec_c"; do
+		addr="${entry%%|*}"
+		spec="${entry#*|}"
+		"$tmp/serve" -addr "$addr" -peers "$mpeers" -cluster-addr "http://$addr" \
+			-gossip-interval 100ms -hedge 50ms -gossip-seed "$seed" \
+			-queue 4096 -loglevel warn -chaos "$spec" &
+		mpids="$mpids $!"
+	done
+	MATRIX_PIDS="$MATRIX_PIDS $mpids"
+	for addr in "$ma" "$mb" "$mc"; do
+		wait_healthz "$addr" || return 1
+	done
+
+	# Invariant 1: exactly-once admission while faults are live.
+	before="$(admit_allowed_sum "$ma" "$mb" "$mc")"
+	j=0
+	while [ "$j" -lt 20 ]; do
+		case $((j % 3)) in
+		0) tgt="$ma" ;;
+		1) tgt="$mb" ;;
+		2) tgt="$mc" ;;
+		esac
+		curl -sf "http://$tgt/v1/whatif?gpus=$((3000 + j))" >/dev/null || {
+			echo "point query $j to $tgt failed client-visibly under faults" >&2
+			return 1
+		}
+		j=$((j + 1))
+	done
+	after="$(admit_allowed_sum "$ma" "$mb" "$mc")"
+	if [ $((after - before)) -ne 20 ]; then
+		echo "admission charged $((after - before)) times for 20 requests (double or lost charge)" >&2
+		return 1
+	fi
+
+	# Invariant 2: the seeded open-loop workload sees zero failures.
+	rc=0
+	"$tmp/loadgen" -peers "$mpeers" -mix mixed -rps 60 -duration 3s \
+		-seed "$seed" -maxerr 0 >"$tmp/loadgen-$seed.out" 2>&1 || rc=$?
+	if [ "$rc" -ne 0 ]; then
+		cat "$tmp/loadgen-$seed.out"
+		echo "loadgen failed ($rc): injected faults were client-visible" >&2
+		return 1
+	fi
+
+	# Invariant 3: every replica's stream is byte-identical to the
+	# fault-free control's.
+	for addr in "$ma" "$mb" "$mc"; do
+		curl -sf "http://$addr/v1/sweep?steps=40&stream=1" >"$tmp/sweep-$seed.ndjson" || return 1
+		if ! cmp "$tmp/golden.ndjson" "$tmp/sweep-$seed.ndjson"; then
+			echo "replica $addr stream differs from the fault-free control" >&2
+			return 1
+		fi
+	done
+
+	# Invariant 4: the schedule was not inert.
+	inj=0
+	for addr in "$ma" "$mb" "$mc"; do
+		if curl -sf "http://$addr/v1/cluster" | grep -q '"chaos_injected": *[1-9]'; then
+			inj=1
+		fi
+	done
+	if [ "$inj" -ne 1 ]; then
+		echo "no faults injected — the schedule never fired" >&2
+		return 1
+	fi
+
+	# Invariant 5: breakers re-close once the count-bounded faults are
+	# spent. Probe traffic gives half-open circuits their trial request.
+	deadline=$(($(date +%s) + 20))
+	k=0
+	while :; do
+		k=$((k + 1))
+		for addr in "$ma" "$mb" "$mc"; do
+			curl -sf "http://$addr/v1/whatif?gpus=$((9000 + k))" >/dev/null 2>&1 || true
+		done
+		open=0
+		for addr in "$ma" "$mb" "$mc"; do
+			if curl -sf "http://$addr/v1/cluster" | grep -Eq '"state": *"(half-)?open"'; then
+				open=1
+			fi
+		done
+		if [ "$open" -eq 0 ]; then break; fi
+		if [ "$(date +%s)" -ge "$deadline" ]; then
+			echo "a circuit breaker never re-closed after the faults cleared" >&2
+			return 1
+		fi
+		sleep 0.3
+	done
+
+	kill $mpids 2>/dev/null
+	wait $mpids 2>/dev/null
+	echo "chaos-matrix seed=$seed OK"
+}
+
+# chaos_matrix_journal is the durability leg: an injected fsync failure
+# mid-job must interrupt the job, flip /healthz to degraded, 503 new
+# submits while compute traffic keeps serving, and a chaos-free restart
+# must resume the job from its checkpoint — journal row records equal an
+# uninterrupted control run's, so nothing checkpointed was recomputed.
+chaos_matrix_journal() {
+	tmp="$1"
+	jaddr="127.0.0.1:18486"
+	jctl="127.0.0.1:18487"
+	"$tmp/serve" -addr "$jctl" -jobdir "$tmp/jm-ctl" -queue 4096 -loglevel warn &
+	MATRIX_PIDS="$MATRIX_PIDS $!"
+	"$tmp/serve" -addr "$jaddr" -jobdir "$tmp/jm" -queue 4096 -loglevel warn \
+		-chaos "seed=7;site=jobs.journal.fsync kind=fsyncfail count=1 after=40" &
+	jp=$!
+	MATRIX_PIDS="$MATRIX_PIDS $jp"
+	wait_healthz "$jaddr" || return 1
+	wait_healthz "$jctl" || return 1
+
+	body='{"op":"sweep","steps":200}'
+	id="$(curl -sf -X POST "http://$jaddr/v1/jobs" -d "$body" |
+		grep -o '"id": *"[^"]*"' | head -n 1 | sed 's/.*"\([^"]*\)"$/\1/')"
+	if [ -z "$id" ]; then
+		echo "journal leg: job submission returned no id" >&2
+		return 1
+	fi
+	curl -sf -X POST "http://$jctl/v1/jobs" -d "$body" >/dev/null
+
+	# The fsync fault fires at the 41st append (row 40): the job must
+	# land interrupted, not failed and not done.
+	hit=""
+	for _ in $(seq 1 200); do
+		if curl -sf "http://$jaddr/v1/jobs/$id" | grep -q '"state": *"interrupted"'; then
+			hit=1
+			break
+		fi
+		sleep 0.05
+	done
+	if [ -z "$hit" ]; then
+		echo "journal leg: job never interrupted on the injected fsync failure" >&2
+		return 1
+	fi
+	if ! curl -sf "http://$jaddr/healthz" | grep -q '"status": *"degraded"'; then
+		echo "journal leg: /healthz not degraded after the journal fault" >&2
+		return 1
+	fi
+	code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$jaddr/v1/jobs" -d '{"op":"sweep","steps":4}')"
+	if [ "$code" != 503 ]; then
+		echo "journal leg: submit during degradation answered $code, want 503" >&2
+		return 1
+	fi
+	if ! curl -sf "http://$jaddr/v1/whatif?gpus=64" >/dev/null; then
+		echo "journal leg: compute-only traffic failed during journal degradation" >&2
+		return 1
+	fi
+
+	# Chaos-free restart over the same journal dir: resume, finish, and
+	# recompute nothing that was checkpointed.
+	kill "$jp" 2>/dev/null
+	wait "$jp" 2>/dev/null
+	"$tmp/serve" -addr "$jaddr" -jobdir "$tmp/jm" -queue 4096 -loglevel warn &
+	MATRIX_PIDS="$MATRIX_PIDS $!"
+	wait_healthz "$jaddr" || return 1
+	fin=""
+	for _ in $(seq 1 300); do
+		if curl -sf "http://$jaddr/v1/jobs/$id" | grep -q '"state": *"done"'; then
+			fin=1
+			break
+		fi
+		sleep 0.05
+	done
+	if [ -z "$fin" ]; then
+		echo "journal leg: resumed job never finished" >&2
+		return 1
+	fi
+	for _ in $(seq 1 300); do
+		if curl -sf "http://$jctl/v1/jobs/$id" | grep -q '"state": *"done"'; then break; fi
+		sleep 0.05
+	done
+	faulted_rows="$(cat "$tmp"/jm/*.jsonl | grep -c '"t":"row"')"
+	control_rows="$(cat "$tmp"/jm-ctl/*.jsonl | grep -c '"t":"row"')"
+	if [ "$faulted_rows" -ne "$control_rows" ]; then
+		echo "journal leg: row records faulted=$faulted_rows control=$control_rows (a checkpointed row was recomputed)" >&2
+		return 1
+	fi
+	echo "chaos-matrix journal leg OK: interrupted -> degraded -> resumed with $faulted_rows row records (no recompute)"
+}
+
+# Chaos matrix: the PR's capstone gate. A seeded sweep of deterministic
+# fault schedules over a 3-replica -race cluster under mixed open-loop
+# load, plus a journal-fault durability leg. Every schedule is count-
+# bounded, so the cluster must not only survive the faults but fully
+# heal: breakers re-closed, streams byte-identical to a fault-free
+# control, admission charged exactly once per request, journals resumed
+# with no recomputed rows. The failing seed is printed for single-seed
+# reproduction (CHAOS_SEEDS=<seed> scripts/ci.sh chaos-matrix).
+step_chaos_matrix() {
+	tmp="$(mktemp -d)"
+	MATRIX_PIDS=""
+	trap 'kill $MATRIX_PIDS 2>/dev/null; wait $MATRIX_PIDS 2>/dev/null; rm -rf "$tmp"' EXIT
+	go build -race -o "$tmp/serve" ./cmd/serve
+	go build -o "$tmp/loadgen" ./cmd/loadgen
+
+	# Fault-free control: the golden stream every faulted replica must
+	# still reproduce byte for byte.
+	control="127.0.0.1:18480"
+	"$tmp/serve" -addr "$control" -queue 4096 -loglevel warn &
+	MATRIX_PIDS="$MATRIX_PIDS $!"
+	wait_healthz "$control"
+	curl -sf "http://$control/v1/sweep?steps=40&stream=1" >"$tmp/golden.ndjson"
+
+	for seed in ${CHAOS_SEEDS:-3 7 11 23 42}; do
+		if ! chaos_matrix_seed "$seed" "$tmp"; then
+			echo "chaos-matrix FAILED at seed=$seed" >&2
+			echo "reproduce just this schedule with: CHAOS_SEEDS=$seed scripts/ci.sh chaos-matrix" >&2
+			return 1
+		fi
+	done
+	if ! chaos_matrix_journal "$tmp"; then
+		echo "chaos-matrix FAILED in the journal-fault leg (fixed seed=7)" >&2
+		echo "reproduce with: CHAOS_SEEDS='' scripts/ci.sh chaos-matrix" >&2
+		return 1
+	fi
+	echo "chaos-matrix OK: schedules [${CHAOS_SEEDS:-3 7 11 23 42}] + journal leg survived with all invariants intact"
+}
+
 run_step() {
 	echo "=== ci: $1 ===" >&2
 	case "$1" in
@@ -301,10 +570,11 @@ run_step() {
 	bench-guard) step_bench_guard ;;
 	loadgen-smoke) step_loadgen_smoke ;;
 	cluster-smoke) step_cluster_smoke ;;
+	chaos-matrix) step_chaos_matrix ;;
 	fuzz-smoke) step_fuzz_smoke ;;
 	*)
 		echo "unknown step: $1" >&2
-		echo "steps: fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard loadgen-smoke cluster-smoke fuzz-smoke all" >&2
+		echo "steps: fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard loadgen-smoke cluster-smoke chaos-matrix fuzz-smoke all" >&2
 		return 2
 		;;
 	esac
@@ -315,7 +585,7 @@ if [ $# -eq 0 ]; then
 fi
 
 if [ "$1" = all ]; then
-	for s in fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard loadgen-smoke cluster-smoke fuzz-smoke; do
+	for s in fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard loadgen-smoke cluster-smoke chaos-matrix fuzz-smoke; do
 		# Steps that set EXIT traps get a subshell so temp dirs clean up
 		# per step rather than at script exit.
 		(run_step "$s")
