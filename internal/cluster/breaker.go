@@ -98,31 +98,34 @@ func (b *Breaker) entry(peer string) *breakerEntry {
 
 // Allow reports whether a request to peer may proceed. While open it
 // returns false (counted as a reject) until the cooldown elapses, then
-// admits exactly one half-open probe at a time.
-func (b *Breaker) Allow(peer string) bool {
+// admits exactly one half-open probe at a time. probe is true when the
+// admitted call IS that probe: the caller then owes the breaker exactly
+// one resolution — Success, Failure, or CancelProbe — or the peer's
+// circuit wedges half-open and rejects forever.
+func (b *Breaker) Allow(peer string) (admit, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	e := b.entry(peer)
 	switch e.state {
 	case BreakerClosed:
-		return true
+		return true, false
 	case BreakerOpen:
 		if b.now().Sub(e.openedAt) < b.cooldown {
 			b.rejects.Add(1)
-			return false
+			return false, false
 		}
 		e.state = BreakerHalfOpen
 		e.probing = true
 		b.probes.Add(1)
-		return true
+		return true, true
 	default: // half-open
 		if e.probing {
 			b.rejects.Add(1)
-			return false
+			return false, false
 		}
 		e.probing = true
 		b.probes.Add(1)
-		return true
+		return true, true
 	}
 }
 
@@ -156,6 +159,19 @@ func (b *Breaker) Failure(peer string) {
 		if e.fails >= b.threshold {
 			b.open(e)
 		}
+	}
+}
+
+// CancelProbe releases peer's half-open probe slot without recording a
+// verdict. For paths that abandon an admitted probe for reasons that say
+// nothing about the peer's health — the parent request was canceled, or
+// the probe lost a hedge race — so the circuit stays half-open and the
+// next Allow may probe again instead of rejecting forever.
+func (b *Breaker) CancelProbe(peer string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.peers[peer]; e != nil {
+		e.probing = false
 	}
 }
 
@@ -202,21 +218,36 @@ func (b *Breaker) OpenCount() int {
 	return nOpen
 }
 
-// BreakerStatus is one peer's circuit in /v1/cluster.
+// BreakerStatus is one peer's circuit in /v1/cluster. Probing and
+// OpenAgeMS make a leaked probe observable: a peer stuck half-open with
+// probing=true and a growing age means an admitted probe never resolved.
 type BreakerStatus struct {
-	Peer  string       `json:"peer"`
-	State BreakerState `json:"state"`
-	Fails int          `json:"consecutive_failures"`
-	Opens uint64       `json:"opens"`
+	Peer      string       `json:"peer"`
+	State     BreakerState `json:"state"`
+	Fails     int          `json:"consecutive_failures"`
+	Opens     uint64       `json:"opens"`
+	Probing   bool         `json:"probing,omitempty"`
+	OpenAgeMS int64        `json:"open_age_ms,omitempty"`
 }
 
-// Snapshot lists every tracked peer's circuit, sorted by address.
+// Snapshot lists every tracked peer's circuit, sorted by address. State
+// is the same derived view State reports: an open circuit past its
+// cooldown shows half-open.
 func (b *Breaker) Snapshot() []BreakerStatus {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	now := b.now()
 	out := make([]BreakerStatus, 0, len(b.peers))
 	for peer, e := range b.peers {
-		out = append(out, BreakerStatus{Peer: peer, State: e.state, Fails: e.fails, Opens: e.opens})
+		st := e.state
+		if st == BreakerOpen && now.Sub(e.openedAt) >= b.cooldown {
+			st = BreakerHalfOpen
+		}
+		s := BreakerStatus{Peer: peer, State: st, Fails: e.fails, Opens: e.opens, Probing: e.probing}
+		if st != BreakerClosed {
+			s.OpenAgeMS = now.Sub(e.openedAt).Milliseconds()
+		}
+		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
 	return out

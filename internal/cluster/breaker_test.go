@@ -39,8 +39,8 @@ func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
 	b := NewBreaker(BreakerOptions{Threshold: 3, Cooldown: time.Second, Now: clk.Now})
 	for i := 0; i < 2; i++ {
 		b.Failure("p")
-		if !b.Allow("p") {
-			t.Fatalf("closed circuit rejected after %d failures", i+1)
+		if ok, probe := b.Allow("p"); !ok || probe {
+			t.Fatalf("closed circuit after %d failures: allow=%v probe=%v, want plain admit", i+1, ok, probe)
 		}
 	}
 	// A success resets the streak: two more failures must not open.
@@ -54,7 +54,7 @@ func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
 	if got := b.State("p"); got != BreakerOpen {
 		t.Fatalf("state = %s after threshold, want open", got)
 	}
-	if b.Allow("p") {
+	if ok, _ := b.Allow("p"); ok {
 		t.Fatal("open circuit allowed a request inside cooldown")
 	}
 	if b.Opens() != 1 || b.Rejects() != 1 {
@@ -70,11 +70,11 @@ func TestBreakerHalfOpenProbeDecides(t *testing.T) {
 	if got := b.State("p"); got != BreakerHalfOpen {
 		t.Fatalf("state after cooldown = %s, want half-open", got)
 	}
-	// Exactly one probe is admitted at a time.
-	if !b.Allow("p") {
-		t.Fatal("half-open refused the probe")
+	// Exactly one probe is admitted at a time, and it is flagged as one.
+	if ok, probe := b.Allow("p"); !ok || !probe {
+		t.Fatalf("half-open admit = (%v, %v), want admitted probe", ok, probe)
 	}
-	if b.Allow("p") {
+	if ok, _ := b.Allow("p"); ok {
 		t.Fatal("second concurrent probe admitted")
 	}
 	// Probe failure re-opens for another full cooldown.
@@ -83,8 +83,8 @@ func TestBreakerHalfOpenProbeDecides(t *testing.T) {
 		t.Fatalf("state after failed probe = %s, want open", got)
 	}
 	clk.Advance(time.Second)
-	if !b.Allow("p") {
-		t.Fatal("cooldown elapsed but probe refused")
+	if ok, probe := b.Allow("p"); !ok || !probe {
+		t.Fatalf("cooldown elapsed but admit = (%v, %v), want probe", ok, probe)
 	}
 	b.Success("p")
 	if got := b.State("p"); got != BreakerClosed {
@@ -101,10 +101,10 @@ func TestBreakerHalfOpenProbeDecides(t *testing.T) {
 func TestBreakerPeersAreIndependent(t *testing.T) {
 	b := NewBreaker(BreakerOptions{Threshold: 1, Cooldown: time.Hour, Now: newFakeNow().Now})
 	b.Failure("sick")
-	if b.Allow("sick") {
+	if ok, _ := b.Allow("sick"); ok {
 		t.Fatal("sick peer's circuit should be open")
 	}
-	if !b.Allow("healthy") {
+	if ok, _ := b.Allow("healthy"); !ok {
 		t.Fatal("healthy peer's circuit tripped by the sick one")
 	}
 	snap := b.Snapshot()
@@ -253,5 +253,44 @@ func TestDispatchRetryBudgetExhaustionStopsRetries(t *testing.T) {
 	}
 	if st.Retries != 2 {
 		t.Fatalf("retries = %d, want 2", st.Retries)
+	}
+}
+
+// CancelProbe hands an admitted half-open probe slot back without a
+// verdict: the circuit stays half-open, the slot frees for the next
+// Allow, and Probing is visible in Snapshot while the probe is out.
+func TestBreakerCancelProbeReleasesSlotWithoutVerdict(t *testing.T) {
+	clk := newFakeNow()
+	b := NewBreaker(BreakerOptions{Threshold: 1, Cooldown: time.Second, Now: clk.Now})
+	b.Failure("p")
+	clk.Advance(time.Second)
+	if ok, probe := b.Allow("p"); !ok || !probe {
+		t.Fatalf("half-open admit = (%v, %v), want admitted probe", ok, probe)
+	}
+	snap := b.Snapshot()
+	if len(snap) != 1 || !snap[0].Probing || snap[0].State != BreakerHalfOpen {
+		t.Fatalf("snapshot with probe in flight = %+v, want probing half-open", snap)
+	}
+	if snap[0].OpenAgeMS != 1000 {
+		t.Fatalf("open_age_ms = %d, want 1000", snap[0].OpenAgeMS)
+	}
+	if ok, _ := b.Allow("p"); ok {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+
+	b.CancelProbe("p")
+	if got := b.State("p"); got != BreakerHalfOpen {
+		t.Fatalf("state after CancelProbe = %s, want half-open (no verdict recorded)", got)
+	}
+	if snap := b.Snapshot(); snap[0].Probing {
+		t.Fatalf("snapshot after CancelProbe = %+v, want probing released", snap[0])
+	}
+	// The freed slot admits a fresh probe, which can still re-close.
+	if ok, probe := b.Allow("p"); !ok || !probe {
+		t.Fatalf("admit after CancelProbe = (%v, %v), want a fresh probe", ok, probe)
+	}
+	b.Success("p")
+	if got := b.State("p"); got != BreakerClosed {
+		t.Fatalf("state after successful re-probe = %s, want closed", got)
 	}
 }

@@ -86,8 +86,9 @@ func TestHedgeLoserCanceledPromptlyNoDoubleCharge(t *testing.T) {
 		t.Fatalf("hedge backend calls=%d unadmitted=%d, want exactly one pre-admitted request",
 			hedgeCalls.Load(), unadmitted.Load())
 	}
-	// Counters must not move after the fact: the loser's outcome lands
-	// unread, so it can neither double-count nor poison the breaker.
+	// Counters must not move after the fact: the loser's outcome is
+	// drained off-path, so it can neither double-count nor poison the
+	// breaker.
 	after := n.Status()
 	if after.Forwarded != 1 || after.Hedges != 1 || after.HedgeWins != 1 || after.ForwardErrors != 0 {
 		t.Fatalf("counters moved after settle: %+v", after)
@@ -225,5 +226,100 @@ func TestGossipOneWayPartitionSelfRefutesAfterHeal(t *testing.T) {
 	// schedule changed and every chaos-matrix expectation moved with it.
 	if d1 != 2 || h1 != 2 {
 		t.Fatalf("seed-21 schedule moved: death round %d (want 2), heal round %d (want 2)", d1, h1)
+	}
+}
+
+// High-severity regression: a half-open probe that loses the hedge race
+// must be released, never stranded. The owner's circuit is half-open, so
+// Dispatch's admission IS the probe; an injected RTT delay stalls it and
+// the hedge to the healthy successor wins. The winner's cancel tears the
+// probe down with no health verdict to charge — before the fix its
+// outcome was simply never read, leaving probing=true forever so every
+// future Allow rejected the peer permanently. Now the drain hands the
+// slot back (CancelProbe) and the next dispatch re-probes and re-closes.
+func TestHedgeWinReleasesLosingHalfOpenProbe(t *testing.T) {
+	clk := newFakeNow()
+	var ownerCalls atomic.Int64
+	slow := resultServer(t, func(*http.Request) { ownerCalls.Add(1) })
+	defer slow.Close()
+	fast := resultServer(t, nil)
+	defer fast.Close()
+
+	n := newTestNode(t, "http://self:1", []string{slow.URL, fast.URL}, func(o *Options) {
+		o.BreakerThreshold = 1
+		o.BreakerCooldown = time.Minute
+		o.Now = clk.Now
+		o.HedgeDelay = 5 * time.Millisecond
+	})
+	owner := normalizeAddr(slow.URL)
+	key := keyOwnedBy(t, n, slow.URL)
+
+	// Trip the owner's circuit and elapse the cooldown: the next
+	// admitted call is the half-open probe.
+	n.Breaker().Failure(owner)
+	if got := n.Breaker().State(owner); got != BreakerOpen {
+		t.Fatalf("owner state = %s after trip, want open", got)
+	}
+	clk.Advance(time.Minute)
+
+	// Stall the probe in an injected 200ms round trip; the hedge to the
+	// healthy successor wins long before it resolves.
+	armChaos(t, fmt.Sprintf(
+		"seed=7;site=cluster.forward.rtt kind=latency delay=200ms peer=%s", owner))
+	ctx, note := WithRouteNote(context.Background())
+	res, handled, err := n.Dispatch(ctx, key, engine.Request{Op: engine.OpWhatIf})
+	if err != nil || !handled || res == nil {
+		t.Fatalf("Dispatch = (%v, %v, %v), want hedged success", res, handled, err)
+	}
+	if note.Value() != RouteForwarded {
+		t.Fatalf("route = %q, want %q", note.Value(), RouteForwarded)
+	}
+	if st := n.Status(); st.HedgeWins != 1 {
+		t.Fatalf("hedge_wins = %d, want 1", st.HedgeWins)
+	}
+
+	// The losing probe must come back: poll the snapshot (which now
+	// surfaces Probing exactly so this wedge is observable) until the
+	// drain releases the slot. Wedged probing=true here is the bug.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var ownerStatus *BreakerStatus
+		for _, bs := range n.Breaker().Snapshot() {
+			if bs.Peer == owner {
+				v := bs
+				ownerStatus = &v
+			}
+		}
+		if ownerStatus == nil {
+			t.Fatal("owner missing from breaker snapshot")
+		}
+		if !ownerStatus.Probing {
+			if ownerStatus.State != BreakerHalfOpen {
+				t.Fatalf("owner state = %s after released probe, want half-open (no verdict charged)", ownerStatus.State)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("probe never released — circuit wedged: %+v", *ownerStatus)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// With the slot free and the fault cleared, the next dispatch
+	// re-probes the owner and the circuit re-closes: the chaos-matrix
+	// "every breaker re-closes once faults clear" invariant.
+	chaos.Disarm()
+	res2, handled2, err2 := n.Dispatch(context.Background(), key, engine.Request{Op: engine.OpWhatIf})
+	if err2 != nil || !handled2 || res2 == nil {
+		t.Fatalf("post-heal Dispatch = (%v, %v, %v), want forwarded success", res2, handled2, err2)
+	}
+	if got := ownerCalls.Load(); got == 0 {
+		t.Fatal("post-heal dispatch never reached the owner — probe slot still held")
+	}
+	if got := n.Breaker().State(owner); got != BreakerClosed {
+		t.Fatalf("owner state = %s after healed probe, want closed", got)
+	}
+	if got := n.Breaker().Recloses(); got != 1 {
+		t.Fatalf("recloses = %d, want 1", got)
 	}
 }

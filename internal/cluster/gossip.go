@@ -221,9 +221,20 @@ func (g *Gossiper) Tick(ctx context.Context) {
 			g.ObserveFailure(t)
 			continue
 		}
-		chaos.SleepPeer(ctx, chaos.SiteGossipSend, t)
+		if err := chaos.SleepPeer(ctx, chaos.SiteGossipSend, t); err != nil {
+			// Canceled mid-injected-delay (shutdown): that's a local
+			// verdict, not the peer's — end the round without charging
+			// ObserveFailure against anyone.
+			return
+		}
 		reply, err := g.exchange(ctx, t, digest)
 		if err != nil {
+			if ctx.Err() != nil {
+				// Same rule for a cancellation surfacing through the
+				// exchange itself: a dead local context must not pollute
+				// the peer's health.
+				return
+			}
 			g.ObserveFailure(t)
 			continue
 		}

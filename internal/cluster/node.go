@@ -473,6 +473,22 @@ func (n *Node) Dispatch(ctx context.Context, key string, req engine.Request) (*e
 attempts:
 	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			if err := n.sleep(ctx, policy.Delay(key, 0, attempt)); err != nil {
+				return nil, true, err
+			}
+			// Re-read the ring BEFORE charging the budget: gossip may
+			// have moved the key while we backed off (owner died or
+			// drained), and the retry token must come out of the bucket
+			// of the peer the retry actually targets.
+			ring = n.Ring()
+			if next := ring.Owner(key); next != owner {
+				if next == "" || next == n.self {
+					noteRoute(ctx, RouteLocal)
+					return nil, false, nil
+				}
+				n.budget.Deposit(next)
+				owner = next
+			}
 			// Retries draw on the owner's budget: when a sick peer has
 			// burned it, degrade immediately instead of piling on.
 			if !n.budget.Spend(owner) {
@@ -480,26 +496,16 @@ attempts:
 				break attempts
 			}
 			n.retries.Add(1)
-			if err := n.sleep(ctx, policy.Delay(key, 0, attempt)); err != nil {
-				return nil, true, err
-			}
-			// Re-read the ring: gossip may have moved the key while we
-			// backed off (owner died or drained).
-			ring = n.Ring()
-			owner = ring.Owner(key)
-			if owner == "" || owner == n.self {
-				noteRoute(ctx, RouteLocal)
-				return nil, false, nil
-			}
 		}
-		if !n.breaker.Allow(owner) {
+		admit, probe := n.breaker.Allow(owner)
+		if !admit {
 			// Circuit open: the owner has failed consecutively and its
 			// cooldown has not elapsed. No network attempt at all.
 			n.breakerSkips.Add(1)
 			n.log.Debug("breaker open, degrading", "owner", owner)
 			break attempts
 		}
-		res, err := n.forwardHedged(ctx, ring, owner, key, req)
+		res, err := n.forwardHedged(ctx, ring, owner, key, req, probe)
 		if err == nil {
 			n.forwarded.Add(1)
 			noteRoute(ctx, RouteForwarded)
@@ -527,10 +533,17 @@ type forwardOutcome struct {
 // forwardHedged sends the request to the owner and, if the owner stalls
 // past the hedge delay, races a second copy to the ring successor. First
 // success wins — the deferred cancel tears down the losing copy's
-// request immediately — and both failing returns the first error. The
-// losing outcome lands in the buffered channel unread, so a loser can
-// never double-count success/failure observers or hedge counters.
-func (n *Node) forwardHedged(ctx context.Context, ring *Ring, owner, key string, req engine.Request) (*engine.Result, error) {
+// request immediately — and both failing returns the first error.
+// ownerProbe says the owner admission was a half-open breaker probe (as
+// does the hedge's own Allow for the successor); every admitted probe is
+// resolved on every exit path — Success, Failure, or CancelProbe via
+// drainLosers — because an unresolved probe wedges the peer's circuit
+// half-open forever. Losers never touch hedgeWins or the forward
+// counters, so a hedge race cannot double-count those.
+//
+// inflight maps each racer still awaiting an outcome to whether its
+// admission was a breaker probe.
+func (n *Node) forwardHedged(ctx context.Context, ring *Ring, owner, key string, req engine.Request, ownerProbe bool) (*engine.Result, error) {
 	hopCtx, cancel := context.WithTimeout(ctx, n.hopBudget(ctx))
 	defer cancel()
 	ch := make(chan forwardOutcome, 2)
@@ -538,9 +551,8 @@ func (n *Node) forwardHedged(ctx context.Context, ring *Ring, owner, key string,
 		res, err := n.forward(hopCtx, addr, req)
 		ch <- forwardOutcome{res: res, err: err, addr: addr}
 	}
-	inflight := map[string]bool{owner: true}
+	inflight := map[string]bool{owner: ownerProbe}
 	go send(owner)
-	outstanding := 1
 	var hedgeC <-chan time.Time
 	hedgeTarget := ""
 	if n.hedgeDelay > 0 {
@@ -555,6 +567,7 @@ func (n *Node) forwardHedged(ctx context.Context, ring *Ring, owner, key string,
 	for {
 		select {
 		case out := <-ch:
+			wasProbe := inflight[out.addr]
 			delete(inflight, out.addr)
 			if out.err == nil {
 				n.gossip.ObserveSuccess(out.addr)
@@ -562,6 +575,7 @@ func (n *Node) forwardHedged(ctx context.Context, ring *Ring, owner, key string,
 				if out.addr != owner {
 					n.hedgeWins.Add(1)
 				}
+				n.drainLosers(ch, inflight)
 				return out.res, nil
 			}
 			if ctx.Err() == nil {
@@ -570,34 +584,41 @@ func (n *Node) forwardHedged(ctx context.Context, ring *Ring, owner, key string,
 				// about the peer.
 				n.gossip.ObserveFailure(out.addr)
 				n.breaker.Failure(out.addr)
+			} else if wasProbe {
+				// No verdict to charge, but the probe slot must be
+				// released or the peer's circuit wedges half-open.
+				n.breaker.CancelProbe(out.addr)
 			}
 			if firstErr == nil {
 				firstErr = out.err
 			}
-			if outstanding--; outstanding == 0 {
+			if len(inflight) == 0 {
 				return nil, firstErr
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			if !n.breaker.Allow(hedgeTarget) {
+			admit, probe := n.breaker.Allow(hedgeTarget)
+			if !admit {
 				// The successor's circuit is open too; don't burn a hedge
 				// on a peer already judged sick.
 				continue
 			}
 			n.hedges.Add(1)
-			outstanding++
-			inflight[hedgeTarget] = true
+			inflight[hedgeTarget] = probe
 			go send(hedgeTarget)
 		case <-hopCtx.Done():
-			if ctx.Err() == nil {
-				// The hop budget expired with requests still in flight:
-				// that is a slowness verdict on every peer that never
-				// answered, and must feed the breaker/gossip exactly like a
-				// returned error (a black-holed peer produces no outcome to
-				// read, so this is the only place it can be charged).
-				for addr := range inflight {
+			for addr, wasProbe := range inflight {
+				if ctx.Err() == nil {
+					// The hop budget expired with requests still in flight:
+					// that is a slowness verdict on every peer that never
+					// answered, and must feed the breaker/gossip exactly like
+					// a returned error (a black-holed peer produces no
+					// outcome to read, so this is the only place it can be
+					// charged).
 					n.gossip.ObserveFailure(addr)
 					n.breaker.Failure(addr)
+				} else if wasProbe {
+					n.breaker.CancelProbe(addr)
 				}
 			}
 			if firstErr == nil {
@@ -606,6 +627,35 @@ func (n *Node) forwardHedged(ctx context.Context, ring *Ring, owner, key string,
 			return nil, firstErr
 		}
 	}
+}
+
+// drainLosers resolves the racers a hedge winner left in flight. Their
+// outcomes are read off the buffered channel in the background (never
+// blocking the won request) and fed to the breaker: a genuine success
+// re-closes the loser's circuit, while an error — almost always our own
+// deferred cancel tearing the loser down, which says nothing about the
+// peer — releases an admitted probe without a verdict. Without this the
+// winning racer would strand the loser's half-open probe forever
+// (probing=true, no resolution), permanently wedging that peer.
+func (n *Node) drainLosers(ch <-chan forwardOutcome, inflight map[string]bool) {
+	if len(inflight) == 0 {
+		return
+	}
+	probes := make(map[string]bool, len(inflight))
+	for addr, probe := range inflight {
+		probes[addr] = probe
+	}
+	go func() {
+		for range probes {
+			out := <-ch
+			if out.err == nil {
+				n.gossip.ObserveSuccess(out.addr)
+				n.breaker.Success(out.addr)
+			} else if probes[out.addr] {
+				n.breaker.CancelProbe(out.addr)
+			}
+		}
+	}()
 }
 
 // forward proxies one request to a replica over the public JSON API.

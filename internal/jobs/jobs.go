@@ -511,9 +511,6 @@ func (m *Manager) Submit(ctx context.Context, req engine.Request) (*Snapshot, bo
 		trace = obs.NewTraceID()
 	}
 	id := jobID(plan.Key())
-	if jerr := m.JournalErr(); jerr != nil {
-		return nil, false, fmt.Errorf("%w: %w", ErrJournalDegraded, jerr)
-	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -528,13 +525,28 @@ func (m *Manager) Submit(ctx context.Context, req engine.Request) (*Snapshot, bo
 			m.mu.Unlock()
 			m.log.Debug("job resubmitted", "job", id, "state", string(st),
 				"trace", trace, "jobtrace", j.trace)
+			// An already-accepted job needs no new journal write, so its
+			// idempotent re-submit returns the existing snapshot even
+			// while the journal is degraded. Resuming an interrupted job
+			// DOES append, so only that path stays gated.
 			if st == StateInterrupted {
+				if jerr := m.JournalErr(); jerr != nil {
+					return nil, false, fmt.Errorf("%w: %w", ErrJournalDegraded, jerr)
+				}
 				m.resume(j)
 			}
 			return m.snapshot(j, true), false, nil
 		}
-		delete(m.jobs, id) // canceled: rerun from scratch
 		rerun = true
+	}
+	// Everything past here writes the journal (fresh job, canceled
+	// rerun, or on-disk adoption): refused while the journal is degraded.
+	if jerr := m.JournalErr(); jerr != nil {
+		m.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %w", ErrJournalDegraded, jerr)
+	}
+	if rerun {
+		delete(m.jobs, id) // canceled: rerun from scratch
 	}
 	path := filepath.Join(m.dir, id+".jsonl")
 	if m.leasesEnabled() {

@@ -3,6 +3,7 @@ package jobs
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 
 	"netpowerprop/internal/chaos"
@@ -134,5 +135,37 @@ func TestJournalENOSPCOnSubmitRefusesJob(t *testing.T) {
 	}
 	if _, _, err := m.Submit(context.Background(), sweepReq(5)); !errors.Is(err, ErrJournalDegraded) {
 		t.Fatalf("second Submit = %v, want ErrJournalDegraded", err)
+	}
+}
+
+// A degraded journal must refuse only genuinely NEW work: re-submitting
+// an already-accepted (here: finished) job needs no journal write, so it
+// still returns the existing snapshot idempotently instead of a 503.
+func TestJournalDegradedStillServesKnownJobResubmit(t *testing.T) {
+	dir := t.TempDir()
+	req := sweepReq(4)
+	m, _ := newManager(t, dir, Options{})
+	snap, created, err := m.Submit(context.Background(), req)
+	if err != nil || !created {
+		t.Fatalf("Submit = (created=%v, %v), want fresh job", created, err)
+	}
+	if _, err := m.Wait(context.Background(), snap.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	m.noteJournalErr("test", fmt.Errorf("%w: injected", ErrJournalSync))
+	if m.JournalErr() == nil {
+		t.Fatal("manager did not latch the journal error")
+	}
+	got, created2, err := m.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("re-submit of finished job while degraded = %v, want its snapshot", err)
+	}
+	if created2 || got.ID != snap.ID || got.State != StateDone {
+		t.Fatalf("re-submit = (id=%s state=%s created=%v), want existing done job %s", got.ID, got.State, created2, snap.ID)
+	}
+	// New work is still refused.
+	if _, _, err := m.Submit(context.Background(), sweepReq(9)); !errors.Is(err, ErrJournalDegraded) {
+		t.Fatalf("new Submit while degraded = %v, want ErrJournalDegraded", err)
 	}
 }
