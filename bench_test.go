@@ -322,6 +322,36 @@ func BenchmarkFabricSim(b *testing.B) {
 	}
 }
 
+// BenchmarkFabricSimCosimOff pins the disabled-co-simulation hot path:
+// with Sim.Models explicitly nil, every per-flow latency and per-device
+// energy must come from the in-process formulas with no extra
+// allocations over BenchmarkFabricSim — the hook checks are plain nil
+// comparisons, not wrapper construction.
+func BenchmarkFabricSimCosimOff(b *testing.B) {
+	top, err := fattree.BuildThreeTier(8, 100*units.Gbps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	job := traffic.Job{ID: 1, Hosts: top.Hosts(), Period: 1, CommRatio: 0.1,
+		Rate: 50 * units.Gbps, Pattern: traffic.Ring}
+	flows, err := job.Flows(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := netsim.New(top)
+	s.Models = nil
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(flows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Energy(res, 0.1, netsim.Linear); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunParallel is BenchmarkFabricSim's workload through the
 // parallel interval fan-out at GOMAXPROCS workers.
 func BenchmarkRunParallel(b *testing.B) {

@@ -1,0 +1,30 @@
+// Command cosim-stub is the reference external co-simulation model: it
+// speaks the versioned NDJSON protocol on stdin/stdout and answers
+// latency/power requests with the engine's own in-process formulas,
+// optionally scaled by a perturbation.
+//
+// With -perturb 0 (the default) its answers are bit-identical to the
+// in-process models, so a run under `netsim -cosim ./cosim-stub` must be
+// byte-identical to a run without co-simulation — the invariant CI's
+// cosim-determinism step checks. A non-zero -perturb stands in for a
+// higher-fidelity model that actually moves the results.
+//
+//	netsim -cosim "./cosim-stub -perturb 0.05" topologies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netpowerprop/internal/cosim"
+)
+
+func main() {
+	perturb := flag.Float64("perturb", 0, "scale every answer by (1 + perturb); 0 echoes the in-process models exactly")
+	flag.Parse()
+	if err := cosim.Serve(os.Stdin, os.Stdout, cosim.Echo{Perturb: *perturb}); err != nil {
+		fmt.Fprintln(os.Stderr, "cosim-stub:", err)
+		os.Exit(1)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"netpowerprop/internal/backbone"
+	"netpowerprop/internal/cosim"
 	"netpowerprop/internal/engine"
 	"netpowerprop/internal/fattree"
 	"netpowerprop/internal/jobs"
@@ -68,8 +69,26 @@ func run(args []string, w io.Writer) error {
 	jobdir := fs.String("jobdir", "", "directory for durable job journals")
 	killrow := fs.Int("killrow", -1, "(testing) exit the process dead after checkpointing this row")
 	loglevel := fs.String("loglevel", "warn", "structured log level for durable jobs (debug, info, warn, error)")
+	cosimCmd := fs.String("cosim", "", "external co-sim model command (e.g. \"./cosim-stub\"); simulations delegate latency/power to it")
+	cosimRecord := fs.String("cosim-record", "", "record co-sim model responses into this JSONL cassette")
+	cosimReplay := fs.String("cosim-replay", "", "replay co-sim responses from a cassette instead of spawning a model")
+	cosimTimeout := fs.Duration("cosim-timeout", 2*time.Second, "per-call co-sim timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	cfg := cosim.Config{Command: *cosimCmd, Record: *cosimRecord, Replay: *cosimReplay, Timeout: *cosimTimeout}
+	if cfg.Enabled() {
+		binding, err := cosim.Open(cfg)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := binding.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "netsim: cosim close: %v\n", err)
+			}
+		}()
+		engine.SetSimModels(binding.Models())
+		defer engine.SetSimModels(nil)
 	}
 	a := &app{job: *job, jobdir: *jobdir, killrow: *killrow, loglevel: *loglevel}
 	args = fs.Args()
@@ -580,6 +599,7 @@ func cmdFabric(args []string, w io.Writer) error {
 		return err
 	}
 	s := netsim.New(top)
+	s.Models = engine.SimModels()
 	res, err := s.RunParallel(flows, 0)
 	if err != nil {
 		return err

@@ -70,6 +70,7 @@ import (
 	"netpowerprop/internal/admit"
 	"netpowerprop/internal/chaos"
 	"netpowerprop/internal/cluster"
+	"netpowerprop/internal/cosim"
 	"netpowerprop/internal/engine"
 	"netpowerprop/internal/jobs"
 	"netpowerprop/internal/obs"
@@ -96,6 +97,10 @@ func main() {
 	owner := flag.String("owner", "", "replica name for job-journal owner leases (defaults to -cluster-addr; empty outside cluster mode disables leases)")
 	leaseTTL := flag.Duration("leasettl", 10*time.Second, "job-journal owner lease time-to-live")
 	chaosSpec := flag.String("chaos", "", "failpoint plan, e.g. \"seed=7;site=jobs.journal.fsync kind=fsyncfail count=1\" (testing only)")
+	cosimCmd := flag.String("cosim", "", "external co-sim model command (e.g. \"./cosim-stub\"); simulations delegate latency/power to it")
+	cosimRecord := flag.String("cosim-record", "", "record co-sim model responses into this JSONL cassette")
+	cosimReplay := flag.String("cosim-replay", "", "replay co-sim responses from a cassette instead of spawning a model")
+	cosimTimeout := flag.Duration("cosim-timeout", 2*time.Second, "per-call co-sim timeout")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -115,6 +120,21 @@ func main() {
 		}
 		chaos.Arm(plan)
 		logger.Warn("chaos failpoints ARMED — this process will inject faults", "plan", plan.String())
+	}
+
+	// Co-simulation: one configuration per process, installed before any
+	// request computes so cached and fresh rows agree on the model.
+	cosimCfg := cosim.Config{Command: *cosimCmd, Record: *cosimRecord, Replay: *cosimReplay, Timeout: *cosimTimeout}
+	var cosimBinding *cosim.Binding
+	if cosimCfg.Enabled() {
+		cosimBinding, err = cosim.Open(cosimCfg)
+		if err != nil {
+			log.Fatalf("serve: cosim: %v", err)
+		}
+		cosimBinding.Instrument(reg)
+		engine.SetSimModels(cosimBinding.Models())
+		logger.Info("co-simulation enabled", "model", cosimBinding.Model(),
+			"record", *cosimRecord, "replay", *cosimReplay)
 	}
 
 	eng := engine.New(engine.Options{CacheSize: *cacheSize, CacheShards: *shards,
@@ -241,6 +261,13 @@ func main() {
 	// bounded by the same shutdown deadline.
 	if err := eng.Drain(shutdownCtx); err != nil {
 		logger.Warn("engine drain", "error", err)
+	}
+	// Closed after the drain: in-flight rows may still consult the model,
+	// and closing flushes any recording cassette.
+	if cosimBinding != nil {
+		if err := cosimBinding.Close(); err != nil {
+			logger.Warn("cosim close", "error", err)
+		}
 	}
 }
 

@@ -152,12 +152,18 @@ func streamOffset(r *http.Request) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("Last-Row: %w", err)
 		}
+		if n < 0 {
+			return 0, fmt.Errorf("Last-Row: negative row %d (a client that has no rows yet omits the header)", n)
+		}
 		return n + 1, nil
 	}
 	if v := r.URL.Query().Get("from"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
 			return 0, fmt.Errorf("from: %w", err)
+		}
+		if n < 0 {
+			return 0, fmt.Errorf("from: negative row %d", n)
 		}
 		return n, nil
 	}

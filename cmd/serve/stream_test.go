@@ -658,3 +658,55 @@ func TestBatchRetryAfterCountsRows(t *testing.T) {
 		t.Errorf("batch Retry-After %d <= single %d: queue-depth estimate not row-aware", batchRA, single)
 	}
 }
+
+// Negative resume offsets are rejected up front with 400 — regression:
+// a negative Last-Row / from used to flow into journal and stream
+// slicing as a negative start row.
+func TestStreamNegativeOffsetRejected(t *testing.T) {
+	srv := newTestServer(t)
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/sweep?steps=4&stream=1", nil)
+	req.Header.Set("Last-Row", "-5")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("sync stream with Last-Row: -5 status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/sweep?steps=4&stream=1&from=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("sync stream with from=-1 status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// The resumable job stream applies the same validation.
+func TestJobStreamNegativeOffsetRejected(t *testing.T) {
+	srv, _ := newKillableJobsServer(t, -1)
+	snap, status := postJob(t, srv.URL, `{"op":"sweep","steps":4}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", status)
+	}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs/"+snap.ID+"/stream", nil)
+	req.Header.Set("Last-Row", "-5")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("job stream with Last-Row: -5 status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + snap.ID + "/stream?from=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("job stream with from=-1 status = %d, want 400", resp.StatusCode)
+	}
+}

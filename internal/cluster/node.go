@@ -87,8 +87,9 @@ type Options struct {
 	// (see RetryBudget; defaults when <= 0).
 	RetryBudgetRatio float64
 	RetryBudgetBurst float64
-	// Now injects the breaker clock for deterministic tests; defaults to
-	// time.Now.
+	// Now injects the clock used by the breaker and by the default
+	// Incarnation stamp, so seeded tests are fully deterministic;
+	// defaults to time.Now.
 	Now func() time.Time
 	// Logger receives cluster events. Nil discards.
 	Logger *obs.Logger
@@ -154,7 +155,14 @@ func New(opts Options) *Node {
 		opts.GossipInterval = 500 * time.Millisecond
 	}
 	if opts.Incarnation == 0 {
-		opts.Incarnation = time.Now().UnixNano()
+		// Stamp through the injectable clock (the one the breaker already
+		// uses) so seeded gossip/chaos runs are fully deterministic; only
+		// production, with no Now override, reads the wall clock.
+		now := opts.Now
+		if now == nil {
+			now = time.Now
+		}
+		opts.Incarnation = now().UnixNano()
 	}
 	if opts.Client == nil {
 		opts.Client = &http.Client{Timeout: opts.HopTimeout}

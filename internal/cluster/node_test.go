@@ -310,3 +310,31 @@ func TestNodePrimesEngineCacheThroughRemoteHook(t *testing.T) {
 		t.Fatalf("engine metrics remote_hits=%d computations=%d, want 1 and 0", m.RemoteHits, m.Computations)
 	}
 }
+
+// The default incarnation stamp routes through the injectable clock, so
+// a seeded run with a fake clock is fully deterministic — no raw
+// time.Now leaks into gossip state (regression).
+func TestDefaultIncarnationUsesInjectedClock(t *testing.T) {
+	fixed := time.Unix(1234, 5678)
+	n := New(Options{
+		Self:  "127.0.0.1:9001",
+		Peers: []string{"127.0.0.1:9002"},
+		Now:   func() time.Time { return fixed },
+	})
+	st, ok := n.Gossip().State(n.Self())
+	if !ok {
+		t.Fatal("gossiper has no state for self")
+	}
+	if st.Incarnation != fixed.UnixNano() {
+		t.Errorf("incarnation = %d, want the fake clock's %d", st.Incarnation, fixed.UnixNano())
+	}
+	// An explicit incarnation still wins over the clock.
+	n2 := New(Options{
+		Self:        "127.0.0.1:9001",
+		Incarnation: 42,
+		Now:         func() time.Time { return fixed },
+	})
+	if st2, _ := n2.Gossip().State(n2.Self()); st2.Incarnation != 42 {
+		t.Errorf("explicit incarnation = %d, want 42", st2.Incarnation)
+	}
+}

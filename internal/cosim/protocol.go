@@ -1,0 +1,139 @@
+// Package cosim couples netsim to external timing/power models over a
+// versioned NDJSON request/response protocol, in the style of a Go main
+// engine driving BookSim2/Ramulator2-class component simulators as
+// subprocess services: one JSON object per line on the model's stdin,
+// one JSON object per line back on its stdout, and the external model
+// returns only scalar latency/energy values that the engine folds into
+// its own accounting.
+//
+// The protocol is strict and versioned. The engine opens with a hello
+// line carrying the protocol version; the model must answer with its
+// own hello naming itself and its capabilities before any request is
+// sent. Every call carries a monotonically increasing id and is answered
+// in order (the transport is lockstep); a timeout, short read, id
+// mismatch, or malformed line latches the client dead and every
+// subsequent call fails fast, which the binding turns into a counted
+// fail-closed fallback to the in-process formulas.
+//
+// Determinism: a Recorder captures every successful response keyed by
+// the request's canonical bytes (the wire encoding minus the call id)
+// into a JSONL cassette, and a Replayer serves the same responses with
+// no subprocess at all — CI replays a recorded run byte-for-byte.
+package cosim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"netpowerprop/internal/netsim"
+)
+
+// ProtoVersion is the NDJSON protocol version spoken by this package.
+// Handshakes with any other version are rejected.
+const ProtoVersion = 1
+
+// Capabilities a model may declare in its hello. The binding only
+// installs hooks for capabilities the model declared; unknown
+// capabilities fail the handshake.
+const (
+	CapLatency = "latency"
+	CapPower   = "power"
+)
+
+// Request type tags (the "t" field).
+const (
+	TypeHello   = "hello"
+	TypeLatency = "latency"
+	TypePower   = "power"
+	TypeResult  = "result"
+	TypeError   = "error"
+)
+
+// Hello is the handshake line, sent engine→model and answered
+// model→engine. The engine fills Proto and Engine; the model must echo
+// the same Proto and fill Model and Caps.
+type Hello struct {
+	T      string   `json:"t"`
+	Proto  int      `json:"proto"`
+	Engine string   `json:"engine,omitempty"`
+	Model  string   `json:"model,omitempty"`
+	Caps   []string `json:"caps,omitempty"`
+}
+
+// Request is one model call. T selects which field group is meaningful:
+// TypeLatency uses Src/Dst/Hops/Bits/BottleneckBps, TypePower uses
+// Device/Node/MaxW/Prop/Law/CapacityBps/Segments. Unused numeric fields
+// are omitted from the wire encoding, so the encoding doubles as the
+// canonical cassette key (minus the per-call ID).
+type Request struct {
+	T  string `json:"t"`
+	ID uint64 `json:"id,omitempty"`
+
+	// Latency fields.
+	Src           int     `json:"src,omitempty"`
+	Dst           int     `json:"dst,omitempty"`
+	Hops          int     `json:"hops,omitempty"`
+	Bits          float64 `json:"bits,omitempty"`
+	BottleneckBps float64 `json:"bottleneck_bps,omitempty"`
+
+	// Power fields. Segments are explicit [duration_s, rate_bps] pairs in
+	// trace order so the model can fold energy in exactly the order the
+	// in-process Trace.Energy does.
+	Device      string       `json:"device,omitempty"`
+	Node        int          `json:"node,omitempty"`
+	MaxW        float64      `json:"max_w,omitempty"`
+	Prop        float64      `json:"prop,omitempty"`
+	Law         string       `json:"law,omitempty"`
+	CapacityBps float64      `json:"capacity_bps,omitempty"`
+	Segments    [][2]float64 `json:"segments,omitempty"`
+}
+
+// Canonical returns the request's cassette key: its wire encoding with
+// the per-call ID zeroed (and therefore omitted). Two semantically
+// identical requests issued under different call ids share one key, so
+// record and replay runs match regardless of call interleaving.
+func (r *Request) Canonical() ([]byte, error) {
+	c := *r
+	c.ID = 0
+	return json.Marshal(&c)
+}
+
+// Response answers one Request: TypeResult carries Value, TypeError
+// carries Err. The ID echoes the request's.
+type Response struct {
+	T     string  `json:"t"`
+	ID    uint64  `json:"id,omitempty"`
+	Value float64 `json:"value"`
+	Err   string  `json:"error,omitempty"`
+}
+
+// Provider is anything that can answer model calls: a live subprocess
+// Client, a Recorder wrapping one, or a cassette Replayer.
+type Provider interface {
+	Call(*Request) (float64, error)
+	Close() error
+}
+
+// LawString encodes a netsim power law for the wire.
+func LawString(law netsim.PowerLaw) string {
+	switch law {
+	case netsim.TwoState:
+		return "twostate"
+	case netsim.Linear:
+		return "linear"
+	default:
+		return fmt.Sprintf("law%d", int(law))
+	}
+}
+
+// ParseLaw decodes a wire power law.
+func ParseLaw(s string) (netsim.PowerLaw, error) {
+	switch s {
+	case "twostate":
+		return netsim.TwoState, nil
+	case "linear":
+		return netsim.Linear, nil
+	default:
+		return 0, fmt.Errorf("cosim: unknown power law %q", s)
+	}
+}

@@ -1,0 +1,123 @@
+package cosim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"netpowerprop/internal/netsim"
+	"netpowerprop/internal/power"
+	"netpowerprop/internal/units"
+)
+
+// Model is the external-model side of the protocol: what a co-sim
+// process evaluates per request. cmd/cosim-stub serves an Echo; a real
+// integration would wrap a switch/NoC/DRAM model here.
+type Model interface {
+	Name() string
+	Caps() []string
+	Eval(*Request) (float64, error)
+}
+
+// Serve speaks the model side of the protocol over r/w: it requires the
+// engine hello, answers with the model's identity, then evaluates
+// requests until EOF. Evaluation errors become TypeError responses; only
+// transport or framing faults end the loop with an error.
+func Serve(r io.Reader, w io.Writer, m Model) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	bw := bufio.NewWriter(w)
+	send := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("cosim: serve: %w", err)
+		}
+		return fmt.Errorf("cosim: serve: EOF before hello")
+	}
+	var h Hello
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return fmt.Errorf("cosim: serve: malformed hello: %w", err)
+	}
+	if h.T != TypeHello || h.Proto != ProtoVersion {
+		return fmt.Errorf("cosim: serve: unsupported hello (t=%q proto=%d, want proto %d)", h.T, h.Proto, ProtoVersion)
+	}
+	if err := send(&Hello{T: TypeHello, Proto: ProtoVersion, Model: m.Name(), Caps: m.Caps()}); err != nil {
+		return fmt.Errorf("cosim: serve: %w", err)
+	}
+
+	for sc.Scan() {
+		var req Request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			return fmt.Errorf("cosim: serve: malformed request %q: %w", truncate(sc.Bytes()), err)
+		}
+		v, err := m.Eval(&req)
+		resp := Response{T: TypeResult, ID: req.ID, Value: v}
+		if err != nil {
+			resp = Response{T: TypeError, ID: req.ID, Err: err.Error()}
+		}
+		if err := send(&resp); err != nil {
+			return fmt.Errorf("cosim: serve: %w", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("cosim: serve: %w", err)
+	}
+	return nil
+}
+
+// Echo is the reference model: it re-computes the engine's own
+// in-process formulas (netsim.TransferLatency, netsim.SegmentEnergy)
+// from the wire request, optionally scaled by a perturbation. With
+// Perturb zero its answers are bit-identical to the in-process models —
+// the byte-identity invariant CI leans on — while a non-zero Perturb
+// demonstrates an external model actually steering results.
+type Echo struct {
+	// Perturb scales every value by (1 + Perturb).
+	Perturb float64
+}
+
+// Name implements Model.
+func (e Echo) Name() string { return "echo" }
+
+// Caps implements Model.
+func (e Echo) Caps() []string { return []string{CapLatency, CapPower} }
+
+// Eval implements Model.
+func (e Echo) Eval(req *Request) (float64, error) {
+	var v float64
+	switch req.T {
+	case TypeLatency:
+		v = float64(netsim.TransferLatency(req.Hops, req.Bits, req.BottleneckBps))
+	case TypePower:
+		law, err := ParseLaw(req.Law)
+		if err != nil {
+			return 0, err
+		}
+		m := power.Model{Max: units.Power(req.MaxW), Proportionality: req.Prop}
+		en, err := netsim.SegmentEnergy(m, units.Bandwidth(req.CapacityBps), law, req.Segments)
+		if err != nil {
+			return 0, err
+		}
+		v = float64(en)
+	default:
+		return 0, fmt.Errorf("unknown request type %q", req.T)
+	}
+	if e.Perturb != 0 {
+		v *= 1 + e.Perturb
+	}
+	return v, nil
+}

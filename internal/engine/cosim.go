@@ -1,0 +1,23 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"netpowerprop/internal/netsim"
+)
+
+// simModels is the process-wide co-simulation hook set scenario rows
+// attach to every Sim they build. Process-wide (not per-Engine) is
+// deliberate: request cache keys do not encode the model configuration,
+// so one process must run under exactly one co-sim configuration — the
+// same contract CLIs already have for flags that shape results.
+var simModels atomic.Pointer[netsim.Models]
+
+// SetSimModels installs (nil clears) the co-simulation hooks consulted
+// by every scenario simulation in this process. Call it once at startup,
+// before serving requests; switching models mid-flight would let cached
+// and fresh rows disagree.
+func SetSimModels(m *netsim.Models) { simModels.Store(m) }
+
+// SimModels returns the installed co-simulation hooks, or nil.
+func SimModels() *netsim.Models { return simModels.Load() }

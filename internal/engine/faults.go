@@ -91,6 +91,7 @@ func faultsRows(req Request) (*scenarioRows, error) {
 	simulate := func(tr *fault.Trace) (outcome, error) {
 		s := netsim.New(top)
 		s.Faults = tr
+		s.Models = SimModels()
 		res, err := s.RunParallel(flows, 0)
 		if err != nil {
 			return outcome{}, err

@@ -66,7 +66,7 @@ func topologiesRows(req Request) (*scenarioRows, error) {
 		Title: fmt.Sprintf("topology zoo — %d hosts @ %v each, all-to-all ×%d iters, %s low-load phase, seed %d",
 			hosts, speed, iters, report.Percent(lowload), seed),
 		Headers: []string{"topology", "switches", "links", "bisection", "throughput",
-			"energy/bit", "prop (today)", "prop (gated)", "downtime", "reroutes"},
+			"mean xfer", "energy/bit", "prop (today)", "prop (gated)", "downtime", "reroutes"},
 		Notes: []string{
 			"prop = measured fabric proportionality: energy drop from full to concentrated",
 			"low load over the active-host drop, with 10%-proportional devices (today)",
@@ -85,6 +85,7 @@ func topologiesRows(req Request) (*scenarioRows, error) {
 		}
 		s := netsim.New(top)
 		s.Routing = netsim.ConcentrateRouting
+		s.Models = SimModels()
 		hs := top.Hosts()
 
 		runPhase := func(active []int, tr *fault.Trace) (*netsim.Result, float64, float64, error) {
@@ -187,6 +188,14 @@ func topologiesRows(req Request) (*scenarioRows, error) {
 		if offered > 0 {
 			tput = delivered / offered
 		}
+		// Mean per-flow transfer latency at full load — the co-sim latency
+		// model's output surfaces here (in-process formula when no model
+		// is attached).
+		meanXfer := 0.0
+		for _, st := range resHigh.Flows {
+			meanXfer += float64(st.TransferLatency)
+		}
+		meanXfer /= float64(len(resHigh.Flows))
 		perBit := math.Inf(1)
 		if delivered > 0 {
 			perBit = float64(highToday) / delivered
@@ -197,6 +206,7 @@ func topologiesRows(req Request) (*scenarioRows, error) {
 			fmt.Sprintf("%d", design.Links),
 			design.Bisection.String(),
 			report.Percent(tput),
+			fmt.Sprintf("%.3gs", meanXfer),
 			fmt.Sprintf("%.2f nJ/b", perBit*1e9),
 			report.Percent(propOf(lowToday, highToday)),
 			report.Percent(propOf(lowGated, highGated)),

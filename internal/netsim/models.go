@@ -1,0 +1,99 @@
+package netsim
+
+import (
+	"netpowerprop/internal/power"
+	"netpowerprop/internal/units"
+)
+
+// HopLatency is the fixed per-hop forwarding delay charged by the
+// in-process transfer-latency model: one switch traversal's worth of
+// serialization + pipeline delay. External co-sim models are free to
+// replace the whole formula.
+const HopLatency units.Seconds = 600e-9
+
+// LatencyRequest describes one completed transfer for a latency model:
+// the flow endpoints, the hop count of the chosen start-epoch path, the
+// bits actually delivered, and the tightest base link capacity along that
+// path. Fields are primitives so the request serializes canonically for
+// the co-sim wire protocol and cassettes.
+type LatencyRequest struct {
+	Src, Dst      int
+	Hops          int
+	Bits          float64
+	BottleneckBps float64
+}
+
+// PowerRequest describes one device's utilization trace for a power
+// model: which device class and ID, the two-state model parameters, the
+// power law, and the trace itself. The co-sim layer flattens Trace into
+// explicit (duration, rate) pairs so an external model can fold energy in
+// exactly the order Trace.Energy does.
+type PowerRequest struct {
+	// Device is "switch" or "link".
+	Device          string
+	ID              int
+	Max             units.Power
+	Proportionality float64
+	Law             PowerLaw
+	Capacity        units.Bandwidth
+	Trace           Trace
+}
+
+// Models lets external co-simulation models replace the in-process
+// latency and power formulas. Either hook may be nil. A hook returning an
+// error fails closed: the in-process formula is used for that call and
+// the run continues (the co-sim binding counts the fallback).
+type Models struct {
+	Latency func(LatencyRequest) (units.Seconds, error)
+	Power   func(PowerRequest) (units.Energy, error)
+}
+
+// TransferLatency is the in-process transfer-latency formula: per-hop
+// forwarding delay plus serialization of the delivered bits at the path's
+// bottleneck capacity. It is exported so the co-sim echo stub reuses the
+// exact same operations in the same order, keeping echo-mode output
+// bit-identical to the in-process model. Non-positive bits or bottleneck
+// (a fully stalled or disabled path) charge hop delay only.
+func TransferLatency(hops int, bits, bottleneckBps float64) units.Seconds {
+	lat := units.Seconds(float64(hops) * float64(HopLatency))
+	if bits > 0 && bottleneckBps > 0 {
+		lat += units.Seconds(bits / bottleneckBps)
+	}
+	return lat
+}
+
+// SegmentEnergy folds a device power model over explicit
+// (duration, rate) pairs — the same per-segment operations, in the same
+// order, as Trace.Energy. It is the shared kernel between the in-process
+// power model and the co-sim echo stub, so echo-mode energies are
+// bit-identical to Trace.Energy over the equivalent trace.
+func SegmentEnergy(m power.Model, capacity units.Bandwidth, law PowerLaw, segs [][2]float64) (units.Energy, error) {
+	var e units.Energy
+	for _, s := range segs {
+		p, err := segmentPower(m, capacity, law, units.Bandwidth(s[1]))
+		if err != nil {
+			return 0, err
+		}
+		e += units.EnergyOver(p, units.Seconds(s[0]))
+	}
+	return e, nil
+}
+
+// segmentPower is the per-segment power rule shared by Trace.Energy and
+// SegmentEnergy.
+func segmentPower(m power.Model, capacity units.Bandwidth, law PowerLaw, rate units.Bandwidth) (units.Power, error) {
+	switch law {
+	case TwoState:
+		if rate > 0 {
+			return m.Max, nil
+		}
+		return m.Idle(), nil
+	case Linear:
+		if capacity <= 0 {
+			return 0, errLinearNeedsCapacity
+		}
+		return m.AtLinear(float64(rate) / float64(capacity)), nil
+	default:
+		return 0, errUnknownPowerLaw(law)
+	}
+}

@@ -58,6 +58,10 @@ type Sim struct {
 	// zero capacity. A nil or empty trace reproduces the fault-free
 	// behavior exactly.
 	Faults *fault.Trace
+	// Models, when non-nil, delegates per-transfer latency and per-device
+	// power to external co-simulation hooks (see Models). Nil keeps the
+	// in-process formulas and adds nothing to the hot path.
+	Models *Models
 
 	// usedSwitches tracks switches already chosen by ConcentrateRouting
 	// within one Run.
@@ -122,6 +126,12 @@ type FlowStat struct {
 	// Downtime is the time the flow spent stalled with every ECMP path
 	// dead. Always zero without fault injection.
 	Downtime units.Seconds
+	// TransferLatency models the flow's completion latency: per-hop
+	// forwarding delay plus serialization of the delivered bits at the
+	// start-epoch path's bottleneck capacity (TransferLatency), or
+	// whatever an attached co-sim latency model returns for the same
+	// request.
+	TransferLatency units.Seconds
 }
 
 // FaultReport summarizes a faulted run.
@@ -601,12 +611,30 @@ func (s *Sim) run(flows []traffic.Flow, workers int) (*Result, error) {
 			startEpoch = tl.EpochAt(st.spec.Start)
 		}
 		life := float64(st.spec.End - st.spec.Start)
+		path := st.routes[startEpoch].path
+		// Bottleneck over base capacities of the start-epoch path; a
+		// disabled (zero-capacity) link zeroes the bottleneck and
+		// TransferLatency charges hop delay only.
+		var bottleneck float64
+		for pi, l := range path {
+			if c := caps[l]; pi == 0 || c < bottleneck {
+				bottleneck = c
+			}
+		}
+		lat := TransferLatency(len(path), st.delivered, bottleneck)
+		if s.Models != nil && s.Models.Latency != nil {
+			req := LatencyRequest{Src: st.spec.Src, Dst: st.spec.Dst, Hops: len(path), Bits: st.delivered, BottleneckBps: bottleneck}
+			if v, err := s.Models.Latency(req); err == nil {
+				lat = v
+			}
+		}
 		res.Flows[i] = FlowStat{
-			Flow:          st.spec,
-			Path:          st.routes[startEpoch].path,
-			DeliveredBits: st.delivered,
-			MeanRate:      units.Bandwidth(st.delivered / life),
-			Downtime:      st.downtime,
+			Flow:            st.spec,
+			Path:            path,
+			DeliveredBits:   st.delivered,
+			MeanRate:        units.Bandwidth(st.delivered / life),
+			Downtime:        st.downtime,
+			TransferLatency: lat,
 		}
 	}
 	if tl != nil {
@@ -668,7 +696,7 @@ func (s *Sim) Energy(res *Result, proportionality float64, law PowerLaw) (Energy
 	}
 	for _, sw := range s.Top.SwitchIDs() {
 		tr := res.SwitchTrace[sw]
-		e, err := tr.Energy(switchModel, device.SwitchCapacity, law)
+		e, err := s.deviceEnergy("switch", sw, switchModel, device.SwitchCapacity, law, tr)
 		if err != nil {
 			return rep, fmt.Errorf("netsim: switch %d: %w", sw, err)
 		}
@@ -687,11 +715,32 @@ func (s *Sim) Energy(res *Result, proportionality float64, law PowerLaw) (Energy
 		if err != nil {
 			return rep, err
 		}
-		e, err := res.LinkTrace[l.ID].Energy(m, s.capacityOf(l), law)
+		e, err := s.deviceEnergy("link", l.ID, m, s.capacityOf(l), law, res.LinkTrace[l.ID])
 		if err != nil {
 			return rep, fmt.Errorf("netsim: link %d: %w", l.ID, err)
 		}
 		rep.TransceiverEnergy += e
 	}
 	return rep, nil
+}
+
+// deviceEnergy integrates one device's trace, delegating to the co-sim
+// power hook when attached and failing closed to the in-process model on
+// hook error.
+func (s *Sim) deviceEnergy(dev string, id int, m power.Model, capacity units.Bandwidth, law PowerLaw, tr Trace) (units.Energy, error) {
+	if s.Models != nil && s.Models.Power != nil {
+		req := PowerRequest{
+			Device:          dev,
+			ID:              id,
+			Max:             m.Max,
+			Proportionality: m.Proportionality,
+			Law:             law,
+			Capacity:        capacity,
+			Trace:           tr,
+		}
+		if e, err := s.Models.Power(req); err == nil {
+			return e, nil
+		}
+	}
+	return tr.Energy(m, capacity, law)
 }

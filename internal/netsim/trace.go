@@ -125,30 +125,26 @@ const (
 )
 
 // Energy integrates a device power model over a utilization trace.
-// capacity scales the rate into a utilization for the Linear law.
+// capacity scales the rate into a utilization for the Linear law. The
+// per-segment rule is segmentPower, shared with SegmentEnergy so the
+// co-sim echo model reproduces these energies bit-for-bit.
 func (t Trace) Energy(m power.Model, capacity units.Bandwidth, law PowerLaw) (units.Energy, error) {
 	if err := t.Validate(); err != nil {
 		return 0, err
 	}
 	var e units.Energy
 	for _, s := range t {
-		var p units.Power
-		switch law {
-		case TwoState:
-			if s.Rate > 0 {
-				p = m.Max
-			} else {
-				p = m.Idle()
-			}
-		case Linear:
-			if capacity <= 0 {
-				return 0, fmt.Errorf("netsim: linear law needs positive capacity")
-			}
-			p = m.AtLinear(float64(s.Rate) / float64(capacity))
-		default:
-			return 0, fmt.Errorf("netsim: unknown power law %d", law)
+		p, err := segmentPower(m, capacity, law, s.Rate)
+		if err != nil {
+			return 0, err
 		}
 		e += units.EnergyOver(p, s.Duration())
 	}
 	return e, nil
+}
+
+var errLinearNeedsCapacity = fmt.Errorf("netsim: linear law needs positive capacity")
+
+func errUnknownPowerLaw(law PowerLaw) error {
+	return fmt.Errorf("netsim: unknown power law %d", law)
 }

@@ -122,6 +122,34 @@ step_topologies_determinism() {
 	cmp "$tmp/zoo1.txt" "$tmp/zoo2.txt"
 }
 
+# Co-simulation determinism: the same seeded topologies run three ways —
+# in-process models, live against cmd/cosim-stub in echo mode (recording
+# a cassette), and replayed from that cassette with no subprocess — must
+# print the same table byte for byte. Also runs the cosim package's
+# race-enabled tests, which cover the locked client under the engine's
+# parallel row fan-out and torn-cassette fail-closed fallback.
+step_cosim_determinism() {
+	tmp="$(mktemp -d)"
+	trap 'rm -rf "$tmp"' EXIT
+	go build -o "$tmp/netsim" ./cmd/netsim
+	go build -o "$tmp/cosim-stub" ./cmd/cosim-stub
+	"$tmp/netsim" topologies -hosts 12 -seed 7 >"$tmp/plain.txt"
+	"$tmp/netsim" -cosim "$tmp/cosim-stub" -cosim-record "$tmp/cassette.jsonl" \
+		topologies -hosts 12 -seed 7 >"$tmp/live.txt"
+	"$tmp/netsim" -cosim-replay "$tmp/cassette.jsonl" \
+		topologies -hosts 12 -seed 7 >"$tmp/replay.txt"
+	if ! cmp "$tmp/plain.txt" "$tmp/live.txt"; then
+		echo "cosim live run differs from in-process models" >&2
+		return 1
+	fi
+	if ! cmp "$tmp/plain.txt" "$tmp/replay.txt"; then
+		echo "cosim cassette replay differs from in-process models" >&2
+		return 1
+	fi
+	go test -race ./internal/cosim/
+	echo "cosim-determinism OK: plain, live stub, and cassette replay byte-identical ($(wc -l <"$tmp/cassette.jsonl") cassette entries)"
+}
+
 step_bench_smoke() {
 	go test -run=NONE -bench . -benchtime=1x ./...
 }
@@ -134,7 +162,7 @@ step_bench_guard() {
 	trap 'rm -rf "$tmp"' EXIT
 	go build -o "$tmp/benchguard" ./cmd/benchguard
 	go test -run=NONE -benchmem -benchtime=100x \
-		-bench 'BenchmarkFabricSim$|BenchmarkMaxMin$|BenchmarkMaxMinDense$|BenchmarkTopoPaths|BenchmarkTopoSim' \
+		-bench 'BenchmarkFabricSim$|BenchmarkFabricSimCosimOff$|BenchmarkMaxMin$|BenchmarkMaxMinDense$|BenchmarkTopoPaths|BenchmarkTopoSim' \
 		. >"$tmp/bench.out"
 	go test -run=NONE -benchmem -benchtime=100x \
 		-bench 'BenchmarkServeBatch$|BenchmarkServeStream$' \
@@ -564,6 +592,7 @@ run_step() {
 	jobs-race) step_jobs_race ;;
 	fault-determinism) step_fault_determinism ;;
 	topologies-determinism) step_topologies_determinism ;;
+	cosim-determinism) step_cosim_determinism ;;
 	kill-resume-smoke) step_kill_resume_smoke ;;
 	metrics-smoke) step_metrics_smoke ;;
 	bench-smoke) step_bench_smoke ;;
@@ -574,7 +603,7 @@ run_step() {
 	fuzz-smoke) step_fuzz_smoke ;;
 	*)
 		echo "unknown step: $1" >&2
-		echo "steps: fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard loadgen-smoke cluster-smoke chaos-matrix fuzz-smoke all" >&2
+		echo "steps: fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism cosim-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard loadgen-smoke cluster-smoke chaos-matrix fuzz-smoke all" >&2
 		return 2
 		;;
 	esac
@@ -585,7 +614,7 @@ if [ $# -eq 0 ]; then
 fi
 
 if [ "$1" = all ]; then
-	for s in fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard loadgen-smoke cluster-smoke chaos-matrix fuzz-smoke; do
+	for s in fmt vet build test chaos-smoke jobs-race fault-determinism topologies-determinism cosim-determinism kill-resume-smoke metrics-smoke bench-smoke bench-guard loadgen-smoke cluster-smoke chaos-matrix fuzz-smoke; do
 		# Steps that set EXIT traps get a subshell so temp dirs clean up
 		# per step rather than at script exit.
 		(run_step "$s")
